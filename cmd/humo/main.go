@@ -1,0 +1,269 @@
+// Command humo resolves two CSV tables end to end with quality guarantees,
+// driving the human-in-the-loop through files:
+//
+//  1. Run humo with your two tables. It blocks and scores candidate pairs,
+//     then starts the requested optimization. Whenever the optimizer needs a
+//     human answer that the label file does not contain yet, the pair is
+//     queued; if any answers were missing, the queue is written to the
+//     -pending CSV (with both records side by side) and humo exits with
+//     status 3.
+//  2. Review the pending file, append your answers to the label file
+//     (pair_id,label with label match/unmatch), and re-run the same command.
+//     Seeds are fixed, so the optimizer asks for the same pairs plus
+//     whatever the new answers unlock.
+//  3. When no answers are missing, the final resolution is written to -out
+//     and humo exits 0.
+//
+// Example:
+//
+//	humo -a dblp.csv -b scholar.csv \
+//	     -spec "title:jaccard,authors:jaccard,venue:jarowinkler" \
+//	     -block token -block-attr title -min-shared 2 -threshold 0.2 \
+//	     -alpha 0.9 -beta 0.9 -theta 0.9 -method hybrid \
+//	     -labels labels.csv -pending pending.csv -out results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"humo"
+	"humo/internal/blocking"
+	"humo/internal/dataio"
+	"humo/internal/records"
+)
+
+func main() {
+	var (
+		aPath     = flag.String("a", "", "CSV file of the first table (header row = attributes)")
+		bPath     = flag.String("b", "", "CSV file of the second table")
+		spec      = flag.String("spec", "", "attribute specs: name:kind[,name:kind...]; kinds: jaccard, jarowinkler, levenshtein, cosine")
+		blockMode = flag.String("block", "cross", "candidate generation: cross or token")
+		blockAttr = flag.String("block-attr", "", "token blocking attribute (default: first spec attribute)")
+		minShared = flag.Int("min-shared", 1, "token blocking: minimum shared tokens")
+		threshold = flag.Float64("threshold", 0.1, "keep candidate pairs with aggregated similarity >= threshold")
+		alpha     = flag.Float64("alpha", 0.9, "required precision")
+		beta      = flag.Float64("beta", 0.9, "required recall")
+		theta     = flag.Float64("theta", 0.9, "confidence level")
+		method    = flag.String("method", "hybrid", "optimizer: base, sampling or hybrid")
+		labelsIn  = flag.String("labels", "", "CSV of human answers collected so far (pair_id,label)")
+		pending   = flag.String("pending", "pending.csv", "where to write pairs awaiting human review")
+		outPath   = flag.String("out", "results.csv", "where to write the final resolution")
+		seed      = flag.Int64("seed", 1, "seed for all sampling decisions (keep fixed across review rounds)")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" || *spec == "" {
+		fmt.Fprintln(os.Stderr, "humo: -a, -b and -spec are required; see -help")
+		os.Exit(2)
+	}
+
+	ta := readTable(*aPath, "a")
+	tb := readTable(*bPath, "b")
+	specs := parseSpecs(*spec)
+	specs, err := blocking.DistinctValueSpecs(ta, tb, specs)
+	exitOn(err)
+	scorer, err := blocking.NewScorer(ta, tb, specs)
+	exitOn(err)
+
+	var cands []blocking.Pair
+	switch *blockMode {
+	case "cross":
+		cands = blocking.CrossProduct(scorer, *threshold)
+	case "token":
+		attr := *blockAttr
+		if attr == "" {
+			attr = specs[0].Attribute
+		}
+		cands, err = blocking.TokenBlocked(scorer, attr, *minShared, *threshold)
+		exitOn(err)
+	default:
+		fmt.Fprintf(os.Stderr, "humo: unknown -block %q (want cross or token)\n", *blockMode)
+		os.Exit(2)
+	}
+	if len(cands) == 0 {
+		fmt.Fprintln(os.Stderr, "humo: no candidate pairs above the threshold")
+		os.Exit(1)
+	}
+	fmt.Printf("candidates: %d pairs above similarity %.2f\n", len(cands), *threshold)
+
+	pairs := make([]humo.Pair, len(cands))
+	for i, c := range cands {
+		pairs[i] = humo.Pair{ID: i, Sim: c.Sim}
+	}
+	w, err := humo.NewWorkload(pairs, 0)
+	exitOn(err)
+
+	known := dataio.Labels{}
+	if *labelsIn != "" {
+		if f, err := os.Open(*labelsIn); err == nil {
+			known, err = dataio.ReadLabels(f)
+			f.Close()
+			exitOn(err)
+		} else if !os.IsNotExist(err) {
+			exitOn(err)
+		}
+	}
+	oracle := &fileOracle{known: known, missing: map[int]struct{}{}}
+
+	req := humo.Requirement{Alpha: *alpha, Beta: *beta, Theta: *theta}
+	var sol humo.Solution
+	switch *method {
+	case "base":
+		sol, err = humo.Base(w, req, oracle, humo.BaseConfig{StartSubset: -1})
+	case "sampling":
+		sol, err = humo.PartialSampling(w, req, oracle, humo.SamplingConfig{Rand: rand.New(rand.NewSource(*seed))})
+	case "hybrid":
+		sol, err = humo.Hybrid(w, req, oracle, humo.HybridConfig{Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(*seed))}})
+	default:
+		fmt.Fprintf(os.Stderr, "humo: unknown -method %q (want base, sampling or hybrid)\n", *method)
+		os.Exit(2)
+	}
+	exitOn(err)
+	labels := sol.Resolve(w, oracle)
+
+	if ids := oracle.missingIDs(); len(ids) > 0 {
+		f, err := os.Create(*pending)
+		exitOn(err)
+		exitOn(dataio.WritePending(f, ids, cands, ta, tb))
+		exitOn(f.Close())
+		fmt.Printf("%d pairs need human review; queue written to %s\n", len(ids), *pending)
+		fmt.Printf("append answers to %s (pair_id,label) and re-run the same command\n", labelOut(*labelsIn))
+		os.Exit(3)
+	}
+
+	rows := make([]dataio.ResultRow, w.Len())
+	hStart, hEnd := humanRange(w, sol)
+	for i := 0; i < w.Len(); i++ {
+		id := w.Pair(i).ID
+		source := "machine"
+		if i >= hStart && i < hEnd {
+			source = "human"
+		}
+		rows[i] = dataio.ResultRow{
+			PairID: id,
+			A:      cands[id].A,
+			B:      cands[id].B,
+			Sim:    cands[id].Sim,
+			Match:  labels[i],
+			Source: source,
+		}
+	}
+	f, err := os.Create(*outPath)
+	exitOn(err)
+	exitOn(dataio.WriteResults(f, rows))
+	exitOn(f.Close())
+	matches := 0
+	for _, r := range rows {
+		if r.Match {
+			matches++
+		}
+	}
+	fmt.Printf("resolution complete: %d matches, %d pairs human-verified (%.2f%%), written to %s\n",
+		matches, oracle.Cost(), 100*float64(oracle.Cost())/float64(w.Len()), *outPath)
+}
+
+// fileOracle answers from the label file; pairs without answers are queued
+// and answered pessimistically (unmatch) so the run can continue far enough
+// to discover everything else it needs.
+type fileOracle struct {
+	mu      sync.Mutex
+	known   dataio.Labels
+	missing map[int]struct{}
+	asked   map[int]struct{}
+}
+
+func (o *fileOracle) Label(id int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.asked == nil {
+		o.asked = map[int]struct{}{}
+	}
+	o.asked[id] = struct{}{}
+	if v, ok := o.known[id]; ok {
+		return v
+	}
+	o.missing[id] = struct{}{}
+	return false
+}
+
+func (o *fileOracle) Cost() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.asked)
+}
+
+func (o *fileOracle) missingIDs() []int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]int, 0, len(o.missing))
+	for id := range o.missing {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// humanRange returns the half-open sorted-position range of DH.
+func humanRange(w *humo.Workload, sol humo.Solution) (int, int) {
+	if sol.Empty() {
+		return 0, 0
+	}
+	start, _ := w.SubsetRange(sol.Lo)
+	_, end := w.SubsetRange(sol.Hi)
+	return start, end
+}
+
+func parseSpecs(s string) []blocking.AttributeSpec {
+	var out []blocking.AttributeSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 2 {
+			fmt.Fprintf(os.Stderr, "humo: bad spec %q (want name:kind)\n", part)
+			os.Exit(2)
+		}
+		var kind blocking.Kind
+		switch fields[1] {
+		case "jaccard":
+			kind = blocking.KindJaccard
+		case "jarowinkler":
+			kind = blocking.KindJaroWinkler
+		case "levenshtein":
+			kind = blocking.KindLevenshtein
+		case "cosine":
+			kind = blocking.KindCosine
+		default:
+			fmt.Fprintf(os.Stderr, "humo: unknown similarity kind %q\n", fields[1])
+			os.Exit(2)
+		}
+		out = append(out, blocking.AttributeSpec{Attribute: fields[0], Kind: kind})
+	}
+	return out
+}
+
+func readTable(path, name string) *records.Table {
+	f, err := os.Open(path)
+	exitOn(err)
+	defer f.Close()
+	t, err := dataio.ReadTable(f, name)
+	exitOn(err)
+	return t
+}
+
+func labelOut(path string) string {
+	if path == "" {
+		return "a labels CSV (pass it with -labels)"
+	}
+	return path
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "humo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Command humoexp runs the paper-reproduction experiments. Each experiment
+// id corresponds to one table or figure of the paper's §VIII evaluation
+// (plus the ablations documented in DESIGN.md) and prints the same rows or
+// series the paper reports.
+//
+// Usage:
+//
+//	humoexp -list
+//	humoexp [-scale small|full] [-runs N] [-seed S] all
+//	humoexp [-scale small|full] [-runs N] [-seed S] table1 fig6 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"humo/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "small", "dataset scale: small or full")
+		runsFlag  = flag.Int("runs", 0, "repetitions for stochastic approaches (0 = scale default)")
+		seedFlag  = flag.Int64("seed", 20180402, "experiment seed")
+		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = experiments.ScaleSmall
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "humoexp: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "humoexp: no experiments given; use -list to see ids or pass 'all'")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	env := experiments.NewEnv(scale, *runsFlag, *seedFlag)
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(env, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "humoexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,93 @@
+// Command humogen generates the evaluation datasets and prints their
+// characteristics: workload sizes, matching-pair counts and the similarity
+// distribution of matching pairs (the paper's Fig. 4), or the logistic
+// match-proportion curves of Fig. 5.
+//
+// Usage:
+//
+//	humogen -dataset ds [-seed S] [-buckets N]
+//	humogen -dataset ab
+//	humogen -dataset logistic -n 100000 -tau 14 -sigma 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"humo"
+	"humo/internal/datagen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "ds", "dataset to generate: ds, ab or logistic")
+		seed    = flag.Int64("seed", 0, "override generator seed (0 = dataset default)")
+		buckets = flag.Int("buckets", 20, "histogram buckets over the similarity axis")
+		n       = flag.Int("n", 100000, "logistic: number of pairs")
+		tau     = flag.Float64("tau", 14, "logistic: curve steepness")
+		sigma   = flag.Float64("sigma", 0.1, "logistic: per-subset irregularity")
+	)
+	flag.Parse()
+
+	var (
+		pairs []humo.LabeledPair
+		name  string
+	)
+	switch *dataset {
+	case "ds":
+		cfg := humo.DefaultDSConfig()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		d, err := humo.DSLike(cfg)
+		exitOn(err)
+		pairs, name = d.Pairs, "DS (simulated DBLP-Scholar)"
+		fmt.Printf("tables: %s %d records, %s %d records\n", d.A.Name, d.A.Len(), d.B.Name, d.B.Len())
+	case "ab":
+		cfg := humo.DefaultABConfig()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		d, err := humo.ABLike(cfg)
+		exitOn(err)
+		pairs, name = d.Pairs, "AB (simulated Abt-Buy)"
+		fmt.Printf("tables: %s %d records, %s %d records\n", d.A.Name, d.A.Len(), d.B.Name, d.B.Len())
+	case "logistic":
+		cfg := humo.LogisticConfig{N: *n, Tau: *tau, Sigma: *sigma, Seed: *seed}
+		p, err := humo.Logistic(cfg)
+		exitOn(err)
+		pairs, name = p, fmt.Sprintf("logistic(tau=%g, sigma=%g)", *tau, *sigma)
+	default:
+		fmt.Fprintf(os.Stderr, "humogen: unknown dataset %q (want ds, ab or logistic)\n", *dataset)
+		os.Exit(2)
+	}
+
+	matches := datagen.MatchCount(pairs)
+	fmt.Printf("%s: %d pairs, %d matching (%.3f%%)\n", name, len(pairs), matches, 100*float64(matches)/float64(len(pairs)))
+	hist, err := datagen.Histogram(pairs, 0, 1, *buckets)
+	exitOn(err)
+	fmt.Println("matching-pair distribution over similarity (Fig. 4 series):")
+	max := 1
+	for _, h := range hist {
+		if h > max {
+			max = h
+		}
+	}
+	for b, h := range hist {
+		lo := float64(b) / float64(*buckets)
+		hi := float64(b+1) / float64(*buckets)
+		bar := ""
+		for i := 0; i < 50*h/max; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  [%.2f,%.2f) %6d %s\n", lo, hi, h, bar)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "humogen:", err)
+		os.Exit(1)
+	}
+}

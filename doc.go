@@ -1,0 +1,53 @@
+// Package humo implements HUMO, the HUman-and-Machine-cOoperation framework
+// for entity resolution with quality guarantees of Chen et al. (ICDE 2018,
+// "Enabling Quality Control for Entity Resolution").
+//
+// # The problem
+//
+// Given an ER workload — instance pairs scored by a machine metric such as
+// aggregated attribute similarity — HUMO enforces user-specified precision
+// and recall levels (with a confidence level) by splitting the workload into
+// three zones: low-metric pairs machine-labeled unmatch (D-), high-metric
+// pairs machine-labeled match (D+), and a middle zone DH whose pairs are
+// verified by a human. The optimization problem is minimizing |DH| subject
+// to the quality requirement.
+//
+// # The optimizers
+//
+// Three searches locate DH's boundaries, trading assumptions for human cost:
+//
+//   - Base: justified purely by the monotonicity assumption of precision
+//     (higher similarity => higher match probability). Meets any requirement
+//     with certainty when monotonicity holds, at conservative cost.
+//   - AllSampling: samples every unit subset and bounds the match counts of
+//     D- and D+ with stratified random-sampling margins (Student-t).
+//   - PartialSampling: samples a few subsets, interpolates the
+//     match-proportion function with Gaussian-process regression, and bounds
+//     region totals from the posterior — usually the cheapest sampling
+//     approach.
+//   - Hybrid: starts from the partial-sampling solution and re-tightens the
+//     boundaries using the better of the monotonicity-based and the
+//     sampling-based estimates at every step.
+//
+// # Quick example
+//
+//	pairs := []humo.Pair{ /* id + machine metric per instance pair */ }
+//	w, err := humo.NewWorkload(pairs, 0) // 0 = default subset size (200)
+//	if err != nil { ... }
+//	oracle := humo.NewSimulatedOracle(groundTruth) // or your own Oracle
+//	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+//	sol, err := humo.Hybrid(w, req, oracle, humo.HybridConfig{
+//		Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(1))},
+//	})
+//	if err != nil { ... }
+//	labels := sol.Resolve(w, oracle) // final labeling; DH goes to the human
+//
+// The Oracle interface is the human: any implementation that answers
+// match/unmatch per pair id works — a simulated ground truth, a review UI,
+// or a crowdsourcing connector. Human cost is the number of distinct pairs
+// the oracle is asked about.
+//
+// Package-level generators (Logistic, DSLike, ABLike) reproduce the paper's
+// evaluation workloads for benchmarking; cmd/humoexp regenerates every table
+// and figure of the paper's evaluation section.
+package humo

@@ -1,0 +1,93 @@
+// Products: match product listings across two marketplaces.
+//
+// This is the paper's Abt-Buy scenario — the *hard* ER workload: product
+// names and descriptions are heavily paraphrased, model codes go missing,
+// and only ~0.5% of candidate pairs match. Machine-only classifiers fail
+// badly here (the paper's SVM reference reaches F1 ~0.40); the example shows
+// HUMO still enforcing a 0.9/0.9 requirement, and how the human cost
+// responds to the confidence level.
+//
+//	go run ./examples/products
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"humo"
+)
+
+func main() {
+	fmt.Println("generating simulated Abt-Buy dataset (cross-product scoring)...")
+	ab, err := humo.ABLike(humo.ABConfig{
+		Entities:    700,
+		ExtraA:      20,
+		ExtraB:      28,
+		HardFrac:    0.55,
+		SiblingFrac: 0.3,
+		Threshold:   0.05,
+		Seed:        2019,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blocked workload: %d candidate pairs, %d true matches (%.2f%%)\n\n",
+		len(ab.Pairs), ab.MatchCount(), 100*float64(ab.MatchCount())/float64(len(ab.Pairs)))
+
+	w, err := humo.NewWorkload(ab.CorePairs(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := ab.Truth()
+	truthSlice := humo.TruthSlice(ab.Pairs)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+
+	// The hybrid optimizer across confidence levels: higher confidence in
+	// the guarantee costs more human work (the paper's Fig. 8).
+	fmt.Printf("%-12s %-10s %-10s %-10s\n", "confidence", "cost %", "precision", "recall")
+	for _, theta := range []float64{0.7, 0.8, 0.9, 0.95} {
+		req.Theta = theta
+		human := humo.NewSimulatedOracle(truth)
+		sol, err := humo.Hybrid(w, req, human, humo.HybridConfig{
+			Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(23))},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels := sol.Resolve(w, human)
+		q, err := humo.Evaluate(labels, truthSlice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.2f %-10.2f %-10.4f %-10.4f\n",
+			theta, 100*float64(human.Cost())/float64(w.Len()), q.Precision, q.Recall)
+	}
+
+	fmt.Println("\nFor reference, a pure machine threshold at the same workload:")
+	machineOnly(w, truthSlice)
+}
+
+// machineOnly labels everything above the workload's proportion-0.5
+// boundary as match — roughly what a tuned threshold classifier achieves
+// without any human verification.
+func machineOnly(w *humo.Workload, truth []bool) {
+	best := humo.Quality{}
+	for cut := 0; cut < w.Subsets(); cut++ {
+		start, _ := w.SubsetRange(cut)
+		labels := make([]bool, w.Len())
+		for i := start; i < w.Len(); i++ {
+			labels[i] = true
+		}
+		q, err := humo.Evaluate(labels, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if q.F1 > best.F1 {
+			best = q
+		}
+	}
+	fmt.Printf("best threshold classifier (oracle-tuned!): %v\n", best)
+	fmt.Println("even with its threshold tuned on the answer key, the machine")
+	fmt.Println("cannot reach the 0.9/0.9 requirement HUMO enforces above.")
+}

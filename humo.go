@@ -1,0 +1,153 @@
+package humo
+
+import (
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/metrics"
+	"humo/internal/oracle"
+)
+
+// Core workload model. See package core for full documentation of the
+// underlying types; these aliases form the stable public surface.
+type (
+	// Pair is one instance pair: an opaque id and its machine metric value.
+	Pair = core.Pair
+	// Workload is an ER workload partitioned into unit subsets.
+	Workload = core.Workload
+	// Requirement is the quality requirement (precision Alpha, recall Beta,
+	// confidence Theta) of the paper's Definition 1.
+	Requirement = core.Requirement
+	// Solution is a HUMO division of the workload: subsets [Lo, Hi] go to
+	// the human, everything below is machine-unmatch, everything above
+	// machine-match.
+	Solution = core.Solution
+	// Oracle answers match/unmatch per pair id — the human in the loop.
+	Oracle = core.Oracle
+
+	// BaseConfig configures the monotonicity-based baseline search.
+	BaseConfig = core.BaseConfig
+	// SamplingConfig configures the sampling-based searches.
+	SamplingConfig = core.SamplingConfig
+	// HybridConfig configures the hybrid search.
+	HybridConfig = core.HybridConfig
+)
+
+// DefaultSubsetSize is the unit-subset size used when NewWorkload receives 0
+// (200 pairs, as in the paper's evaluation).
+const DefaultSubsetSize = core.DefaultSubsetSize
+
+// Workload and search constructors.
+
+// NewWorkload builds a workload from instance pairs; subsetSize <= 0 selects
+// DefaultSubsetSize.
+func NewWorkload(pairs []Pair, subsetSize int) (*Workload, error) {
+	return core.NewWorkload(pairs, subsetSize)
+}
+
+// Base runs the baseline optimization (§V of the paper): valid whenever the
+// workload statistically satisfies monotonicity of precision.
+func Base(w *Workload, req Requirement, o Oracle, cfg BaseConfig) (Solution, error) {
+	return core.BaseSearch(w, req, o, cfg)
+}
+
+// AllSampling runs the all-sampling optimization (§VI-A): every unit subset
+// is sampled and stratified error margins bound the machine zones.
+func AllSampling(w *Workload, req Requirement, o Oracle, cfg SamplingConfig) (Solution, error) {
+	return core.AllSamplingSearch(w, req, o, cfg)
+}
+
+// PartialSampling runs the partial-sampling optimization (§VI-B,
+// Algorithm 1): a Gaussian process interpolates the match-proportion
+// function from a small set of sampled subsets.
+func PartialSampling(w *Workload, req Requirement, o Oracle, cfg SamplingConfig) (Solution, error) {
+	return core.PartialSamplingSearch(w, req, o, cfg)
+}
+
+// Hybrid runs the hybrid optimization (§VII): the partial-sampling solution
+// re-tightened with the better of the baseline and sampling estimates. It
+// never costs more than PartialSampling and is the paper's best performer.
+func Hybrid(w *Workload, req Requirement, o Oracle, cfg HybridConfig) (Solution, error) {
+	return core.HybridSearch(w, req, o, cfg)
+}
+
+// Budgeted runs the inverse, pay-as-you-go optimization: instead of
+// enforcing a quality requirement it maximizes the expected F1 under a hard
+// human budget (manual inspections, sampling included). No quality
+// guarantee is attached to the result.
+func Budgeted(w *Workload, budgetPairs int, o Oracle, cfg SamplingConfig) (Solution, error) {
+	return core.BudgetedSearch(w, budgetPairs, o, cfg)
+}
+
+// Oracles.
+
+type (
+	// SimulatedOracle is a perfect human over fixed ground truth, with
+	// human-cost accounting.
+	SimulatedOracle = oracle.Simulated
+	// NoisyOracle flips each answer with a configured probability,
+	// memoized per pair.
+	NoisyOracle = oracle.Noisy
+	// CrowdOracle majority-votes an odd number of noisy workers per pair.
+	CrowdOracle = oracle.Crowd
+)
+
+// NewSimulatedOracle builds a perfect simulated human over the ground truth
+// map (pair id -> is-match).
+func NewSimulatedOracle(truth map[int]bool) *SimulatedOracle {
+	return oracle.NewSimulated(truth)
+}
+
+// Quality metrics.
+
+type (
+	// Quality bundles precision, recall and F1.
+	Quality = metrics.Quality
+	// Confusion is a binary confusion matrix.
+	Confusion = metrics.Confusion
+)
+
+// Evaluate computes precision/recall/F1 of a labeling against ground truth.
+func Evaluate(predicted, truth []bool) (Quality, error) {
+	return metrics.Evaluate(predicted, truth)
+}
+
+// Evaluation workload generators (the paper's §VIII datasets).
+
+type (
+	// LabeledPair couples a pair with its hidden ground-truth label.
+	LabeledPair = datagen.LabeledPair
+	// LogisticConfig parameterizes the synthetic workload generator (Eq. 22).
+	LogisticConfig = datagen.LogisticConfig
+	// DSConfig parameterizes the simulated DBLP-Scholar dataset.
+	DSConfig = datagen.DSConfig
+	// ABConfig parameterizes the simulated Abt-Buy dataset.
+	ABConfig = datagen.ABConfig
+	// ERDataset is a fully materialized two-table ER workload.
+	ERDataset = datagen.ERDataset
+)
+
+// Logistic generates a synthetic workload whose match proportion follows the
+// paper's Eq. 22 logistic curve with per-subset irregularity Sigma.
+func Logistic(cfg LogisticConfig) ([]LabeledPair, error) { return datagen.Logistic(cfg) }
+
+// DSLike generates the simulated DBLP-Scholar workload (easy: matches
+// concentrate at high similarity).
+func DSLike(cfg DSConfig) (*ERDataset, error) { return datagen.DSLike(cfg) }
+
+// DefaultDSConfig returns the harness configuration for DSLike.
+func DefaultDSConfig() DSConfig { return datagen.DefaultDSConfig() }
+
+// ABLike generates the simulated Abt-Buy workload (hard: matches spread to
+// medium and low similarities, extreme class imbalance).
+func ABLike(cfg ABConfig) (*ERDataset, error) { return datagen.ABLike(cfg) }
+
+// DefaultABConfig returns the harness configuration for ABLike.
+func DefaultABConfig() ABConfig { return datagen.DefaultABConfig() }
+
+// Split separates generated labeled pairs into the machine-visible pairs and
+// the oracle ground truth.
+func Split(pairs []LabeledPair) ([]Pair, map[int]bool) { return datagen.Split(pairs) }
+
+// TruthSlice returns ground truth aligned with a Workload's sorted pair
+// positions, for use with Evaluate.
+func TruthSlice(pairs []LabeledPair) []bool { return datagen.TruthSlice(pairs) }

@@ -1,0 +1,92 @@
+package humo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"humo"
+)
+
+// TestPublicAPIEndToEnd walks the documented usage path: generate a
+// workload, run every optimizer through the public facade, resolve and
+// evaluate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: 20000, Tau: 14, Sigma: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	w, err := humo.NewWorkload(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SubsetSize() != humo.DefaultSubsetSize {
+		t.Fatalf("subset size %d, want default %d", w.SubsetSize(), humo.DefaultSubsetSize)
+	}
+	req := humo.Requirement{Alpha: 0.85, Beta: 0.85, Theta: 0.9}
+	truthSlice := humo.TruthSlice(labeled)
+
+	type search func() (humo.Solution, error)
+	searches := map[string]search{
+		"base": func() (humo.Solution, error) {
+			return humo.Base(w, req, humo.NewSimulatedOracle(truth), humo.BaseConfig{StartSubset: -1})
+		},
+		"allsampling": func() (humo.Solution, error) {
+			return humo.AllSampling(w, req, humo.NewSimulatedOracle(truth), humo.SamplingConfig{
+				PairsPerSubset: 30, Rand: rand.New(rand.NewSource(2)),
+			})
+		},
+		"partialsampling": func() (humo.Solution, error) {
+			return humo.PartialSampling(w, req, humo.NewSimulatedOracle(truth), humo.SamplingConfig{
+				Rand: rand.New(rand.NewSource(3)),
+			})
+		},
+		"hybrid": func() (humo.Solution, error) {
+			return humo.Hybrid(w, req, humo.NewSimulatedOracle(truth), humo.HybridConfig{
+				Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(4))},
+			})
+		},
+	}
+	for name, run := range searches {
+		sol, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		o := humo.NewSimulatedOracle(truth)
+		labels := sol.Resolve(w, o)
+		q, err := humo.Evaluate(labels, truthSlice)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if q.Precision < 0.8 || q.Recall < 0.8 {
+			t.Errorf("%s: quality collapsed: %v", name, q)
+		}
+		if o.Cost() == 0 && !sol.Empty() {
+			t.Errorf("%s: resolve charged no cost for non-empty DH", name)
+		}
+	}
+}
+
+func TestPublicDatasetGenerators(t *testing.T) {
+	ds, err := humo.DSLike(humo.DSConfig{
+		Entities: 200, DupFrac: 0.8, MaxDups: 2, Filler: 800,
+		RelatedFrac: 0.2, Threshold: 0.2, MinShared: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Pairs) == 0 || ds.MatchCount() == 0 {
+		t.Error("DSLike produced an empty workload")
+	}
+	ab, err := humo.ABLike(humo.ABConfig{Entities: 150, HardFrac: 0.5, SiblingFrac: 0.3, Threshold: 0.05, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Pairs) == 0 || ab.MatchCount() == 0 {
+		t.Error("ABLike produced an empty workload")
+	}
+	// Defaults round-trip.
+	if humo.DefaultDSConfig().Entities == 0 || humo.DefaultABConfig().Entities == 0 {
+		t.Error("default configs look empty")
+	}
+}

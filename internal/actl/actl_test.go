@@ -1,0 +1,148 @@
+package actl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"humo/internal/actl"
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/metrics"
+	"humo/internal/oracle"
+)
+
+func buildWorkload(t *testing.T, tau float64, n int, seed int64) (*core.Workload, *oracle.Simulated, []bool) {
+	t.Helper()
+	labeled, err := datagen.Logistic(datagen.LogisticConfig{N: n, Tau: tau, Sigma: 0, SubsetSize: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := datagen.Split(labeled)
+	w, err := core.NewWorkload(pairs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, oracle.NewSimulated(truth), datagen.TruthSlice(labeled)
+}
+
+func TestSearchValidation(t *testing.T) {
+	w, o, _ := buildWorkload(t, 14, 2000, 1)
+	if _, err := actl.Search(w, 0, o, actl.Config{Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := actl.Search(w, 1.5, o, actl.Config{Rand: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("alpha>1 should fail")
+	}
+	if _, err := actl.Search(w, 0.9, o, actl.Config{}); err == nil {
+		t.Error("missing Rand should fail")
+	}
+	if _, err := actl.Search(w, 0.9, o, actl.Config{Rand: rand.New(rand.NewSource(1)), Theta: 2}); err == nil {
+		t.Error("bad theta should fail")
+	}
+	if _, err := actl.Search(w, 0.9, o, actl.Config{Rand: rand.New(rand.NewSource(1)), SampleSize: -1}); err == nil {
+		t.Error("negative sample size should fail")
+	}
+	if _, err := actl.Search(w, 0.9, o, actl.Config{Rand: rand.New(rand.NewSource(1)), Strategy: actl.Strategy(9)}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestSearchMeetsPrecision(t *testing.T) {
+	for _, strat := range []actl.Strategy{actl.StrategyBinary, actl.StrategyScan} {
+		w, o, truth := buildWorkload(t, 14, 30000, 2)
+		res, err := actl.Search(w, 0.9, o, actl.Config{
+			Strategy:   strat,
+			SampleSize: 60,
+			Rand:       rand.New(rand.NewSource(3)),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		q, err := metrics.Evaluate(res.Labels(w), truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The Wilson lower bound at theta=0.9 makes large precision misses
+		// unlikely; allow slack for a single run.
+		if q.Precision < 0.85 {
+			t.Errorf("%v: precision %.3f well below target 0.9", strat, q.Precision)
+		}
+		if q.Recall <= 0 {
+			t.Errorf("%v: classifier found no matches", strat)
+		}
+		if res.ManualCost == 0 || res.ManualCost > w.Len()/2 {
+			t.Errorf("%v: implausible manual cost %d", strat, res.ManualCost)
+		}
+	}
+}
+
+func TestRecallDropsWithPrecisionTarget(t *testing.T) {
+	// The defining ACTL behaviour the paper exploits (Tables V–VI): pushing
+	// the precision target up costs recall.
+	w, o, truth := buildWorkload(t, 8, 30000, 4)
+	var prevRecall float64 = 1.1
+	for _, alpha := range []float64{0.75, 0.9, 0.99} {
+		res, err := actl.Search(w, alpha, o, actl.Config{SampleSize: 80, Rand: rand.New(rand.NewSource(5))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := metrics.Evaluate(res.Labels(w), truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Recall > prevRecall+0.05 {
+			t.Errorf("recall %.3f at alpha=%v should not exceed recall at lower target (%.3f)", q.Recall, alpha, prevRecall)
+		}
+		prevRecall = q.Recall
+	}
+}
+
+func TestUnreachablePrecisionYieldsEmptyRegion(t *testing.T) {
+	// A workload whose top pairs are only ~50% matches cannot reach
+	// precision 0.999: the search must retreat to an (almost) empty region.
+	labeled := make([]datagen.LabeledPair, 2000)
+	rng := rand.New(rand.NewSource(6))
+	for i := range labeled {
+		labeled[i] = datagen.LabeledPair{ID: i, Sim: float64(i) / 2000, Match: rng.Float64() < 0.5}
+	}
+	pairs, truth := datagen.Split(labeled)
+	w, err := core.NewWorkload(pairs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.NewSimulated(truth)
+	res, err := actl.Search(w, 0.999, o, actl.Config{SampleSize: 50, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutSubset < w.Subsets()-2 {
+		t.Errorf("cut subset %d of %d: unreachable precision should push the cut to the top", res.CutSubset, w.Subsets())
+	}
+}
+
+func TestLabelsShape(t *testing.T) {
+	w, _, _ := buildWorkload(t, 14, 1000, 8)
+	res := actl.Result{CutSubset: w.Subsets()} // empty region
+	labels := res.Labels(w)
+	for i, l := range labels {
+		if l {
+			t.Fatalf("empty region labeled pair %d as match", i)
+		}
+	}
+	res = actl.Result{CutSubset: 0} // everything matches
+	labels = res.Labels(w)
+	for i, l := range labels {
+		if !l {
+			t.Fatalf("full region left pair %d unmatched", i)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if actl.StrategyBinary.String() != "binary" || actl.StrategyScan.String() != "scan" {
+		t.Error("strategy names wrong")
+	}
+	if actl.Strategy(9).String() == "" {
+		t.Error("unknown strategy should still format")
+	}
+}

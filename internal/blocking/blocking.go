@@ -1,0 +1,332 @@
+// Package blocking generates the candidate instance pairs of a two-table ER
+// task and scores them with weighted attribute similarity, reproducing the
+// paper's setup (§VIII-A): "we use the blocking technique to filter the
+// instance pairs unlikely to match", keeping pairs whose aggregated
+// similarity exceeds a dataset-specific threshold.
+//
+// Two candidate generators are provided: an exhaustive cross product for
+// small tables, and a token-index generator (pairs sharing at least k tokens
+// of a key attribute) for larger ones. A sorted-neighbourhood generator is
+// included for completeness.
+package blocking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"humo/internal/records"
+	"humo/internal/similarity"
+)
+
+// ErrBadSpec reports an invalid scoring or blocking specification.
+var ErrBadSpec = errors.New("blocking: invalid specification")
+
+// Kind selects the per-attribute similarity measure.
+type Kind int
+
+// Supported attribute similarity kinds.
+const (
+	KindJaccard Kind = iota // token-set Jaccard (pre-tokenized, fast path)
+	KindJaroWinkler
+	KindLevenshtein
+	KindCosine
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindJaccard:
+		return "jaccard"
+	case KindJaroWinkler:
+		return "jarowinkler"
+	case KindLevenshtein:
+		return "levenshtein"
+	case KindCosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AttributeSpec maps one attribute of both tables to a similarity measure
+// and an aggregation weight.
+type AttributeSpec struct {
+	Attribute string
+	Kind      Kind
+	Weight    float64
+}
+
+// Pair is a scored candidate pair, referring to record positions in the two
+// tables.
+type Pair struct {
+	A, B int     // record indices in table A and table B
+	Sim  float64 // aggregated weighted similarity
+}
+
+// Scorer computes aggregated similarities between records of two fixed
+// tables. Token sets of Jaccard attributes are precomputed once so scoring
+// millions of candidates stays cheap.
+type Scorer struct {
+	ta, tb  *records.Table
+	specs   []AttributeSpec
+	weights []float64 // normalized
+	colA    []int     // attribute index in table A per spec
+	colB    []int
+	tokA    []map[int]map[string]struct{} // per spec (Jaccard/Cosine): record -> token set
+	tokB    []map[int]map[string]struct{}
+}
+
+// NewScorer validates the specs against both tables and precomputes token
+// sets. Weights must be non-negative with positive sum; they are normalized.
+func NewScorer(ta, tb *records.Table, specs []AttributeSpec) (*Scorer, error) {
+	if err := ta.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tb.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: no attribute specs", ErrBadSpec)
+	}
+	s := &Scorer{
+		ta: ta, tb: tb, specs: append([]AttributeSpec(nil), specs...),
+		weights: make([]float64, len(specs)),
+		colA:    make([]int, len(specs)),
+		colB:    make([]int, len(specs)),
+		tokA:    make([]map[int]map[string]struct{}, len(specs)),
+		tokB:    make([]map[int]map[string]struct{}, len(specs)),
+	}
+	var sum float64
+	for i, spec := range specs {
+		if spec.Weight < 0 {
+			return nil, fmt.Errorf("%w: attribute %q has negative weight", ErrBadSpec, spec.Attribute)
+		}
+		sum += spec.Weight
+		var err error
+		if s.colA[i], err = ta.AttributeIndex(spec.Attribute); err != nil {
+			return nil, err
+		}
+		if s.colB[i], err = tb.AttributeIndex(spec.Attribute); err != nil {
+			return nil, err
+		}
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: weights sum to %v", ErrBadSpec, sum)
+	}
+	for i, spec := range specs {
+		s.weights[i] = spec.Weight / sum
+		if spec.Kind == KindJaccard {
+			s.tokA[i] = tokenizeColumn(ta, s.colA[i])
+			s.tokB[i] = tokenizeColumn(tb, s.colB[i])
+		}
+	}
+	return s, nil
+}
+
+func tokenizeColumn(t *records.Table, col int) map[int]map[string]struct{} {
+	out := make(map[int]map[string]struct{}, len(t.Records))
+	for i, r := range t.Records {
+		out[i] = similarity.TokenSet(r.Values[col])
+	}
+	return out
+}
+
+// Tables returns the scored tables.
+func (s *Scorer) Tables() (a, b *records.Table) { return s.ta, s.tb }
+
+// Score returns the aggregated weighted similarity of record i of table A
+// against record j of table B.
+func (s *Scorer) Score(i, j int) float64 {
+	var sum float64
+	for k := range s.specs {
+		sum += s.weights[k] * s.attrSim(k, i, j)
+	}
+	return sum
+}
+
+// Features returns the per-attribute similarity vector, the SVM feature
+// representation of the pair.
+func (s *Scorer) Features(i, j int) []float64 {
+	out := make([]float64, len(s.specs))
+	for k := range s.specs {
+		out[k] = s.attrSim(k, i, j)
+	}
+	return out
+}
+
+func (s *Scorer) attrSim(k, i, j int) float64 {
+	switch s.specs[k].Kind {
+	case KindJaccard:
+		return similarity.JaccardSets(s.tokA[k][i], s.tokB[k][j])
+	case KindJaroWinkler:
+		return similarity.JaroWinkler(s.ta.Records[i].Values[s.colA[k]], s.tb.Records[j].Values[s.colB[k]])
+	case KindLevenshtein:
+		return similarity.LevenshteinSim(s.ta.Records[i].Values[s.colA[k]], s.tb.Records[j].Values[s.colB[k]])
+	case KindCosine:
+		return similarity.Cosine(s.ta.Records[i].Values[s.colA[k]], s.tb.Records[j].Values[s.colB[k]])
+	default:
+		panic(fmt.Sprintf("blocking: unknown kind %v", s.specs[k].Kind))
+	}
+}
+
+// CrossProduct scores every record pair and keeps those with aggregated
+// similarity >= threshold. Suitable for tables up to a few thousand records
+// each.
+func CrossProduct(s *Scorer, threshold float64) []Pair {
+	var out []Pair
+	for i := range s.ta.Records {
+		for j := range s.tb.Records {
+			if sim := s.Score(i, j); sim >= threshold {
+				out = append(out, Pair{A: i, B: j, Sim: sim})
+			}
+		}
+	}
+	return out
+}
+
+// TokenBlocked generates candidates via an inverted token index on the named
+// attribute: pairs sharing at least minShared tokens are scored, and those
+// at or above the similarity threshold are kept. It never produces
+// duplicates.
+func TokenBlocked(s *Scorer, attribute string, minShared int, threshold float64) ([]Pair, error) {
+	if minShared < 1 {
+		return nil, fmt.Errorf("%w: minShared=%d must be >= 1", ErrBadSpec, minShared)
+	}
+	colA, err := s.ta.AttributeIndex(attribute)
+	if err != nil {
+		return nil, err
+	}
+	colB, err := s.tb.AttributeIndex(attribute)
+	if err != nil {
+		return nil, err
+	}
+	// Inverted index over table B tokens.
+	index := make(map[string][]int)
+	for j, r := range s.tb.Records {
+		for tok := range similarity.TokenSet(r.Values[colB]) {
+			index[tok] = append(index[tok], j)
+		}
+	}
+	var out []Pair
+	shared := make(map[int]int)
+	for i, r := range s.ta.Records {
+		clear(shared)
+		for tok := range similarity.TokenSet(r.Values[colA]) {
+			for _, j := range index[tok] {
+				shared[j]++
+			}
+		}
+		for j, cnt := range shared {
+			if cnt < minShared {
+				continue
+			}
+			if sim := s.Score(i, j); sim >= threshold {
+				out = append(out, Pair{A: i, B: j, Sim: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].A != out[y].A {
+			return out[x].A < out[y].A
+		}
+		return out[x].B < out[y].B
+	})
+	return out, nil
+}
+
+// SortedNeighborhood slides a window of the given size over the union of
+// both tables sorted by the named attribute and scores pairs that fall into
+// a common window, keeping those at or above the threshold. A classical
+// alternative to token blocking, provided for workloads with sortable keys.
+func SortedNeighborhood(s *Scorer, attribute string, window int, threshold float64) ([]Pair, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("%w: window=%d must be >= 2", ErrBadSpec, window)
+	}
+	colA, err := s.ta.AttributeIndex(attribute)
+	if err != nil {
+		return nil, err
+	}
+	colB, err := s.tb.AttributeIndex(attribute)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		key   string
+		table int // 0 = A, 1 = B
+		idx   int
+	}
+	entries := make([]entry, 0, len(s.ta.Records)+len(s.tb.Records))
+	for i, r := range s.ta.Records {
+		entries = append(entries, entry{key: r.Values[colA], table: 0, idx: i})
+	}
+	for j, r := range s.tb.Records {
+		entries = append(entries, entry{key: r.Values[colB], table: 1, idx: j})
+	}
+	sort.Slice(entries, func(x, y int) bool {
+		if entries[x].key != entries[y].key {
+			return entries[x].key < entries[y].key
+		}
+		if entries[x].table != entries[y].table {
+			return entries[x].table < entries[y].table
+		}
+		return entries[x].idx < entries[y].idx
+	})
+	seen := make(map[[2]int]struct{})
+	var out []Pair
+	for x := range entries {
+		hi := x + window
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for y := x + 1; y < hi; y++ {
+			a, b := entries[x], entries[y]
+			if a.table == b.table {
+				continue
+			}
+			if a.table == 1 {
+				a, b = b, a
+			}
+			key := [2]int{a.idx, b.idx}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if sim := s.Score(a.idx, b.idx); sim >= threshold {
+				out = append(out, Pair{A: a.idx, B: b.idx, Sim: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].A != out[y].A {
+			return out[x].A < out[y].A
+		}
+		return out[x].B < out[y].B
+	})
+	return out, nil
+}
+
+// DistinctValueSpecs fills in the Weight of each spec from the number of
+// distinct values of the attribute across both tables, the paper's
+// weighting rule (§VIII-A).
+func DistinctValueSpecs(ta, tb *records.Table, specs []AttributeSpec) ([]AttributeSpec, error) {
+	out := append([]AttributeSpec(nil), specs...)
+	for i, spec := range specs {
+		ca, err := ta.AttributeIndex(spec.Attribute)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := tb.AttributeIndex(spec.Attribute)
+		if err != nil {
+			return nil, err
+		}
+		distinct := make(map[string]struct{})
+		for _, v := range ta.Column(ca) {
+			distinct[v] = struct{}{}
+		}
+		for _, v := range tb.Column(cb) {
+			distinct[v] = struct{}{}
+		}
+		out[i].Weight = float64(len(distinct))
+	}
+	return out, nil
+}

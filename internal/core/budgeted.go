@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+)
+
+// BudgetedSearch solves the inverse of HUMO's optimization problem: instead
+// of minimizing human cost under a quality requirement, it maximizes the
+// expected F1 of the resolution under a fixed human budget — the
+// "pay-as-you-go" regime of the progressive-ER line of work the paper
+// contrasts itself against (§II). No quality guarantee is attached to the
+// result; the returned solution simply spends at most budgetPairs manual
+// inspections (sampling included) as profitably as the match-proportion
+// estimates suggest.
+//
+// The search fits the partial-sampling Gaussian process first (its labels
+// count against the budget), then places DH as the contiguous run of
+// subsets that maximizes the estimated F1 while fitting the remaining
+// budget. Spending the whole remaining budget is always weakly better —
+// replacing machine guesses with human labels never hurts — so for each
+// lower bound the widest affordable DH is considered.
+func BudgetedSearch(w *Workload, budgetPairs int, o Oracle, cfg SamplingConfig) (Solution, error) {
+	if budgetPairs < 0 {
+		return Solution{}, fmt.Errorf("%w: negative budget %d", ErrBadWorkload, budgetPairs)
+	}
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return Solution{}, err
+	}
+	// Keep the sampling phase within half the budget by shrinking the
+	// per-subset sample size; full-subset censuses would blow a small
+	// budget before DH gets a single pair. A floor of one pair per sampled
+	// subset remains: below that no estimate is possible at all, so tiny
+	// budgets may be exceeded by a few dozen sampling labels.
+	if cfg.PairsPerSubset == 0 || cfg.PairsPerSubset > w.SubsetSize() {
+		cfg.PairsPerSubset = w.SubsetSize()
+	}
+	m := w.Subsets()
+	expectSubsets := int(float64(m) * cfg.MaxSampleFrac)
+	if expectSubsets < 12 {
+		expectSubsets = 12
+	}
+	if expectSubsets > m {
+		expectSubsets = m
+	}
+	if per := budgetPairs / (2 * expectSubsets); per < cfg.PairsPerSubset {
+		if per < 1 {
+			per = 1
+		}
+		cfg.PairsPerSubset = per
+		if cfg.Rand == nil {
+			return Solution{}, fmt.Errorf("%w: Rand required for budget-capped sampling", ErrBadWorkload)
+		}
+	}
+	model, err := fitPartialSampling(w, o, cfg)
+	if err != nil {
+		return Solution{}, err
+	}
+	est := model.est
+	remaining := budgetPairs - model.sampledPairs
+	if remaining < 0 {
+		remaining = 0
+	}
+
+	// Expected F1 of the division with DH = [lo, hi] (empty when lo > hi),
+	// from the posterior mean match counts:
+	//   TP = matches(DH) + matches(D+)   (human is exact on DH)
+	//   FP = pairs(D+) - matches(D+)
+	//   FN = matches(D-)
+	expectedF1 := func(lo, hi int) float64 {
+		dhM := est.prefMean[hi+1] - est.prefMean[lo] // 0 for empty ranges handled below
+		if lo > hi {
+			dhM = 0
+		}
+		plusM := est.prefMean[m] - est.prefMean[hi+1]
+		plusPairs := est.prefPairs[m] - est.prefPairs[hi+1]
+		minusM := est.prefMean[lo]
+		tp := dhM + plusM
+		fp := plusPairs - plusM
+		fn := minusM
+		if tp == 0 {
+			return 0
+		}
+		return 2 * tp / (2*tp + fp + fn)
+	}
+
+	bestLo, bestHi := 0, -1
+	bestF1 := -1.0
+	hi := -1
+	for lo := 0; lo < m; lo++ {
+		if hi < lo-1 {
+			hi = lo - 1
+		}
+		// Widen DH as far as the budget allows for this lower bound.
+		for hi+1 < m && w.RangeLen(lo, hi+1) <= remaining {
+			hi++
+		}
+		f1 := expectedF1(lo, hi)
+		if f1 > bestF1 {
+			bestF1 = f1
+			bestLo, bestHi = lo, hi
+		}
+		// Also consider the pure threshold at lo (empty DH): with a tiny
+		// budget, the best move may be spending nothing.
+		if f1 := expectedF1(lo, lo-1); f1 > bestF1 {
+			bestF1 = f1
+			bestLo, bestHi = lo, lo-1
+		}
+	}
+	return Solution{Method: "BUDGET", Lo: bestLo, Hi: bestHi, SampledPairs: model.sampledPairs}, nil
+}

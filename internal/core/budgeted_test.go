@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/metrics"
+	"humo/internal/oracle"
+)
+
+func TestBudgetedSearchRespectsBudget(t *testing.T) {
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 30000, Tau: 12, Sigma: 0.1, SubsetSize: 100, Seed: 51})
+	for _, budget := range []int{1500, 3000, 6000} {
+		o.Reset()
+		sol, err := core.BudgetedSearch(w, budget, o, core.SamplingConfig{Rand: rand.New(rand.NewSource(1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol.Resolve(w, o)
+		if o.Cost() > budget {
+			t.Errorf("budget %d: spent %d", budget, o.Cost())
+		}
+		if sol.Method != "BUDGET" {
+			t.Errorf("method = %q", sol.Method)
+		}
+	}
+}
+
+func TestBudgetedSearchQualityGrowsWithBudget(t *testing.T) {
+	labeled, err := datagen.Logistic(datagen.LogisticConfig{N: 30000, Tau: 8, Sigma: 0.1, SubsetSize: 100, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truthMap := datagen.Split(labeled)
+	w, err := core.NewWorkload(pairs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := datagen.TruthSlice(labeled)
+	f1At := func(budget int) float64 {
+		o := oracle.NewSimulated(truthMap)
+		sol, err := core.BudgetedSearch(w, budget, o, core.SamplingConfig{Rand: rand.New(rand.NewSource(2))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := sol.Resolve(w, o)
+		q, err := metrics.Evaluate(labels, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q.F1
+	}
+	small := f1At(2000)
+	large := f1At(12000)
+	if large < small-0.01 {
+		t.Errorf("quality should not degrade with budget: f1(2000)=%v f1(12000)=%v", small, large)
+	}
+	if large < 0.9 {
+		t.Errorf("40%% budget should yield high quality, got f1=%v", large)
+	}
+}
+
+func TestBudgetedSearchZeroBudget(t *testing.T) {
+	// With no budget at all the search still returns a pure machine
+	// threshold (sampling may be skipped entirely when the budget is 0 —
+	// here sampling happens first, so the solution just has an empty or
+	// tiny DH and cost may exceed 0 only by the sampling labels).
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 10000, Tau: 14, SubsetSize: 100, Seed: 53})
+	sol, err := core.BudgetedSearch(w, 0, o, core.SamplingConfig{Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.HumanPairs(w) != 0 {
+		t.Errorf("zero remaining budget should produce an empty DH, got %d pairs", sol.HumanPairs(w))
+	}
+	if _, err := core.BudgetedSearch(w, -1, o, core.SamplingConfig{}); err == nil {
+		t.Error("negative budget should fail")
+	}
+}
+
+func TestBudgetedSearchPrefersGreyZone(t *testing.T) {
+	// The chosen DH must cover the uncertain middle rather than the
+	// confident extremes.
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 30000, Tau: 10, Sigma: 0, SubsetSize: 100, Seed: 54})
+	sol, err := core.BudgetedSearch(w, 5000, o, core.SamplingConfig{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Empty() {
+		t.Fatal("expected a non-empty DH")
+	}
+	loSim := w.SubsetMeanSim(sol.Lo)
+	hiSim := w.SubsetMeanSim(sol.Hi)
+	if hiSim < 0.3 || loSim > 0.8 {
+		t.Errorf("DH [%v,%v] does not cover the grey zone", loSim, hiSim)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+)
+
+// HybridConfig configures the hybrid search of §VII. It composes the
+// sampling configuration (for the initial partial-sampling solution) with
+// the baseline window (for the monotonicity-based estimates used during
+// bound refinement).
+type HybridConfig struct {
+	Sampling SamplingConfig
+	// Window is the baseline estimate window; 0 selects DefaultBaseWindow.
+	Window int
+}
+
+// HybridSearch runs the hybrid optimization of §VII. It first obtains the
+// partial-sampling solution S0 with DH = [i, j]; it then restarts from the
+// single median subset of [i, j] and alternately re-extends the bounds,
+// deciding feasibility at each step with the better of the baseline
+// (monotonicity) and the sampling (Gaussian-process) estimates. The bounds
+// never exceed [i, j], so the result costs at most as much as S0.
+func HybridSearch(w *Workload, req Requirement, o Oracle, cfg HybridConfig) (Solution, error) {
+	if err := req.Validate(); err != nil {
+		return Solution{}, err
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = DefaultBaseWindow
+	}
+	sCfg, err := cfg.Sampling.normalized()
+	if err != nil {
+		return Solution{}, err
+	}
+	model, err := fitPartialSampling(w, o, sCfg)
+	if err != nil {
+		return Solution{}, err
+	}
+	lo0, hi0, err := searchBounds(w, req, model.est)
+	if err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{Method: "HYBR", Lo: lo0, Hi: hi0, SampledPairs: model.sampledPairs}
+	if lo0 > hi0 || lo0 == hi0 {
+		// Empty or single-subset S0 cannot be shrunk further.
+		return sol, nil
+	}
+
+	m := w.Subsets()
+	sqrtTheta := math.Sqrt(req.Theta)
+	// Re-extension starts where the regressed match proportion crosses 0.5
+	// — the natural classification boundary — rather than at the index
+	// median of [i, j]: S0 is usually asymmetric around the boundary, and a
+	// mid-index start would permanently trap the low-information side of
+	// the range inside DH.
+	st := newBaseState(w, o, model.est.boundarySubset(lo0, hi0))
+
+	// plusLB returns the better (larger) lower bound on the matching pairs
+	// in D+ = (hi, m): the baseline estimate |D+|*R(I+) against the GP
+	// interval at the given confidence.
+	plusLB := func(theta float64) (float64, error) {
+		plusPairs := float64(w.RangeLen(st.hi+1, m-1))
+		if plusPairs == 0 {
+			return 0, nil
+		}
+		baseLB := plusPairs * st.topWindowRate(window)
+		gpLB, _, err := model.est.suffixInterval(st.hi+1, theta)
+		if err != nil {
+			return 0, err
+		}
+		return math.Max(baseLB, gpLB), nil
+	}
+	// minusUB returns the better (smaller) upper bound on the matching
+	// pairs in D- = [0, lo). The baseline window estimate is only trusted
+	// once the bottom window has actually observed a few matches: a window
+	// of a thousand pairs with zero observed matches says nothing reliable
+	// about how many hide below it on an imbalanced workload.
+	minusUB := func(theta float64) (float64, error) {
+		minusPairs := float64(w.RangeLen(0, st.lo-1))
+		if minusPairs == 0 {
+			return 0, nil
+		}
+		_, gpUB, err := model.est.prefixInterval(st.lo, theta)
+		if err != nil {
+			return 0, err
+		}
+		windowEnd := st.lo + window - 1
+		if windowEnd > st.hi {
+			windowEnd = st.hi
+		}
+		observed := 0
+		for k := st.lo; k <= windowEnd; k++ {
+			observed += st.matches[k]
+		}
+		if observed < 3 {
+			return gpUB, nil
+		}
+		baseUB := minusPairs * st.bottomWindowRate(window)
+		return math.Min(baseUB, gpUB), nil
+	}
+
+	precisionOK := func() (bool, error) {
+		plusPairs := float64(w.RangeLen(st.hi+1, m-1))
+		if plusPairs == 0 {
+			return true, nil
+		}
+		lb, err := plusLB(req.Theta)
+		if err != nil {
+			return false, err
+		}
+		dhMatches := float64(st.total)
+		return (dhMatches+lb)/(dhMatches+plusPairs) >= req.Alpha-1e-12, nil
+	}
+	recallOK := func() (bool, error) {
+		minusPairs := float64(w.RangeLen(0, st.lo-1))
+		if minusPairs == 0 {
+			return true, nil
+		}
+		lb, err := plusLB(sqrtTheta)
+		if err != nil {
+			return false, err
+		}
+		ub, err := minusUB(sqrtTheta)
+		if err != nil {
+			return false, err
+		}
+		found := float64(st.total) + lb
+		if found == 0 {
+			return ub == 0, nil
+		}
+		return found/(found+ub) >= req.Beta-1e-12, nil
+	}
+
+	for {
+		pOK, err := precisionOK()
+		if err != nil {
+			return Solution{}, err
+		}
+		rOK, err := recallOK()
+		if err != nil {
+			return Solution{}, err
+		}
+		if pOK && rOK {
+			break
+		}
+		// One bound move per iteration, preferring the natural direction of
+		// the failing requirement (precision extends up, recall extends
+		// down); when that side is pinned at the S0 bound, extending the
+		// other side still helps because DH's exact match count enters both
+		// estimates.
+		switch {
+		case !pOK && st.hi < hi0:
+			st.extendUp()
+		case !rOK && st.lo > lo0:
+			st.extendDown()
+		case !pOK && st.lo > lo0:
+			st.extendDown()
+		case !rOK && st.hi < hi0:
+			st.extendUp()
+		default:
+			// DH spans the whole S0 range; S0 itself satisfies the
+			// requirement with confidence theta, so stop at its bounds.
+			st.lo, st.hi = lo0, hi0
+		}
+		if st.lo == lo0 && st.hi == hi0 {
+			break
+		}
+	}
+	sol.Lo, sol.Hi = st.lo, st.hi
+	return sol, nil
+}

@@ -1,0 +1,276 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/metrics"
+	"humo/internal/oracle"
+)
+
+// genWorkload builds a logistic synthetic workload plus its oracle and
+// aligned ground truth.
+func genWorkload(t testing.TB, cfg datagen.LogisticConfig) (*core.Workload, *oracle.Simulated, []bool) {
+	t.Helper()
+	labeled, err := datagen.Logistic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truthMap := datagen.Split(labeled)
+	w, err := core.NewWorkload(pairs, cfg.SubsetSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, oracle.NewSimulated(truthMap), datagen.TruthSlice(labeled)
+}
+
+func evaluate(t testing.TB, w *core.Workload, sol core.Solution, o *oracle.Simulated, truth []bool) metrics.Quality {
+	t.Helper()
+	labels := sol.Resolve(w, o)
+	q, err := metrics.Evaluate(labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestBaseSearchMeetsRequirementOnMonotoneWorkloads(t *testing.T) {
+	// Theorem 1: with monotone match proportions (sigma=0), BASE must meet
+	// any requirement. Exercise several steepness values and requirements.
+	for _, tau := range []float64{6, 10, 14, 18} {
+		for _, level := range []float64{0.7, 0.85, 0.95} {
+			w, o, truth := genWorkload(t, datagen.LogisticConfig{N: 20000, Tau: tau, Sigma: 0, SubsetSize: 100, Seed: int64(tau * 100)})
+			req := core.Requirement{Alpha: level, Beta: level, Theta: 0.9}
+			sol, err := core.BaseSearch(w, req, o, core.BaseConfig{StartSubset: -1})
+			if err != nil {
+				t.Fatalf("tau=%v level=%v: %v", tau, level, err)
+			}
+			q := evaluate(t, w, sol, o, truth)
+			if q.Precision < level {
+				t.Errorf("tau=%v level=%v: precision %.4f < %.2f", tau, level, q.Precision, level)
+			}
+			if q.Recall < level {
+				t.Errorf("tau=%v level=%v: recall %.4f < %.2f", tau, level, q.Recall, level)
+			}
+		}
+	}
+}
+
+func TestBaseSearchRequirementValidation(t *testing.T) {
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 1000, Tau: 14, SubsetSize: 100, Seed: 1})
+	if _, err := core.BaseSearch(w, core.Requirement{Alpha: 2, Beta: 0.9, Theta: 0.9}, o, core.BaseConfig{}); err == nil {
+		t.Error("invalid requirement should fail")
+	}
+	if _, err := core.BaseSearch(w, core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}, o, core.BaseConfig{Window: -2}); err == nil {
+		t.Error("negative window should fail")
+	}
+	if _, err := core.BaseSearch(w, core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}, o, core.BaseConfig{StartSubset: 999}); err == nil {
+		t.Error("out-of-range start should fail")
+	}
+}
+
+func TestBaseSearchExtremeRequirementCoversAll(t *testing.T) {
+	// alpha = beta = 1 forces DH to absorb everything the estimates cannot
+	// prove perfect; quality must then be exactly 1.
+	w, o, truth := genWorkload(t, datagen.LogisticConfig{N: 5000, Tau: 10, Sigma: 0.2, SubsetSize: 100, Seed: 3})
+	sol, err := core.BaseSearch(w, core.Requirement{Alpha: 1, Beta: 1, Theta: 0.9}, o, core.BaseConfig{StartSubset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := evaluate(t, w, sol, o, truth)
+	if q.Precision < 1 || q.Recall < 1 {
+		t.Errorf("alpha=beta=1: got %v", q)
+	}
+}
+
+func TestAllSamplingSearchMeetsRequirementWithConfidence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test is slow")
+	}
+	const runs = 30
+	success := 0
+	req := core.Requirement{Alpha: 0.85, Beta: 0.85, Theta: 0.9}
+	for r := 0; r < runs; r++ {
+		w, o, truth := genWorkload(t, datagen.LogisticConfig{N: 20000, Tau: 12, Sigma: 0.1, SubsetSize: 100, Seed: 77})
+		sol, err := core.AllSamplingSearch(w, req, o, core.SamplingConfig{
+			PairsPerSubset: 30,
+			Rand:           rand.New(rand.NewSource(int64(1000 + r))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := evaluate(t, w, sol, o, truth)
+		if q.Precision >= req.Alpha && q.Recall >= req.Beta {
+			success++
+		}
+	}
+	rate := float64(success) / runs
+	if rate < req.Theta-0.12 { // statistical tolerance for 30 runs
+		t.Errorf("success rate %.2f well below theta %.2f", rate, req.Theta)
+	}
+}
+
+func TestPartialSamplingSearchMeetsRequirement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test is slow")
+	}
+	const runs = 20
+	success := 0
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	for r := 0; r < runs; r++ {
+		w, o, truth := genWorkload(t, datagen.LogisticConfig{N: 40000, Tau: 14, Sigma: 0.1, SubsetSize: 200, Seed: 42})
+		sol, err := core.PartialSamplingSearch(w, req, o, core.SamplingConfig{
+			Rand: rand.New(rand.NewSource(int64(2000 + r))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Method != "SAMP" {
+			t.Fatalf("method = %q, want SAMP", sol.Method)
+		}
+		q := evaluate(t, w, sol, o, truth)
+		if q.Precision >= req.Alpha && q.Recall >= req.Beta {
+			success++
+		}
+	}
+	rate := float64(success) / runs
+	if rate < req.Theta-0.15 {
+		t.Errorf("success rate %.2f well below theta %.2f", rate, req.Theta)
+	}
+}
+
+func TestPartialSamplingBudgetRespected(t *testing.T) {
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 40000, Tau: 14, Sigma: 0.1, SubsetSize: 200, Seed: 5})
+	cfg := core.SamplingConfig{MinSampleFrac: 0.02, MaxSampleFrac: 0.06, Rand: rand.New(rand.NewSource(9))}
+	sol, err := core.PartialSamplingSearch(w, core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}, o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: at most ceil(m * pu) full subsets of 200 pairs, plus slack for
+	// the seed rounding.
+	maxSubsets := int(float64(w.Subsets())*cfg.MaxSampleFrac) + 1
+	if sol.SampledPairs > maxSubsets*w.SubsetSize() {
+		t.Errorf("sampled %d pairs, budget %d", sol.SampledPairs, maxSubsets*w.SubsetSize())
+	}
+	if sol.SampledPairs == 0 {
+		t.Error("sampling search labeled nothing")
+	}
+}
+
+func TestHybridSearchWithinSamplingBounds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		w, o, truth := genWorkload(t, datagen.LogisticConfig{N: 40000, Tau: 12, Sigma: 0.15, SubsetSize: 200, Seed: seed})
+		req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+		sCfg := core.SamplingConfig{Rand: rand.New(rand.NewSource(seed))}
+		samp, err := core.PartialSamplingSearch(w, req, o, sCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Reset()
+		hyb, err := core.HybridSearch(w, req, o, core.HybridConfig{
+			Sampling: core.SamplingConfig{Rand: rand.New(rand.NewSource(seed))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same seed => same S0 bounds; hybrid must stay inside them.
+		if hyb.Lo < samp.Lo || hyb.Hi > samp.Hi {
+			t.Errorf("seed %d: hybrid [%d,%d] escapes sampling [%d,%d]", seed, hyb.Lo, hyb.Hi, samp.Lo, samp.Hi)
+		}
+		if hyb.HumanPairs(w) > samp.HumanPairs(w) {
+			t.Errorf("seed %d: hybrid DH (%d) larger than sampling DH (%d)", seed, hyb.HumanPairs(w), samp.HumanPairs(w))
+		}
+		q := evaluate(t, w, hyb, o, truth)
+		if q.Precision < 0.85 || q.Recall < 0.85 {
+			// Allow slack below the 0.9 requirement for a single seed, but
+			// catastrophic misses indicate a logic bug.
+			t.Errorf("seed %d: hybrid quality collapsed: %v", seed, q)
+		}
+	}
+}
+
+func TestHybridCheaperOrEqualHumanCost(t *testing.T) {
+	// End-to-end human cost (sampling + final DH) of HYBR must not exceed
+	// SAMP under identical seeds, by construction.
+	w, _, _ := genWorkload(t, datagen.LogisticConfig{N: 30000, Tau: 10, Sigma: 0.1, SubsetSize: 200, Seed: 11})
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+
+	_, truthMap := regen(t, 30000, 10, 0.1, 200, 11)
+	oS := oracle.NewSimulated(truthMap)
+	samp, err := core.PartialSamplingSearch(w, req, oS, core.SamplingConfig{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samp.Resolve(w, oS)
+	costSamp := oS.Cost()
+
+	oH := oracle.NewSimulated(truthMap)
+	hyb, err := core.HybridSearch(w, req, oH, core.HybridConfig{Sampling: core.SamplingConfig{Rand: rand.New(rand.NewSource(4))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb.Resolve(w, oH)
+	costHyb := oH.Cost()
+
+	if costHyb > costSamp {
+		t.Errorf("hybrid cost %d exceeds sampling cost %d", costHyb, costSamp)
+	}
+}
+
+// regen reproduces the labeled pairs for a given config so tests can build
+// multiple independent oracles over identical ground truth.
+func regen(t *testing.T, n int, tau, sigma float64, subset int, seed int64) ([]core.Pair, map[int]bool) {
+	t.Helper()
+	labeled, err := datagen.Logistic(datagen.LogisticConfig{N: n, Tau: tau, Sigma: sigma, SubsetSize: subset, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := datagen.Split(labeled)
+	return pairs, truth
+}
+
+func TestSearchesChargeOracleOnlyOncePerPair(t *testing.T) {
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 10000, Tau: 14, Sigma: 0, SubsetSize: 100, Seed: 21})
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	sol, err := core.PartialSamplingSearch(w, req, o, core.SamplingConfig{Rand: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costAfterSearch := o.Cost()
+	sol.Resolve(w, o)
+	costAfterResolve := o.Cost()
+	// Resolving labels DH; pairs sampled inside DH must not be re-charged,
+	// so the delta is at most |DH|.
+	if delta := costAfterResolve - costAfterSearch; delta > sol.HumanPairs(w) {
+		t.Errorf("resolve charged %d > |DH| = %d", delta, sol.HumanPairs(w))
+	}
+	// Re-resolving charges nothing.
+	sol.Resolve(w, o)
+	if o.Cost() != costAfterResolve {
+		t.Error("re-resolve should be free")
+	}
+}
+
+func TestAllSamplingRequiresRand(t *testing.T) {
+	w, o, _ := genWorkload(t, datagen.LogisticConfig{N: 2000, Tau: 14, SubsetSize: 100, Seed: 8})
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	if _, err := core.AllSamplingSearch(w, req, o, core.SamplingConfig{}); err == nil {
+		t.Error("all-sampling without Rand should fail")
+	}
+}
+
+func TestSearchesOnTinyWorkload(t *testing.T) {
+	// A workload smaller than one subset must still work.
+	w, o, truth := genWorkload(t, datagen.LogisticConfig{N: 50, Tau: 14, SubsetSize: 100, Seed: 31})
+	req := core.Requirement{Alpha: 0.8, Beta: 0.8, Theta: 0.9}
+	sol, err := core.BaseSearch(w, req, o, core.BaseConfig{StartSubset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := evaluate(t, w, sol, o, truth)
+	if q.Precision < 0.8 || q.Recall < 0.8 {
+		t.Errorf("tiny workload quality: %v", q)
+	}
+}

@@ -1,0 +1,110 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// corruptor applies controlled dirtiness to generated records, the mechanism
+// that turns one clean entity into several non-identical records of the same
+// entity. The aggressiveness of each operation determines where matching
+// pairs land on the similarity axis, which is exactly the dataset
+// characteristic the paper's two real workloads differ in (Fig. 4).
+type corruptor struct {
+	rng *rand.Rand
+}
+
+// dropWords removes each word independently with probability p, always
+// keeping at least one word.
+func (c *corruptor) dropWords(words []string, p float64) []string {
+	out := words[:0:0]
+	for _, w := range words {
+		if c.rng.Float64() >= p {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 && len(words) > 0 {
+		out = append(out, words[c.rng.Intn(len(words))])
+	}
+	return out
+}
+
+// abbrevWords truncates each word to its first 1–4 runes with probability p,
+// simulating the abbreviations that pervade scraped bibliographic data.
+func (c *corruptor) abbrevWords(words []string, p float64) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		if len(w) > 4 && c.rng.Float64() < p {
+			keep := 1 + c.rng.Intn(4)
+			out[i] = w[:keep]
+		} else {
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// swapWords exchanges two random adjacent words with probability p.
+func (c *corruptor) swapWords(words []string, p float64) []string {
+	out := append([]string(nil), words...)
+	if len(out) >= 2 && c.rng.Float64() < p {
+		i := c.rng.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return out
+}
+
+// typos applies character-level noise: each letter is substituted with a
+// random lowercase letter with probability p.
+func (c *corruptor) typos(s string, p float64) string {
+	if p <= 0 {
+		return s
+	}
+	b := []byte(s)
+	for i, ch := range b {
+		if ch >= 'a' && ch <= 'z' && c.rng.Float64() < p {
+			b[i] = byte('a' + c.rng.Intn(26))
+		}
+	}
+	return string(b)
+}
+
+// initialize reduces a first name to its initial ("maria" -> "m"), the most
+// common divergence between bibliographic sources.
+func initialize(first string) string {
+	if first == "" {
+		return first
+	}
+	return first[:1]
+}
+
+// replaceWords substitutes each word with a random word from the pool with
+// probability p, simulating paraphrased product descriptions.
+func (c *corruptor) replaceWords(words []string, pool []string, p float64) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		if len(pool) > 0 && c.rng.Float64() < p {
+			out[i] = pool[c.rng.Intn(len(pool))]
+		} else {
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// pick returns a uniformly random element.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// sampleDistinct draws k distinct elements (k <= len(xs)).
+func sampleDistinct[T any](rng *rand.Rand, xs []T, k int) []T {
+	idx := rng.Perm(len(xs))[:k]
+	out := make([]T, k)
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}
+
+func joinWords(words []string) string { return strings.Join(words, " ") }

@@ -1,0 +1,66 @@
+package datagen
+
+import (
+	"fmt"
+
+	"humo/internal/blocking"
+	"humo/internal/core"
+	"humo/internal/records"
+)
+
+// ERDataset is a fully materialized two-table ER workload: the source
+// tables, the scorer used to build it, the blocked candidate pairs and
+// their ground-truth labels. LabeledPair IDs index into Candidates so
+// feature vectors can be recovered for the SVM reference classifier.
+type ERDataset struct {
+	Name       string
+	A, B       *records.Table
+	Scorer     *blocking.Scorer
+	Candidates []blocking.Pair
+	Pairs      []LabeledPair
+}
+
+// Features returns the per-attribute similarity feature vector of pair id.
+func (d *ERDataset) Features(id int) ([]float64, error) {
+	if id < 0 || id >= len(d.Candidates) {
+		return nil, fmt.Errorf("%w: pair id %d out of range [0,%d)", ErrBadConfig, id, len(d.Candidates))
+	}
+	c := d.Candidates[id]
+	return d.Scorer.Features(c.A, c.B), nil
+}
+
+// Truth returns the oracle ground truth keyed by pair id.
+func (d *ERDataset) Truth() map[int]bool {
+	out := make(map[int]bool, len(d.Pairs))
+	for _, p := range d.Pairs {
+		out[p.ID] = p.Match
+	}
+	return out
+}
+
+// CorePairs converts the labeled pairs into the machine-visible form
+// consumed by core.NewWorkload.
+func (d *ERDataset) CorePairs() []core.Pair {
+	out := make([]core.Pair, len(d.Pairs))
+	for i, p := range d.Pairs {
+		out[i] = core.Pair{ID: p.ID, Sim: p.Sim}
+	}
+	return out
+}
+
+// MatchCount returns the number of matching candidate pairs.
+func (d *ERDataset) MatchCount() int { return MatchCount(d.Pairs) }
+
+// labelCandidates converts scored candidates into labeled pairs using
+// entity-id equality as ground truth.
+func labelCandidates(a, b *records.Table, cands []blocking.Pair) []LabeledPair {
+	out := make([]LabeledPair, len(cands))
+	for i, c := range cands {
+		out[i] = LabeledPair{
+			ID:    i,
+			Sim:   c.Sim,
+			Match: a.Records[c.A].EntityID == b.Records[c.B].EntityID,
+		}
+	}
+	return out
+}

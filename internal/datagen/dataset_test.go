@@ -1,0 +1,278 @@
+package datagen
+
+import (
+	"errors"
+	"testing"
+)
+
+// smallDS returns a scaled-down DS configuration for fast tests.
+func smallDS(seed int64) DSConfig {
+	return DSConfig{
+		Entities:    300,
+		DupFrac:     0.85,
+		MaxDups:     3,
+		Filler:      1500,
+		RelatedFrac: 0.3,
+		Threshold:   0.2,
+		MinShared:   2,
+		Seed:        seed,
+	}
+}
+
+// smallAB returns a scaled-down AB configuration for fast tests.
+func smallAB(seed int64) ABConfig {
+	return ABConfig{
+		Entities:    200,
+		ExtraA:      10,
+		ExtraB:      12,
+		HardFrac:    0.55,
+		SiblingFrac: 0.3,
+		Threshold:   0.05,
+		Seed:        seed,
+	}
+}
+
+func TestDSLikeValidation(t *testing.T) {
+	bad := []DSConfig{
+		{},
+		{Entities: 100, MaxDups: 0, MinShared: 1},
+		{Entities: 100, MaxDups: 1, MinShared: 0},
+		{Entities: 100, MaxDups: 1, MinShared: 1, DupFrac: 2},
+		{Entities: 100, MaxDups: 1, MinShared: 1, RelatedFrac: -1},
+		{Entities: 100, MaxDups: 1, MinShared: 1, Threshold: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := DSLike(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestABLikeValidation(t *testing.T) {
+	bad := []ABConfig{
+		{},
+		{Entities: 100, HardFrac: -0.1},
+		{Entities: 100, SiblingFrac: 1.5},
+		{Entities: 100, Threshold: 1},
+		{Entities: 100, ExtraA: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := ABLike(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestDSLikeStructure(t *testing.T) {
+	ds, err := DSLike(smallDS(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.A.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.B.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.A.Len() != 300 {
+		t.Errorf("DBLP table has %d records, want 300", ds.A.Len())
+	}
+	if len(ds.Pairs) == 0 {
+		t.Fatal("no candidate pairs generated")
+	}
+	if ds.MatchCount() == 0 {
+		t.Fatal("no matching pairs generated")
+	}
+	// Every candidate is above the blocking threshold.
+	for _, p := range ds.Pairs {
+		if p.Sim < 0.2-1e-9 || p.Sim > 1+1e-9 {
+			t.Fatalf("pair similarity %v outside [threshold, 1]", p.Sim)
+		}
+	}
+	// Pair IDs index Candidates 1:1.
+	for i, p := range ds.Pairs {
+		if p.ID != i {
+			t.Fatalf("pair %d has ID %d", i, p.ID)
+		}
+	}
+}
+
+func TestDSLikeDeterministic(t *testing.T) {
+	a, err := DSLike(smallDS(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DSLike(smallDS(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair %d differs between runs", i)
+		}
+	}
+	c, err := DSLike(smallDS(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Pairs) == len(a.Pairs) && c.MatchCount() == a.MatchCount() {
+		same := true
+		for i := range c.Pairs {
+			if c.Pairs[i] != a.Pairs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+// TestDSLikeShape verifies the Fig. 4a characteristic: matching pairs are
+// concentrated at high similarity and the match proportion is (coarsely)
+// monotone increasing.
+func TestDSLikeShape(t *testing.T) {
+	ds, err := DSLike(smallDS(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowM, highM int
+	for _, p := range ds.Pairs {
+		if !p.Match {
+			continue
+		}
+		if p.Sim >= 0.5 {
+			highM++
+		} else {
+			lowM++
+		}
+	}
+	if highM <= lowM {
+		t.Errorf("DS matches should concentrate above 0.5: high=%d low=%d", highM, lowM)
+	}
+	checkCoarseMonotone(t, ds.Pairs, 5)
+}
+
+// TestABLikeShape verifies the Fig. 4b characteristic: many matching pairs
+// at medium/low similarities and extreme class imbalance.
+func TestABLikeShape(t *testing.T) {
+	ab, err := ABLike(smallAB(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := ab.MatchCount()
+	if matches == 0 {
+		t.Fatal("no matches")
+	}
+	rate := float64(matches) / float64(len(ab.Pairs))
+	if rate > 0.05 {
+		t.Errorf("AB match rate %.4f too high; paper's is ~0.0035", rate)
+	}
+	var below, above int
+	for _, p := range ab.Pairs {
+		if !p.Match {
+			continue
+		}
+		if p.Sim < 0.5 {
+			below++
+		} else {
+			above++
+		}
+	}
+	if below == 0 {
+		t.Error("AB should have matches below similarity 0.5")
+	}
+	checkCoarseMonotone(t, ab.Pairs, 5)
+}
+
+// checkCoarseMonotone asserts the match proportion over `bands` equal-width
+// similarity bands never drops by more than 0.15 from one band to the next —
+// the statistical monotonicity HUMO's baseline relies on.
+func checkCoarseMonotone(t *testing.T, pairs []LabeledPair, bands int) {
+	t.Helper()
+	lo, hi := 1.0, 0.0
+	for _, p := range pairs {
+		if p.Sim < lo {
+			lo = p.Sim
+		}
+		if p.Sim > hi {
+			hi = p.Sim
+		}
+	}
+	w := (hi - lo) / float64(bands)
+	if w <= 0 {
+		return
+	}
+	m := make([]int, bands)
+	n := make([]int, bands)
+	for _, p := range pairs {
+		b := int((p.Sim - lo) / w)
+		if b >= bands {
+			b = bands - 1
+		}
+		n[b]++
+		if p.Match {
+			m[b]++
+		}
+	}
+	prev := 0.0
+	for b := 0; b < bands; b++ {
+		if n[b] < 20 {
+			continue
+		}
+		prop := float64(m[b]) / float64(n[b])
+		if prop < prev-0.15 {
+			t.Errorf("band %d proportion %.3f drops below previous %.3f", b, prop, prev)
+		}
+		prev = prop
+	}
+}
+
+func TestERDatasetFeatures(t *testing.T) {
+	ds, err := DSLike(smallDS(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := ds.Features(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 3 { // title, authors, venue
+		t.Fatalf("feature dim = %d, want 3", len(feats))
+	}
+	for i, f := range feats {
+		if f < 0 || f > 1 {
+			t.Errorf("feature %d = %v out of [0,1]", i, f)
+		}
+	}
+	if _, err := ds.Features(-1); err == nil {
+		t.Error("negative id should fail")
+	}
+	if _, err := ds.Features(len(ds.Candidates)); err == nil {
+		t.Error("out-of-range id should fail")
+	}
+}
+
+func TestERDatasetTruthAndCorePairs(t *testing.T) {
+	ds, err := DSLike(smallDS(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ds.Truth()
+	cp := ds.CorePairs()
+	if len(truth) != len(ds.Pairs) || len(cp) != len(ds.Pairs) {
+		t.Fatal("size mismatch")
+	}
+	for i, p := range ds.Pairs {
+		if truth[p.ID] != p.Match {
+			t.Fatalf("truth mismatch at %d", i)
+		}
+		if cp[i].ID != p.ID || cp[i].Sim != p.Sim {
+			t.Fatalf("core pair mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package datagen generates the evaluation workloads of the paper's §VIII:
+// the synthetic workloads driven by the logistic match-proportion function
+// (Eq. 22, parameters tau and sigma), and simulated stand-ins for the two
+// real datasets (DBLP-Scholar and Abt-Buy) built from noisy record
+// generation, similarity aggregation and blocking.
+package datagen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"humo/internal/core"
+)
+
+// ErrBadConfig reports an invalid generator configuration.
+var ErrBadConfig = errors.New("datagen: invalid configuration")
+
+// LabeledPair couples an instance pair with its hidden ground-truth label.
+// Generators return LabeledPairs; Split separates the machine-visible part
+// from the oracle's truth.
+type LabeledPair struct {
+	ID    int
+	Sim   float64
+	Match bool
+}
+
+// LogisticProportion evaluates the paper's Eq. 22 match-proportion function
+// 0.95 / (1 + e^(-tau (v - 0.55))).
+func LogisticProportion(tau, v float64) float64 {
+	return 0.95 / (1 + math.Exp(-tau*(v-0.55)))
+}
+
+// LogisticConfig parameterizes the synthetic workload generator.
+type LogisticConfig struct {
+	// N is the number of instance pairs.
+	N int
+	// Tau is the steepness of the logistic curve; smaller values make the
+	// workload more challenging (§VIII-A).
+	Tau float64
+	// Sigma is the standard deviation of per-subset perturbations of the
+	// match proportion; larger values add distribution irregularity and at
+	// ~0.5 break the monotonicity assumption (Fig. 10).
+	Sigma float64
+	// SubsetSize is the band granularity at which Sigma perturbations
+	// apply; 0 selects core.DefaultSubsetSize so irregularity acts at the
+	// same granularity HUMO partitions at.
+	SubsetSize int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (c LogisticConfig) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadConfig, c.N)
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("%w: Tau=%v", ErrBadConfig, c.Tau)
+	}
+	if c.Sigma < 0 {
+		return fmt.Errorf("%w: Sigma=%v", ErrBadConfig, c.Sigma)
+	}
+	if c.SubsetSize < 0 {
+		return fmt.Errorf("%w: SubsetSize=%d", ErrBadConfig, c.SubsetSize)
+	}
+	return nil
+}
+
+// Logistic generates a synthetic ER workload: pair similarities uniform on
+// [0,1]; each consecutive similarity band of SubsetSize pairs draws a
+// proportion perturbation scaled by the local binomial spread,
+// Sigma * eps * 2*sqrt(p0(1-p0)) with eps ~ N(0,1); each pair is a match
+// with probability clamp(LogisticProportion(Tau, v) + perturbation, 0, 1).
+// Scaling by the proportion spread keeps the irregularity meaningful across
+// the curve — a proportion near 0 or 1 cannot fluctuate by ±0.5 — while at
+// Sigma = 0.5 the mid-curve bands still swing hard enough to break the
+// monotonicity assumption (the Fig. 10 regime). The result is sorted by
+// similarity with ids equal to sorted positions.
+func Logistic(cfg LogisticConfig) ([]LabeledPair, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SubsetSize == 0 {
+		cfg.SubsetSize = core.DefaultSubsetSize
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sims := make([]float64, cfg.N)
+	for i := range sims {
+		sims[i] = rng.Float64()
+	}
+	sort.Float64s(sims)
+	pairs := make([]LabeledPair, cfg.N)
+	offset := 0.0
+	for i, v := range sims {
+		if i%cfg.SubsetSize == 0 {
+			offset = 0
+			if cfg.Sigma > 0 {
+				p0 := LogisticProportion(cfg.Tau, v)
+				offset = rng.NormFloat64() * cfg.Sigma * 2 * math.Sqrt(p0*(1-p0))
+			}
+		}
+		p := LogisticProportion(cfg.Tau, v) + offset
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		pairs[i] = LabeledPair{ID: i, Sim: v, Match: rng.Float64() < p}
+	}
+	return pairs, nil
+}
+
+// Split separates the machine-visible pairs from the oracle ground truth.
+func Split(pairs []LabeledPair) ([]core.Pair, map[int]bool) {
+	out := make([]core.Pair, len(pairs))
+	truth := make(map[int]bool, len(pairs))
+	for i, p := range pairs {
+		out[i] = core.Pair{ID: p.ID, Sim: p.Sim}
+		truth[p.ID] = p.Match
+	}
+	return out, truth
+}
+
+// TruthSlice returns ground truth ordered by ascending similarity (ties by
+// id), aligned with core.Workload's sorted pair positions.
+func TruthSlice(pairs []LabeledPair) []bool {
+	sorted := make([]LabeledPair, len(pairs))
+	copy(sorted, pairs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Sim != sorted[j].Sim {
+			return sorted[i].Sim < sorted[j].Sim
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	out := make([]bool, len(sorted))
+	for i, p := range sorted {
+		out[i] = p.Match
+	}
+	return out
+}
+
+// MatchCount returns the number of matching pairs.
+func MatchCount(pairs []LabeledPair) int {
+	n := 0
+	for _, p := range pairs {
+		if p.Match {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram buckets the matching pairs of a workload by similarity, the
+// series plotted in the paper's Fig. 4. Bucket i covers
+// [lo + i*w, lo + (i+1)*w) over [lo, hi] with w = (hi-lo)/buckets.
+func Histogram(pairs []LabeledPair, lo, hi float64, buckets int) ([]int, error) {
+	if buckets <= 0 || hi <= lo {
+		return nil, fmt.Errorf("%w: histogram [%v,%v] x %d", ErrBadConfig, lo, hi, buckets)
+	}
+	out := make([]int, buckets)
+	w := (hi - lo) / float64(buckets)
+	for _, p := range pairs {
+		if !p.Match || p.Sim < lo || p.Sim > hi {
+			continue
+		}
+		b := int((p.Sim - lo) / w)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		out[b]++
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLogisticProportion(t *testing.T) {
+	// At v = 0.55 the curve is at half its 0.95 ceiling for any tau.
+	for _, tau := range []float64{8, 14, 18} {
+		if got := LogisticProportion(tau, 0.55); math.Abs(got-0.475) > 1e-12 {
+			t.Errorf("LogisticProportion(%v, 0.55) = %v, want 0.475", tau, got)
+		}
+	}
+	// Steeper tau is lower below the midpoint and higher above it.
+	if !(LogisticProportion(18, 0.3) < LogisticProportion(8, 0.3)) {
+		t.Error("steeper curve should be lower at v=0.3")
+	}
+	if !(LogisticProportion(18, 0.8) > LogisticProportion(8, 0.8)) {
+		t.Error("steeper curve should be higher at v=0.8")
+	}
+	// Monotone in v.
+	prev := -1.0
+	for v := 0.0; v <= 1.0; v += 0.01 {
+		p := LogisticProportion(14, v)
+		if p < prev {
+			t.Fatalf("logistic not monotone at v=%v", v)
+		}
+		prev = p
+	}
+}
+
+func TestLogisticValidation(t *testing.T) {
+	bad := []LogisticConfig{
+		{N: 0, Tau: 14},
+		{N: 100, Tau: 0},
+		{N: 100, Tau: 14, Sigma: -1},
+		{N: 100, Tau: 14, SubsetSize: -5},
+	}
+	for _, cfg := range bad {
+		if _, err := Logistic(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestLogisticDeterminismAndSorting(t *testing.T) {
+	cfg := LogisticConfig{N: 5000, Tau: 14, Sigma: 0.1, SubsetSize: 100, Seed: 99}
+	a, err := Logistic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Logistic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.N {
+		t.Fatalf("generated %d pairs, want %d", len(a), cfg.N)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].Sim < a[i-1].Sim {
+			t.Fatalf("pairs not sorted at %d", i)
+		}
+		if a[i].Sim < 0 || a[i].Sim > 1 {
+			t.Fatalf("similarity %v out of [0,1]", a[i].Sim)
+		}
+	}
+}
+
+func TestLogisticMatchRateTracksCurve(t *testing.T) {
+	// With sigma=0 the empirical match proportion of a similarity band must
+	// track the logistic curve.
+	pairs, err := Logistic(LogisticConfig{N: 200000, Tau: 14, Sigma: 0, SubsetSize: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bandMatches := make([]int, 10)
+	bandTotal := make([]int, 10)
+	for _, p := range pairs {
+		b := int(p.Sim * 10)
+		if b > 9 {
+			b = 9
+		}
+		bandTotal[b]++
+		if p.Match {
+			bandMatches[b]++
+		}
+	}
+	for b := 0; b < 10; b++ {
+		center := (float64(b) + 0.5) / 10
+		want := LogisticProportion(14, center)
+		got := float64(bandMatches[b]) / float64(bandTotal[b])
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("band %d: empirical %.3f vs logistic %.3f", b, got, want)
+		}
+	}
+}
+
+func TestSplitAndTruthSlice(t *testing.T) {
+	pairs := []LabeledPair{
+		{ID: 0, Sim: 0.9, Match: true},
+		{ID: 1, Sim: 0.1, Match: false},
+		{ID: 2, Sim: 0.5, Match: true},
+	}
+	cp, truth := Split(pairs)
+	if len(cp) != 3 || len(truth) != 3 {
+		t.Fatal("Split sizes wrong")
+	}
+	if !truth[0] || truth[1] || !truth[2] {
+		t.Error("truth map wrong")
+	}
+	ts := TruthSlice(pairs)
+	// Sorted by sim: id1 (false), id2 (true), id0 (true).
+	want := []bool{false, true, true}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("TruthSlice = %v, want %v", ts, want)
+		}
+	}
+}
+
+func TestMatchCountAndHistogram(t *testing.T) {
+	pairs := []LabeledPair{
+		{ID: 0, Sim: 0.15, Match: true},
+		{ID: 1, Sim: 0.25, Match: true},
+		{ID: 2, Sim: 0.35, Match: false},
+		{ID: 3, Sim: 0.95, Match: true},
+		{ID: 4, Sim: 1.0, Match: true}, // boundary lands in last bucket
+	}
+	if MatchCount(pairs) != 4 {
+		t.Errorf("MatchCount = %d, want 4", MatchCount(pairs))
+	}
+	h, err := Histogram(pairs, 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[1] != 1 || h[2] != 1 || h[9] != 2 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if _, err := Histogram(pairs, 0, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero buckets should fail")
+	}
+	if _, err := Histogram(pairs, 1, 0, 5); !errors.Is(err, ErrBadConfig) {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestLogisticSigmaCreatesIrregularity(t *testing.T) {
+	// With large sigma, some low-similarity bands must have higher match
+	// proportion than some higher bands (monotonicity broken).
+	pairs, err := Logistic(LogisticConfig{N: 50000, Tau: 14, Sigma: 0.5, SubsetSize: 200, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-subset proportions in generation order (pairs are sorted).
+	var props []float64
+	for i := 0; i < len(pairs); i += 200 {
+		end := i + 200
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		m := 0
+		for _, p := range pairs[i:end] {
+			if p.Match {
+				m++
+			}
+		}
+		props = append(props, float64(m)/float64(end-i))
+	}
+	inversions := 0
+	for i := 1; i < len(props); i++ {
+		if props[i] < props[i-1]-0.1 {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("sigma=0.5 should produce monotonicity violations")
+	}
+}

@@ -1,0 +1,185 @@
+package datagen
+
+// Vocabularies for the simulated DBLP-Scholar (bibliographic) and Abt-Buy
+// (product) datasets. Words are synthetic but realistic enough to exercise
+// the tokenizers, similarity measures and blocking exactly as real data
+// would; what matters for HUMO is the resulting match-proportion-vs-
+// similarity curve, not the prose.
+
+// generalTitleWords appear in publications of any topic, creating token
+// overlap between unrelated papers (the source of hard non-matches).
+var generalTitleWords = []string{
+	"efficient", "scalable", "adaptive", "robust", "parallel", "distributed",
+	"incremental", "approximate", "optimal", "fast", "dynamic", "static",
+	"novel", "unified", "general", "practical", "effective", "lightweight",
+	"framework", "approach", "method", "system", "model", "analysis",
+	"evaluation", "study", "survey", "techniques", "algorithms", "processing",
+	"management", "optimization", "estimation", "detection", "discovery",
+	"integration", "exploration", "generation", "construction", "selection",
+	"learning", "mining", "search", "matching", "ranking", "clustering",
+	"classification", "prediction", "inference", "reasoning", "sampling",
+	"indexing", "caching", "partitioning", "scheduling", "recovery",
+	"towards", "revisiting", "rethinking", "understanding", "improving",
+	"accelerating", "supporting", "enabling", "exploiting", "leveraging",
+}
+
+// topicWords groups domain terms into topics; titles draw most words from a
+// single topic so same-topic papers collide on tokens.
+var topicWords = [][]string{
+	{"entity", "resolution", "deduplication", "record", "linkage", "merge", "purge", "duplicate", "reference", "reconciliation", "canonicalization", "blocking"},
+	{"crowdsourcing", "worker", "task", "label", "annotation", "quality", "budget", "incentive", "human", "hybrid", "verification", "assignment"},
+	{"database", "query", "sql", "relational", "transaction", "concurrency", "isolation", "logging", "buffer", "storage", "tuple", "join"},
+	{"stream", "window", "continuous", "event", "realtime", "latency", "throughput", "ingestion", "watermark", "outoforder", "sliding", "punctuation"},
+	{"graph", "vertex", "edge", "traversal", "reachability", "shortest", "path", "subgraph", "isomorphism", "pagerank", "community", "motif"},
+	{"machine", "neural", "network", "deep", "embedding", "feature", "gradient", "training", "regularization", "supervised", "transfer", "attention"},
+	{"privacy", "differential", "anonymization", "security", "encryption", "access", "control", "audit", "disclosure", "perturbation", "noise", "sensitive"},
+	{"spatial", "trajectory", "location", "nearest", "neighbor", "road", "geographic", "region", "moving", "objects", "proximity", "geofence"},
+	{"text", "document", "corpus", "keyword", "retrieval", "relevance", "inverted", "semantic", "topic", "summarization", "extraction", "language"},
+	{"web", "page", "crawler", "hyperlink", "html", "service", "api", "cache", "proxy", "session", "personalization", "recommendation"},
+	{"sensor", "wireless", "energy", "battery", "aggregation", "routing", "coverage", "deployment", "iot", "telemetry", "calibration", "sink"},
+	{"cloud", "virtualization", "container", "elastic", "provisioning", "multitenant", "migration", "serverless", "billing", "datacenter", "replication", "availability"},
+	{"provenance", "lineage", "workflow", "versioning", "metadata", "curation", "annotationstore", "reproducibility", "derivation", "audittrail", "catalog", "schema"},
+	{"uncertain", "probabilistic", "possible", "worlds", "confidence", "lineageprob", "expectation", "variance", "bayesian", "belief", "likelihood", "posterior"},
+	{"compression", "encoding", "dictionary", "bitmap", "columnar", "vectorized", "simd", "layout", "footprint", "decompression", "succinct", "delta"},
+	{"benchmark", "workload", "tpch", "synthetic", "generator", "profiling", "bottleneck", "regression", "microbenchmark", "calibration2", "reporting", "metrics"},
+	{"temporal", "interval", "timeline", "bitemporal", "validtime", "history", "snapshot", "retention", "archive", "timetravel", "chronon", "versioned"},
+	{"federated", "mediator", "wrapper", "heterogeneous", "sources", "fusion", "mapping", "translation", "ontology", "alignment", "mediation", "virtual"},
+	{"etl", "pipeline", "cleaning", "wrangling", "transformation", "profiling2", "outlier", "imputation", "constraint", "dependency", "repair", "violation"},
+	{"index", "btree", "hash", "lsm", "trie", "bloom", "filter", "adaptive2", "learned", "succinct2", "cachefriendly", "prefetch"},
+}
+
+// firstNames and lastNames build author lists; the limited pools create
+// realistic author-name collisions across unrelated papers.
+var firstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "wei", "li", "ming", "yan",
+	"jun", "hui", "lei", "ahmed", "fatima", "omar", "priya", "raj",
+	"anita", "carlos", "maria", "juan", "sofia", "hans", "greta", "pierre",
+	"claire", "yuki", "hiroshi", "kenji", "olga", "ivan", "dmitri", "elena",
+	"lars", "ingrid", "marco", "giulia", "pedro", "lucia", "chen", "zhang",
+	"daniel", "laura", "kevin", "rachel", "brian", "amanda",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "chen", "wang", "li", "zhang", "liu", "yang",
+	"huang", "zhao", "wu", "zhou", "xu", "sun", "ma", "zhu", "hu", "guo",
+	"kumar", "singh", "sharma", "patel", "gupta", "mehta", "reddy", "rao",
+	"murthy", "iyer", "nakamura", "tanaka", "suzuki", "watanabe", "ito",
+	"yamamoto", "kobayashi", "kato", "mueller", "schmidt", "schneider",
+	"fischer", "weber", "meyer", "wagner", "becker", "schulz", "hoffmann",
+	"rossi", "russo", "ferrari", "esposito", "bianchi", "romano", "colombo",
+	"ricci", "marino", "greco", "ivanov", "petrov", "sidorov", "volkov",
+	"kuznetsov", "popov", "sokolov", "lebedev", "kozlov", "novikov",
+}
+
+// venue holds the long form and the abbreviation Scholar-style records use.
+type venue struct {
+	full   string
+	abbrev string
+}
+
+var venues = []venue{
+	{"proceedings of the acm international conference on management of data", "sigmod"},
+	{"proceedings of the vldb endowment", "pvldb"},
+	{"ieee international conference on data engineering", "icde"},
+	{"acm transactions on database systems", "tods"},
+	{"ieee transactions on knowledge and data engineering", "tkde"},
+	{"international conference on extending database technology", "edbt"},
+	{"acm symposium on principles of database systems", "pods"},
+	{"international conference on database theory", "icdt"},
+	{"conference on information and knowledge management", "cikm"},
+	{"acm sigkdd conference on knowledge discovery and data mining", "kdd"},
+	{"international world wide web conference", "www"},
+	{"international conference on machine learning", "icml"},
+	{"neural information processing systems", "neurips"},
+	{"aaai conference on artificial intelligence", "aaai"},
+	{"international joint conference on artificial intelligence", "ijcai"},
+	{"ieee international conference on data mining", "icdm"},
+	{"siam international conference on data mining", "sdm"},
+	{"european conference on machine learning", "ecml"},
+	{"acm international conference on web search and data mining", "wsdm"},
+	{"international semantic web conference", "iswc"},
+	{"journal of machine learning research", "jmlr"},
+	{"the vldb journal", "vldbj"},
+	{"information systems", "infosys"},
+	{"data and knowledge engineering", "dke"},
+	{"knowledge and information systems", "kais"},
+	{"distributed and parallel databases", "dapd"},
+	{"acm computing surveys", "csur"},
+	{"communications of the acm", "cacm"},
+	{"ieee transactions on parallel and distributed systems", "tpds"},
+	{"world wide web journal", "wwwj"},
+}
+
+// Product vocabularies for the Abt-Buy simulation.
+
+var productBrands = []string{
+	"sonova", "panatech", "kenmore", "vizonic", "altair", "brightex",
+	"corelink", "duramax", "electra", "fusion", "gigaware", "halcyon",
+	"inovix", "jetstream", "kinetix", "lumina", "maxtor", "nexus",
+	"omnicore", "polaris", "quantix", "rivera", "solaris", "techno",
+	"ultron", "vertex", "wavecrest", "xenon", "yamada", "zephyr",
+}
+
+// productCategories groups category nouns with the descriptive vocabulary
+// their listings draw from; same-category products share description tokens.
+var productCategories = []struct {
+	nouns []string
+	words []string
+}{
+	{
+		[]string{"television", "tv", "display", "monitor"},
+		[]string{"lcd", "led", "plasma", "screen", "inch", "widescreen", "hdmi", "1080p", "720p", "contrast", "ratio", "refresh", "rate", "wall", "mountable", "remote", "tuner", "hdtv", "panel", "backlight", "resolution", "viewing", "angle"},
+	},
+	{
+		[]string{"camera", "camcorder", "webcam"},
+		[]string{"digital", "megapixel", "zoom", "optical", "lens", "flash", "shutter", "aperture", "stabilization", "video", "recording", "memory", "card", "viewfinder", "autofocus", "burst", "iso", "sensor", "tripod", "battery", "rechargeable", "compact"},
+	},
+	{
+		[]string{"speaker", "soundbar", "subwoofer", "headphones"},
+		[]string{"audio", "stereo", "surround", "bass", "treble", "watt", "amplifier", "wireless", "bluetooth", "channel", "dolby", "acoustic", "driver", "frequency", "response", "noise", "cancelling", "earbud", "cushion", "volume", "dock", "aux"},
+	},
+	{
+		[]string{"refrigerator", "freezer", "cooler"},
+		[]string{"stainless", "steel", "cubic", "feet", "energy", "star", "compartment", "shelf", "crisper", "icemaker", "dispenser", "frost", "free", "door", "adjustable", "temperature", "capacity", "compressor", "quiet", "humidity", "drawer", "gallon"},
+	},
+	{
+		[]string{"washer", "dryer", "dishwasher"},
+		[]string{"cycle", "spin", "load", "front", "top", "steam", "sanitize", "rinse", "detergent", "drum", "capacity", "quiet", "vibration", "delay", "start", "energy", "efficient", "stackable", "rack", "tub", "wash", "dry"},
+	},
+	{
+		[]string{"laptop", "notebook", "computer", "desktop"},
+		[]string{"processor", "ram", "gigabyte", "terabyte", "hard", "drive", "ssd", "graphics", "keyboard", "touchpad", "battery", "wifi", "usb", "port", "webcam", "windows", "display", "core", "cache", "cooling", "slim", "aluminum"},
+	},
+	{
+		[]string{"phone", "smartphone", "handset"},
+		[]string{"touchscreen", "camera", "megapixel", "unlocked", "sim", "dual", "battery", "talk", "time", "bluetooth", "gps", "messaging", "apps", "storage", "gigabyte", "charger", "case", "screen", "protector", "network", "band", "speaker"},
+	},
+	{
+		[]string{"microwave", "oven", "toaster", "blender"},
+		[]string{"watt", "countertop", "convection", "defrost", "timer", "turntable", "stainless", "presets", "interior", "capacity", "crumb", "tray", "slice", "speed", "pulse", "pitcher", "blade", "dough", "bake", "broil", "grill", "power"},
+	},
+	{
+		[]string{"vacuum", "cleaner", "purifier", "humidifier"},
+		[]string{"filter", "hepa", "bagless", "cyclonic", "suction", "cordless", "attachment", "upright", "canister", "pet", "hair", "carpet", "hardwood", "tank", "mist", "output", "room", "coverage", "allergen", "dust", "brush", "swivel"},
+	},
+	{
+		[]string{"gps", "navigator", "receiver", "radio"},
+		[]string{"navigation", "maps", "traffic", "voice", "guidance", "satellite", "antenna", "mount", "touchscreen", "poi", "routing", "lane", "assist", "preloaded", "bluetooth", "handsfree", "fm", "transmitter", "tuner", "preset", "display", "portable"},
+	},
+}
+
+var productAdjectives = []string{
+	"black", "white", "silver", "gray", "red", "blue", "premium", "deluxe",
+	"professional", "series", "edition", "new", "genuine", "original",
+	"compact", "portable", "heavy", "duty", "high", "performance", "value",
+	"pack", "kit", "bundle", "accessory", "replacement", "universal",
+}

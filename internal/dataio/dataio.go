@@ -1,0 +1,226 @@
+// Package dataio reads and writes the CSV artifacts a HUMO deployment on
+// real data exchanges with its surroundings: record tables, human label
+// files, pending-review queues and final resolution results. It exists so
+// cmd/humo can drive the whole pipeline file-to-file; the formats are plain
+// CSV with a header row.
+package dataio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"humo/internal/blocking"
+	"humo/internal/records"
+)
+
+// ErrBadFormat reports malformed input data.
+var ErrBadFormat = errors.New("dataio: bad format")
+
+// ReadTable parses a CSV with a header row into a record table: every
+// column is an attribute, every subsequent row a record (ids are row
+// positions). EntityID is set to the record's own id — ground truth is
+// unknown for real data and never read by the algorithms.
+func ReadTable(r io.Reader, name string) (*records.Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("%w: empty header", ErrBadFormat)
+	}
+	t := &records.Table{Name: name, Attributes: append([]string(nil), header...)}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadFormat, i+2, len(row), len(header))
+		}
+		t.Records = append(t.Records, records.Record{
+			ID:       i,
+			EntityID: i,
+			Values:   append([]string(nil), row...),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteTable writes a record table as CSV (header row + one row per
+// record), the inverse of ReadTable.
+func WriteTable(w io.Writer, t *records.Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Attributes); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if err := cw.Write(r.Values); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Labels maps candidate-pair ids to human match/unmatch answers.
+type Labels map[int]bool
+
+// ReadLabels parses a label CSV of the form `pair_id,label` (header row
+// required; label is true/false, 1/0, match/unmatch, yes/no —
+// case-insensitive via ParseBool plus the match/unmatch forms).
+func ReadLabels(r io.Reader) (Labels, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err == io.EOF {
+		return Labels{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("%w: label header needs pair_id,label", ErrBadFormat)
+	}
+	out := Labels{}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		if len(row) < 2 {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want >= 2", ErrBadFormat, i+2, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: pair id %q", ErrBadFormat, i+2, row[0])
+		}
+		label, err := parseLabel(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		out[id] = label
+	}
+	return out, nil
+}
+
+func parseLabel(s string) (bool, error) {
+	switch s {
+	case "match", "Match", "MATCH", "yes", "y":
+		return true, nil
+	case "unmatch", "Unmatch", "UNMATCH", "no", "n":
+		return false, nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, fmt.Errorf("label %q not recognized", s)
+	}
+	return v, nil
+}
+
+// WriteLabels writes a label CSV, sorted by pair id.
+func WriteLabels(w io.Writer, labels Labels) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair_id", "label"}); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(labels))
+	for id := range labels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		label := "unmatch"
+		if labels[id] {
+			label = "match"
+		}
+		if err := cw.Write([]string{strconv.Itoa(id), label}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePending writes the review queue for the human: one row per pair that
+// needs a label, with both records' attribute values side by side so the
+// reviewer can decide without opening the source tables.
+func WritePending(w io.Writer, ids []int, cands []blocking.Pair, ta, tb *records.Table) error {
+	cw := csv.NewWriter(w)
+	header := []string{"pair_id", "similarity"}
+	for _, a := range ta.Attributes {
+		header = append(header, "a_"+a)
+	}
+	for _, a := range tb.Attributes {
+		header = append(header, "b_"+a)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if id < 0 || id >= len(cands) {
+			return fmt.Errorf("%w: pending pair id %d out of range", ErrBadFormat, id)
+		}
+		c := cands[id]
+		row := []string{strconv.Itoa(id), strconv.FormatFloat(c.Sim, 'f', 4, 64)}
+		row = append(row, ta.Records[c.A].Values...)
+		row = append(row, tb.Records[c.B].Values...)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ResultRow is one line of the final resolution output.
+type ResultRow struct {
+	PairID int
+	A, B   int
+	Sim    float64
+	Match  bool
+	Source string // "machine" or "human"
+}
+
+// WriteResults writes the final labeling as CSV.
+func WriteResults(w io.Writer, rows []ResultRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair_id", "record_a", "record_b", "similarity", "label", "source"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		label := "unmatch"
+		if r.Match {
+			label = "match"
+		}
+		if err := cw.Write([]string{
+			strconv.Itoa(r.PairID),
+			strconv.Itoa(r.A),
+			strconv.Itoa(r.B),
+			strconv.FormatFloat(r.Sim, 'f', 4, 64),
+			label,
+			r.Source,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,160 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"humo/internal/blocking"
+	"humo/internal/records"
+)
+
+func TestReadTable(t *testing.T) {
+	csvData := "title,venue\npaper one,icde\npaper two,vldb\n"
+	tab, err := ReadTable(strings.NewReader(csvData), "pubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "pubs" || tab.Len() != 2 {
+		t.Fatalf("table = %q len %d", tab.Name, tab.Len())
+	}
+	if tab.Records[1].Values[1] != "vldb" {
+		t.Errorf("record content wrong: %+v", tab.Records[1])
+	}
+	if tab.Records[0].ID != 0 || tab.Records[1].ID != 1 {
+		t.Error("record ids must be row positions")
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader(""), "x"); !errors.Is(err, ErrBadFormat) {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadTable(strings.NewReader("a,b\n1\n"), "x"); !errors.Is(err, ErrBadFormat) {
+		t.Error("short row should fail")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tab := &records.Table{
+		Name:       "t",
+		Attributes: []string{"name", "desc"},
+		Records: []records.Record{
+			{ID: 0, EntityID: 0, Values: []string{"a, with comma", "x"}},
+			{ID: 1, EntityID: 1, Values: []string{"b\nnewline", "y"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost records: %d", back.Len())
+	}
+	for i := range tab.Records {
+		for j := range tab.Records[i].Values {
+			if back.Records[i].Values[j] != tab.Records[i].Values[j] {
+				t.Errorf("value (%d,%d) = %q, want %q", i, j, back.Records[i].Values[j], tab.Records[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	labels := Labels{3: true, 1: false, 10: true}
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round trip size %d", len(back))
+	}
+	for id, v := range labels {
+		if back[id] != v {
+			t.Errorf("label %d = %v, want %v", id, back[id], v)
+		}
+	}
+}
+
+func TestReadLabelsFormats(t *testing.T) {
+	in := "pair_id,label\n0,match\n1,unmatch\n2,true\n3,false\n4,1\n5,0\n6,yes\n7,n\n"
+	labels, err := ReadLabels(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 1: false, 2: true, 3: false, 4: true, 5: false, 6: true, 7: false}
+	for id, v := range want {
+		if labels[id] != v {
+			t.Errorf("label %d = %v, want %v", id, labels[id], v)
+		}
+	}
+}
+
+func TestReadLabelsErrors(t *testing.T) {
+	cases := []string{
+		"pair_id,label\nxyz,match\n",
+		"pair_id,label\n1,maybe\n",
+		"justone\n1,match\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadLabels(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+	// Empty file = no labels, not an error.
+	labels, err := ReadLabels(strings.NewReader(""))
+	if err != nil || len(labels) != 0 {
+		t.Errorf("empty labels: %v %v", labels, err)
+	}
+}
+
+func TestWritePending(t *testing.T) {
+	ta := &records.Table{Name: "a", Attributes: []string{"name"},
+		Records: []records.Record{{ID: 0, Values: []string{"alpha"}}, {ID: 1, Values: []string{"beta"}}}}
+	tb := &records.Table{Name: "b", Attributes: []string{"name"},
+		Records: []records.Record{{ID: 0, Values: []string{"alfa"}}}}
+	cands := []blocking.Pair{{A: 0, B: 0, Sim: 0.9}, {A: 1, B: 0, Sim: 0.1}}
+	var buf bytes.Buffer
+	if err := WritePending(&buf, []int{0, 1}, cands, ta, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pair_id,similarity,a_name,b_name", "0,0.9000,alpha,alfa", "1,0.1000,beta,alfa"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pending output missing %q:\n%s", want, out)
+		}
+	}
+	if err := WritePending(&buf, []int{5}, cands, ta, tb); !errors.Is(err, ErrBadFormat) {
+		t.Error("out-of-range pending id should fail")
+	}
+}
+
+func TestWriteResults(t *testing.T) {
+	rows := []ResultRow{
+		{PairID: 0, A: 1, B: 2, Sim: 0.75, Match: true, Source: "human"},
+		{PairID: 1, A: 3, B: 4, Sim: 0.05, Match: false, Source: "machine"},
+	}
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pair_id,record_a,record_b,similarity,label,source",
+		"0,1,2,0.7500,match,human",
+		"1,3,4,0.0500,unmatch,machine",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("results output missing %q:\n%s", want, out)
+		}
+	}
+}

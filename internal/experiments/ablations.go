@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/metrics"
+	"humo/internal/oracle"
+)
+
+func init() {
+	registry["ablation-window"] = AblationBaseWindow
+	registry["ablation-subset"] = AblationSubsetSize
+	registry["ablation-allsamp"] = AblationAllVsPartial
+	registry["ablation-eps"] = AblationGPEpsilon
+	registry["ablation-human-error"] = AblationHumanError
+}
+
+// AblationBaseWindow studies the baseline window width w (the number of
+// consecutive subsets averaged for boundary estimates; DESIGN.md design
+// choice, paper recommends 3–10): small windows react to noise, large ones
+// are more conservative and cost more.
+func AblationBaseWindow(e *Env) ([]*Table, error) {
+	b, err := e.dsBundle()
+	if err != nil {
+		return nil, err
+	}
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	t := &Table{
+		ID:     "ablation-window",
+		Title:  "BASE window width on DS (alpha=beta=0.9)",
+		Header: []string{"window", "cost %", "precision", "recall"},
+	}
+	for _, window := range []int{1, 3, 5, 10} {
+		o := b.oracle()
+		sol, err := core.BaseSearch(b.w, req, o, core.BaseConfig{Window: window, StartSubset: -1})
+		if err != nil {
+			return nil, err
+		}
+		labels := sol.Resolve(b.w, o)
+		q, err := metrics.Evaluate(labels, b.truth)
+		if err != nil {
+			return nil, err
+		}
+		costPct := 100 * float64(o.Cost()) / float64(b.w.Len())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", window), pct(costPct), frac4(q.Precision), frac4(q.Recall),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// AblationSubsetSize studies the unit-subset size (the paper fixes 200):
+// finer subsets track the match-proportion curve more closely but reduce
+// per-subset evidence.
+func AblationSubsetSize(e *Env) ([]*Table, error) {
+	ds, err := e.DS()
+	if err != nil {
+		return nil, err
+	}
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	t := &Table{
+		ID:     "ablation-subset",
+		Title:  "unit subset size on DS (alpha=beta=0.9, HYBR averaged)",
+		Header: []string{"subset size", "HYBR cost %", "precision", "recall", "success %"},
+	}
+	for _, size := range []int{50, 100, 200, 400} {
+		b, err := newBundle("DS", ds.Pairs, size)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := avgRuns(b, methodHybr, req, minInt(e.Runs, 10), e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", size), pct(avg.costPct),
+			frac4(avg.precision), frac4(avg.recall), fmt.Sprintf("%.0f", avg.successPct),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// AblationAllVsPartial compares the all-sampling solution (§VI-A) with the
+// partial-sampling one (§VI-B) — the comparison the paper defers to its
+// technical report, concluding partial sampling costs less.
+func AblationAllVsPartial(e *Env) ([]*Table, error) {
+	bundles, err := e.bothBundles()
+	if err != nil {
+		return nil, err
+	}
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	t := &Table{
+		ID:     "ablation-allsamp",
+		Title:  fmt.Sprintf("all-sampling vs partial-sampling (alpha=beta=theta=0.9, %d runs)", e.Runs),
+		Header: []string{"dataset", "ALLSAMP cost %", "SAMP cost %", "ALLSAMP success %", "SAMP success %"},
+	}
+	for _, b := range bundles {
+		all, err := avgRuns(b, methodAllSamp, req, e.Runs, e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		part, err := avgRuns(b, methodSamp, req, e.Runs, e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			b.name, pct(all.costPct), pct(part.costPct),
+			fmt.Sprintf("%.0f", all.successPct), fmt.Sprintf("%.0f", part.successPct),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// AblationGPEpsilon studies Algorithm 1's error threshold epsilon: smaller
+// values refine the Gaussian approximation with more probes (more sampling
+// cost), larger values tolerate coarser fits.
+func AblationGPEpsilon(e *Env) ([]*Table, error) {
+	b, err := e.abBundle()
+	if err != nil {
+		return nil, err
+	}
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	t := &Table{
+		ID:     "ablation-eps",
+		Title:  fmt.Sprintf("Algorithm 1 epsilon on AB (alpha=beta=theta=0.9, %d runs)", minInt(e.Runs, 10)),
+		Header: []string{"epsilon", "SAMP cost %", "precision", "recall", "success %"},
+	}
+	for _, eps := range []float64{0.02, 0.05, 0.10, 0.20} {
+		var costPct, prec, rec, success float64
+		runs := minInt(e.Runs, 10)
+		for r := 0; r < runs; r++ {
+			o := b.oracle()
+			sol, err := core.PartialSamplingSearch(b.w, req, o, core.SamplingConfig{
+				Epsilon: eps,
+				Rand:    rand.New(rand.NewSource(e.Seed + int64(r)*31)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			labels := sol.Resolve(b.w, o)
+			q, err := metrics.Evaluate(labels, b.truth)
+			if err != nil {
+				return nil, err
+			}
+			costPct += 100 * float64(o.Cost()) / float64(b.w.Len())
+			prec += q.Precision
+			rec += q.Recall
+			if q.Precision >= req.Alpha && q.Recall >= req.Beta {
+				success++
+			}
+		}
+		n := float64(runs)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", eps), pct(costPct / n),
+			frac4(prec / n), frac4(rec / n), fmt.Sprintf("%.0f", 100*success/n),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// AblationHumanError injects symmetric label noise into the human oracle and
+// measures the quality degradation of the hybrid solution — quantifying the
+// §IV discussion that HUMO's achievable quality is capped by the human's.
+func AblationHumanError(e *Env) ([]*Table, error) {
+	pairs, err := datagen.Logistic(datagen.LogisticConfig{
+		N: e.syntheticSize(), Tau: 14, Sigma: 0.1,
+		SubsetSize: e.subsetSize(), Seed: e.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b, err := newBundle("synthetic", pairs, e.subsetSize())
+	if err != nil {
+		return nil, err
+	}
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	t := &Table{
+		ID:     "ablation-human-error",
+		Title:  "human error rate vs achieved quality (HYBR, synthetic tau=14 sigma=0.1)",
+		Header: []string{"error rate", "precision", "recall", "cost %"},
+	}
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10} {
+		runs := minInt(e.Runs, 10)
+		var prec, rec, costPct float64
+		for r := 0; r < runs; r++ {
+			seed := e.Seed + int64(r)*97
+			o, err := oracle.NewNoisy(b.truthMap, rate, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			sol, err := core.HybridSearch(b.w, req, o, core.HybridConfig{
+				Sampling: core.SamplingConfig{Rand: rand.New(rand.NewSource(seed))},
+			})
+			if err != nil {
+				return nil, err
+			}
+			labels := sol.Resolve(b.w, o)
+			q, err := metrics.Evaluate(labels, b.truth)
+			if err != nil {
+				return nil, err
+			}
+			prec += q.Precision
+			rec += q.Recall
+			costPct += 100 * float64(o.Cost()) / float64(b.w.Len())
+		}
+		n := float64(runs)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", rate), frac4(prec / n), frac4(rec / n), pct(costPct / n),
+		})
+	}
+	return []*Table{t}, nil
+}

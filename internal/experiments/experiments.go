@@ -1,0 +1,358 @@
+// Package experiments reproduces every results table and figure of the
+// paper's §VIII evaluation. Each experiment id (table1, fig6, ...) has a
+// runner that returns one or more result Tables printing the same rows or
+// series the paper reports; cmd/humoexp exposes them on the command line and
+// bench_test.go wraps each in a benchmark.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/metrics"
+	"humo/internal/oracle"
+)
+
+// ErrUnknownExperiment reports an unregistered experiment id.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// Table is a rendered experimental result: an id matching the paper
+// artifact, a caption, column headers and formatted rows.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	printRow(divider(widths))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func divider(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Scale selects the dataset sizes the harness runs at.
+type Scale int
+
+const (
+	// ScaleSmall shrinks datasets and repetition counts so the full suite
+	// finishes in well under a minute — used by tests and benchmarks.
+	ScaleSmall Scale = iota
+	// ScaleFull mirrors the paper's dataset scale and repetition counts.
+	ScaleFull
+)
+
+// Env carries the materialized datasets and run parameters shared by the
+// experiment runners. Datasets are generated lazily and cached.
+type Env struct {
+	Scale Scale
+	// Runs is the number of repetitions for the stochastic approaches
+	// (the paper averages over 100).
+	Runs int
+	// Seed drives all experiment-level randomness.
+	Seed int64
+
+	ds, ab *datagen.ERDataset
+	dsW    *workloadBundle
+	abW    *workloadBundle
+}
+
+// NewEnv builds an environment. runs <= 0 selects the scale default
+// (100 for full, 10 for small).
+func NewEnv(scale Scale, runs int, seed int64) *Env {
+	if runs <= 0 {
+		if scale == ScaleFull {
+			runs = 100
+		} else {
+			runs = 10
+		}
+	}
+	return &Env{Scale: scale, Runs: runs, Seed: seed}
+}
+
+// workloadBundle couples a workload with its ground truth in both layouts.
+type workloadBundle struct {
+	name     string
+	w        *core.Workload
+	truthMap map[int]bool
+	truth    []bool // aligned with sorted pair positions
+}
+
+func newBundle(name string, pairs []datagen.LabeledPair, subsetSize int) (*workloadBundle, error) {
+	cp, truthMap := datagen.Split(pairs)
+	w, err := core.NewWorkload(cp, subsetSize)
+	if err != nil {
+		return nil, err
+	}
+	return &workloadBundle{name: name, w: w, truthMap: truthMap, truth: datagen.TruthSlice(pairs)}, nil
+}
+
+func (b *workloadBundle) oracle() *oracle.Simulated { return oracle.NewSimulated(b.truthMap) }
+
+// subsetSize returns the unit-subset size for the environment: the paper's
+// 200 at full scale, 50 at small scale so the shrunken datasets still span
+// a meaningful number of subsets.
+func (e *Env) subsetSize() int {
+	if e.Scale == ScaleFull {
+		return core.DefaultSubsetSize
+	}
+	return 50
+}
+
+// DSConfig returns the generator configuration for the simulated
+// DBLP-Scholar dataset at the environment's scale.
+func (e *Env) DSConfig() datagen.DSConfig {
+	cfg := datagen.DefaultDSConfig()
+	if e.Scale == ScaleSmall {
+		cfg.Entities = 600
+		cfg.Filler = 6000
+	}
+	return cfg
+}
+
+// ABConfig returns the generator configuration for the simulated Abt-Buy
+// dataset at the environment's scale.
+func (e *Env) ABConfig() datagen.ABConfig {
+	cfg := datagen.DefaultABConfig()
+	if e.Scale == ScaleSmall {
+		cfg.Entities = 260
+		cfg.ExtraA = 8
+		cfg.ExtraB = 10
+	}
+	return cfg
+}
+
+// DS returns the cached simulated DBLP-Scholar dataset.
+func (e *Env) DS() (*datagen.ERDataset, error) {
+	if e.ds == nil {
+		ds, err := datagen.DSLike(e.DSConfig())
+		if err != nil {
+			return nil, err
+		}
+		e.ds = ds
+	}
+	return e.ds, nil
+}
+
+// AB returns the cached simulated Abt-Buy dataset.
+func (e *Env) AB() (*datagen.ERDataset, error) {
+	if e.ab == nil {
+		ab, err := datagen.ABLike(e.ABConfig())
+		if err != nil {
+			return nil, err
+		}
+		e.ab = ab
+	}
+	return e.ab, nil
+}
+
+func (e *Env) dsBundle() (*workloadBundle, error) {
+	if e.dsW == nil {
+		ds, err := e.DS()
+		if err != nil {
+			return nil, err
+		}
+		b, err := newBundle("DS", ds.Pairs, e.subsetSize())
+		if err != nil {
+			return nil, err
+		}
+		e.dsW = b
+	}
+	return e.dsW, nil
+}
+
+func (e *Env) abBundle() (*workloadBundle, error) {
+	if e.abW == nil {
+		ab, err := e.AB()
+		if err != nil {
+			return nil, err
+		}
+		b, err := newBundle("AB", ab.Pairs, e.subsetSize())
+		if err != nil {
+			return nil, err
+		}
+		e.abW = b
+	}
+	return e.abW, nil
+}
+
+// runResult captures one approach run end to end.
+type runResult struct {
+	sol     core.Solution
+	quality metrics.Quality
+	cost    int // distinct manually labeled pairs (samples + DH)
+	elapsed time.Duration
+}
+
+func (r runResult) costPct(w *core.Workload) float64 {
+	return 100 * float64(r.cost) / float64(w.Len())
+}
+
+func (r runResult) met(req core.Requirement) bool {
+	return r.quality.Precision >= req.Alpha && r.quality.Recall >= req.Beta
+}
+
+// Method names accepted by runMethod.
+const (
+	methodBase    = "BASE"
+	methodSamp    = "SAMP"
+	methodAllSamp = "ALLSAMP"
+	methodHybr    = "HYBR"
+)
+
+// runMethod executes one optimization approach on the bundle with a fresh
+// oracle and evaluates the resolved labeling against ground truth. The
+// elapsed time covers only the machine search, matching the paper's runtime
+// metric ("the reported runtime does not include ... the latency incurred by
+// human verification").
+func runMethod(b *workloadBundle, method string, req core.Requirement, seed int64) (runResult, error) {
+	o := b.oracle()
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		sol core.Solution
+		err error
+	)
+	start := time.Now()
+	switch method {
+	case methodBase:
+		sol, err = core.BaseSearch(b.w, req, o, core.BaseConfig{StartSubset: -1})
+	case methodSamp:
+		sol, err = core.PartialSamplingSearch(b.w, req, o, core.SamplingConfig{Rand: rng})
+	case methodAllSamp:
+		sol, err = core.AllSamplingSearch(b.w, req, o, core.SamplingConfig{Rand: rng})
+	case methodHybr:
+		sol, err = core.HybridSearch(b.w, req, o, core.HybridConfig{Sampling: core.SamplingConfig{Rand: rng}})
+	default:
+		return runResult{}, fmt.Errorf("%w: method %q", ErrUnknownExperiment, method)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return runResult{}, fmt.Errorf("%s on %s: %w", method, b.name, err)
+	}
+	labels := sol.Resolve(b.w, o)
+	q, err := metrics.Evaluate(labels, b.truth)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{sol: sol, quality: q, cost: o.Cost(), elapsed: elapsed}, nil
+}
+
+// avgRuns repeats a stochastic method `runs` times with distinct seeds and
+// averages cost and quality; it also reports the success rate of meeting the
+// requirement — the Tables III/IV protocol.
+type avgResult struct {
+	costPct     float64
+	precision   float64
+	recall      float64
+	successPct  float64
+	elapsedMean time.Duration
+}
+
+func avgRuns(b *workloadBundle, method string, req core.Requirement, runs int, seed int64) (avgResult, error) {
+	if method == methodBase {
+		// BASE is deterministic: one run suffices.
+		runs = 1
+	}
+	var out avgResult
+	var elapsed time.Duration
+	success := 0
+	for r := 0; r < runs; r++ {
+		res, err := runMethod(b, method, req, seed+int64(r)*7919)
+		if err != nil {
+			return out, err
+		}
+		out.costPct += res.costPct(b.w)
+		out.precision += res.quality.Precision
+		out.recall += res.quality.Recall
+		elapsed += res.elapsed
+		if res.met(req) {
+			success++
+		}
+	}
+	n := float64(runs)
+	out.costPct /= n
+	out.precision /= n
+	out.recall /= n
+	out.successPct = 100 * float64(success) / n
+	out.elapsedMean = time.Duration(int64(elapsed) / int64(runs))
+	return out, nil
+}
+
+// Runner executes one experiment and returns its result tables.
+type Runner func(e *Env) ([]*Table, error)
+
+// registry maps experiment ids to runners; populated by init() in the
+// per-experiment files.
+var registry = map[string]Runner{}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(e *Env, id string) ([]*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownExperiment, id, strings.Join(IDs(), ", "))
+	}
+	return r(e)
+}
+
+func pct(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func frac4(v float64) string { return fmt.Sprintf("%.4f", v) }

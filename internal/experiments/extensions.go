@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"humo/internal/core"
+	"humo/internal/datagen"
+	"humo/internal/fellegi"
+	"humo/internal/metrics"
+	"humo/internal/svm"
+)
+
+func init() {
+	registry["ablation-budget"] = AblationBudget
+	registry["ablation-metric"] = AblationMetric
+}
+
+// AblationBudget traces the pay-as-you-go quality curve (§II's progressive-
+// ER contrast class): expected-quality-maximizing HUMO divisions under
+// increasing human budgets, on both simulated real datasets.
+func AblationBudget(e *Env) ([]*Table, error) {
+	bundles, err := e.bothBundles()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation-budget",
+		Title:  "pay-as-you-go: quality under a fixed human budget (BudgetedSearch)",
+		Header: []string{"dataset", "budget %", "spent %", "precision", "recall", "f1"},
+	}
+	for _, b := range bundles {
+		for _, frac := range []float64{0.02, 0.05, 0.10, 0.20} {
+			budget := int(frac * float64(b.w.Len()))
+			o := b.oracle()
+			sol, err := core.BudgetedSearch(b.w, budget, o, core.SamplingConfig{
+				Rand: rand.New(rand.NewSource(e.Seed)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			labels := sol.Resolve(b.w, o)
+			q, err := metrics.Evaluate(labels, b.truth)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				b.name,
+				pct(100 * frac),
+				pct(100 * float64(o.Cost()) / float64(b.w.Len())),
+				frac4(q.Precision), frac4(q.Recall), frac4(q.F1),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// AblationMetric exercises §IV-A's claim that HUMO works with machine
+// metrics other than pair similarity: the hybrid search runs on the DS
+// workload scored by (a) aggregated similarity, (b) linear-SVM decision
+// values and (c) Fellegi-Sunter match probability, under the same
+// requirement.
+func AblationMetric(e *Env) ([]*Table, error) {
+	ds, err := e.DS()
+	if err != nil {
+		return nil, err
+	}
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	t := &Table{
+		ID:     "ablation-metric",
+		Title:  "machine metrics on DS (HYBR, alpha=beta=theta=0.9)",
+		Header: []string{"metric", "cost %", "precision", "recall"},
+		Notes: []string{
+			"SVM decision values come from a classifier trained on a labeled sample " +
+				"(not charged as HUMO cost); the Fellegi-Sunter weight is fitted " +
+				"unsupervised by EM.",
+			"The FS metric illustrates the paper's monotonicity caveat: an " +
+				"unsupervised coarse-binned fit orders some pair groups wrongly, and " +
+				"HUMO inherits the violation (higher cost, missed precision).",
+		},
+	}
+
+	// Feature vectors per pair, shared by the learned metrics.
+	feats := make([][]float64, len(ds.Pairs))
+	for i, p := range ds.Pairs {
+		f, err := ds.Features(p.ID)
+		if err != nil {
+			return nil, err
+		}
+		feats[i] = f
+	}
+
+	metricsToRun := []struct {
+		name  string
+		score func() ([]float64, error)
+	}{
+		{"similarity", func() ([]float64, error) {
+			out := make([]float64, len(ds.Pairs))
+			for i, p := range ds.Pairs {
+				out[i] = p.Sim
+			}
+			return out, nil
+		}},
+		{"svm-decision", func() ([]float64, error) {
+			trainSize := minInt(len(ds.Pairs)/10, 2000)
+			trainIdx, _, err := svm.TrainTestSplit(len(ds.Pairs), trainSize, e.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var tf [][]float64
+			var tl []bool
+			for _, i := range trainIdx {
+				tf = append(tf, feats[i])
+				tl = append(tl, ds.Pairs[i].Match)
+			}
+			model, err := svm.Train(tf, tl, svm.Config{Seed: e.Seed})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(ds.Pairs))
+			for i := range ds.Pairs {
+				out[i] = model.Decision(feats[i])
+			}
+			// Min-max normalize onto [0,1]: the GP hyperparameter grid and
+			// the subset machinery assume a unit-scale metric axis.
+			lo, hi := out[0], out[0]
+			for _, v := range out {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi > lo {
+				for i := range out {
+					out[i] = (out[i] - lo) / (hi - lo)
+				}
+			}
+			return out, nil
+		}},
+		{"fs-weight", func() ([]float64, error) {
+			// The match *weight* (log odds) spreads pairs along the metric
+			// axis far better than the posterior probability, which
+			// saturates at 0/1 and collapses the subset structure.
+			model, err := fellegi.Fit(feats, fellegi.Config{Levels: 6})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, len(ds.Pairs))
+			for i := range ds.Pairs {
+				v, err := model.Weight(feats[i])
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			lo, hi := out[0], out[0]
+			for _, v := range out {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi > lo {
+				for i := range out {
+					out[i] = (out[i] - lo) / (hi - lo)
+				}
+			}
+			return out, nil
+		}},
+	}
+
+	for _, mt := range metricsToRun {
+		scores, err := mt.score()
+		if err != nil {
+			return nil, err
+		}
+		pairs := make([]datagen.LabeledPair, len(ds.Pairs))
+		for i, p := range ds.Pairs {
+			pairs[i] = datagen.LabeledPair{ID: p.ID, Sim: scores[i], Match: p.Match}
+		}
+		b, err := newBundle("DS/"+mt.name, pairs, e.subsetSize())
+		if err != nil {
+			return nil, err
+		}
+		avg, err := avgRuns(b, methodHybr, req, minInt(e.Runs, 10), e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mt.name, pct(avg.costPct), frac4(avg.precision), frac4(avg.recall),
+		})
+	}
+	return []*Table{t}, nil
+}

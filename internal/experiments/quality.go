@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"humo/internal/core"
+)
+
+func init() {
+	registry["fig6"] = Fig6
+	registry["table2"] = Table2
+	registry["table3"] = Table3
+	registry["table4"] = Table4
+	registry["fig7"] = Fig7
+	registry["fig8"] = Fig8
+}
+
+// qualityGrid is the (alpha, beta) requirement grid of Fig. 6 and
+// Tables II–IV.
+var qualityGrid = []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
+
+// Fig6 reproduces the human-cost comparison of the three optimization
+// approaches across the quality-requirement grid (paper Fig. 6), with
+// theta = 0.9. SAMP and HYBR are averaged over Env.Runs repetitions.
+func Fig6(e *Env) ([]*Table, error) {
+	bundles, err := e.bothBundles()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Table, 0, 2)
+	for _, b := range bundles {
+		t := &Table{
+			ID:     "fig6",
+			Title:  fmt.Sprintf("percentage of manual work, %s dataset (theta=0.9, %d runs)", b.name, e.Runs),
+			Header: []string{"(precision,recall)", "BASE %", "SAMP %", "HYBR %"},
+		}
+		for _, level := range qualityGrid {
+			req := core.Requirement{Alpha: level, Beta: level, Theta: 0.9}
+			row := []string{fmt.Sprintf("(.%02.0f,.%02.0f)", level*100, level*100)}
+			for _, method := range []string{methodBase, methodSamp, methodHybr} {
+				avg, err := avgRuns(b, method, req, e.Runs, e.Seed)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct(avg.costPct))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// qualityTable runs one method over the requirement grid on both datasets
+// and reports the achieved quality (and success rate for the stochastic
+// methods) — the Tables II/III/IV protocol.
+func (e *Env) qualityTable(id, method string, withSuccess bool) ([]*Table, error) {
+	bundles, err := e.bothBundles()
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"requirement", "DS precision", "DS recall", "AB precision", "AB recall"}
+	if withSuccess {
+		header = append(header, "DS success %", "AB success %")
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("quality levels achieved by %s (theta=0.9, %d runs)", method, e.Runs),
+		Header: header,
+	}
+	for _, level := range qualityGrid {
+		req := core.Requirement{Alpha: level, Beta: level, Theta: 0.9}
+		row := []string{fmt.Sprintf("a=b=%.2f", level)}
+		var successes []float64
+		for _, b := range bundles {
+			avg, err := avgRuns(b, method, req, e.Runs, e.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, frac4(avg.precision), frac4(avg.recall))
+			successes = append(successes, avg.successPct)
+		}
+		if withSuccess {
+			for _, s := range successes {
+				row = append(row, fmt.Sprintf("%.0f", s))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}, nil
+}
+
+// Table2 reproduces the quality levels achieved by BASE (paper Table II).
+func Table2(e *Env) ([]*Table, error) {
+	return e.qualityTable("table2", methodBase, false)
+}
+
+// Table3 reproduces the quality levels and success rates achieved by SAMP
+// (paper Table III).
+func Table3(e *Env) ([]*Table, error) {
+	return e.qualityTable("table3", methodSamp, true)
+}
+
+// Table4 reproduces the quality levels and success rates achieved by HYBR
+// (paper Table IV).
+func Table4(e *Env) ([]*Table, error) {
+	return e.qualityTable("table4", methodHybr, true)
+}
+
+// confidenceSweep varies the confidence level with alpha = beta = 0.9, the
+// Figs. 7–8 protocol, on one dataset.
+func (e *Env) confidenceSweep(id string, b *workloadBundle) ([]*Table, error) {
+	thetas := []float64{0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("varying confidence level on %s (alpha=beta=0.9, %d runs)", b.name, e.Runs),
+		Header: []string{"theta", "SAMP cost %", "HYBR cost %", "SAMP success %", "HYBR success %"},
+	}
+	for _, theta := range thetas {
+		req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: theta}
+		samp, err := avgRuns(b, methodSamp, req, e.Runs, e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		hybr, err := avgRuns(b, methodHybr, req, e.Runs, e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", theta),
+			pct(samp.costPct), pct(hybr.costPct),
+			fmt.Sprintf("%.0f", samp.successPct), fmt.Sprintf("%.0f", hybr.successPct),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// Fig7 reproduces the confidence-level sweep on DS (paper Fig. 7).
+func Fig7(e *Env) ([]*Table, error) {
+	b, err := e.dsBundle()
+	if err != nil {
+		return nil, err
+	}
+	return e.confidenceSweep("fig7", b)
+}
+
+// Fig8 reproduces the confidence-level sweep on AB (paper Fig. 8).
+func Fig8(e *Env) ([]*Table, error) {
+	b, err := e.abBundle()
+	if err != nil {
+		return nil, err
+	}
+	return e.confidenceSweep("fig8", b)
+}
+
+func (e *Env) bothBundles() ([]*workloadBundle, error) {
+	ds, err := e.dsBundle()
+	if err != nil {
+		return nil, err
+	}
+	ab, err := e.abBundle()
+	if err != nil {
+		return nil, err
+	}
+	return []*workloadBundle{ds, ab}, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"humo/internal/core"
+	"humo/internal/datagen"
+)
+
+func init() {
+	registry["fig9"] = Fig9
+	registry["fig10"] = Fig10
+}
+
+// syntheticBundle generates a logistic synthetic workload bundle.
+func (e *Env) syntheticBundle(tau, sigma float64, n int, seed int64) (*workloadBundle, error) {
+	pairs, err := datagen.Logistic(datagen.LogisticConfig{
+		N: n, Tau: tau, Sigma: sigma, SubsetSize: e.subsetSize(), Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newBundle(fmt.Sprintf("synthetic(tau=%.0f,sigma=%.1f)", tau, sigma), pairs, e.subsetSize())
+}
+
+func (e *Env) syntheticSize() int {
+	if e.Scale == ScaleFull {
+		return 100000
+	}
+	return 20000
+}
+
+// parameterSweep runs the three approaches across synthetic workloads and
+// reports cost, precision and recall — the protocol of Figs. 9 and 10.
+func (e *Env) parameterSweep(id, title, paramName string, params []float64, gen func(p float64) (*workloadBundle, error)) ([]*Table, error) {
+	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	methods := []string{methodBase, methodSamp, methodHybr}
+	cost := &Table{ID: id, Title: title + " — percentage of manual work",
+		Header: []string{paramName, "BASE %", "SAMP %", "HYBR %"}}
+	prec := &Table{ID: id, Title: title + " — achieved precision",
+		Header: []string{paramName, "BASE", "SAMP", "HYBR"}}
+	rec := &Table{ID: id, Title: title + " — achieved recall",
+		Header: []string{paramName, "BASE", "SAMP", "HYBR"}}
+	for _, p := range params {
+		b, err := gen(p)
+		if err != nil {
+			return nil, err
+		}
+		costRow := []string{fmt.Sprintf("%.1f", p)}
+		precRow := []string{fmt.Sprintf("%.1f", p)}
+		recRow := []string{fmt.Sprintf("%.1f", p)}
+		for _, m := range methods {
+			avg, err := avgRuns(b, m, req, e.Runs, e.Seed)
+			if err != nil {
+				return nil, err
+			}
+			costRow = append(costRow, pct(avg.costPct))
+			precRow = append(precRow, frac4(avg.precision))
+			recRow = append(recRow, frac4(avg.recall))
+		}
+		cost.Rows = append(cost.Rows, costRow)
+		prec.Rows = append(prec.Rows, precRow)
+		rec.Rows = append(rec.Rows, recRow)
+	}
+	return []*Table{cost, prec, rec}, nil
+}
+
+// Fig9 varies the steepness tau of the logistic curve with sigma = 0.1
+// (paper Fig. 9).
+func Fig9(e *Env) ([]*Table, error) {
+	taus := []float64{8, 10, 12, 14, 16, 18}
+	return e.parameterSweep("fig9",
+		fmt.Sprintf("varying tau, sigma=0.1, alpha=beta=theta=0.9, n=%d", e.syntheticSize()),
+		"tau", taus,
+		func(tau float64) (*workloadBundle, error) {
+			return e.syntheticBundle(tau, 0.1, e.syntheticSize(), e.Seed+int64(tau*13))
+		})
+}
+
+// Fig10 varies the per-subset irregularity sigma with tau = 14
+// (paper Fig. 10). At sigma = 0.5 the monotonicity assumption no longer
+// holds: BASE and HYBR are expected to miss precision there while SAMP
+// still meets the requirement.
+func Fig10(e *Env) ([]*Table, error) {
+	sigmas := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	return e.parameterSweep("fig10",
+		fmt.Sprintf("varying sigma, tau=14, alpha=beta=theta=0.9, n=%d", e.syntheticSize()),
+		"sigma", sigmas,
+		func(sigma float64) (*workloadBundle, error) {
+			return e.syntheticBundle(14, sigma, e.syntheticSize(), e.Seed+int64(sigma*1000))
+		})
+}

@@ -1,0 +1,239 @@
+// Package fellegi implements Fellegi-Sunter probabilistic record linkage
+// (Fellegi & Sunter, JASA 1969 — the paper's reference [5]), providing the
+// "match probability" machine metric HUMO's §IV-A names alongside pair
+// similarity and SVM distance.
+//
+// Per-attribute similarities are discretized into agreement levels; the
+// model holds, for every attribute and level, the probability of observing
+// that level among matches (m) and among non-matches (u). A pair's match
+// weight is the sum of log2(m/u) over attributes, and its match probability
+// follows from the prior odds. Parameters are estimated without labels by
+// expectation-maximization over the candidate pairs, the standard unsupervised
+// fit for record linkage.
+package fellegi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadInput reports invalid training input or configuration.
+var ErrBadInput = errors.New("fellegi: invalid input")
+
+// Config parameterizes the model fit.
+type Config struct {
+	// Levels is the number of agreement levels each similarity in [0,1] is
+	// discretized into. 0 selects 4.
+	Levels int
+	// MaxIter bounds the EM iterations. 0 selects 50.
+	MaxIter int
+	// Tol is the convergence tolerance on the match-prior change between
+	// iterations. 0 selects 1e-6.
+	Tol float64
+	// InitialPrior is the starting match prior for EM. 0 selects 0.05.
+	InitialPrior float64
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.Levels == 0 {
+		c.Levels = 4
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.InitialPrior == 0 {
+		c.InitialPrior = 0.05
+	}
+	if c.Levels < 2 {
+		return c, fmt.Errorf("%w: Levels=%d must be >= 2", ErrBadInput, c.Levels)
+	}
+	if c.MaxIter < 1 {
+		return c, fmt.Errorf("%w: MaxIter=%d must be >= 1", ErrBadInput, c.MaxIter)
+	}
+	if c.Tol <= 0 {
+		return c, fmt.Errorf("%w: Tol=%v must be > 0", ErrBadInput, c.Tol)
+	}
+	if !(c.InitialPrior > 0 && c.InitialPrior < 1) {
+		return c, fmt.Errorf("%w: InitialPrior=%v must be in (0,1)", ErrBadInput, c.InitialPrior)
+	}
+	return c, nil
+}
+
+// Model is a fitted Fellegi-Sunter model.
+type Model struct {
+	cfg    Config
+	attrs  int
+	prior  float64     // P(match)
+	m, u   [][]float64 // [attr][level] conditional level probabilities
+	levels int
+	iters  int
+}
+
+// Level discretizes a similarity in [0,1] into one of `levels` agreement
+// levels (values outside the range are clamped).
+func Level(sim float64, levels int) int {
+	if sim <= 0 {
+		return 0
+	}
+	if sim >= 1 {
+		return levels - 1
+	}
+	return int(sim * float64(levels))
+}
+
+// Fit estimates the model from unlabeled per-attribute similarity vectors by
+// EM. All vectors must share one dimension; at least 2 pairs are required.
+func Fit(features [][]float64, cfg Config) (*Model, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := len(features)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d pairs, need >= 2", ErrBadInput, n)
+	}
+	attrs := len(features[0])
+	if attrs == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional features", ErrBadInput)
+	}
+	// Pre-discretize.
+	levels := cfg.Levels
+	obs := make([][]int, n)
+	for i, f := range features {
+		if len(f) != attrs {
+			return nil, fmt.Errorf("%w: pair %d has %d attributes, want %d", ErrBadInput, i, len(f), attrs)
+		}
+		row := make([]int, attrs)
+		for a, v := range f {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("%w: NaN similarity at pair %d attr %d", ErrBadInput, i, a)
+			}
+			row[a] = Level(v, levels)
+		}
+		obs[i] = row
+	}
+
+	model := &Model{cfg: cfg, attrs: attrs, levels: levels, prior: cfg.InitialPrior}
+	// Initialize m to favor high levels and u to favor low levels, breaking
+	// the label-swap symmetry of EM.
+	model.m = make([][]float64, attrs)
+	model.u = make([][]float64, attrs)
+	for a := 0; a < attrs; a++ {
+		model.m[a] = make([]float64, levels)
+		model.u[a] = make([]float64, levels)
+		var sm, su float64
+		for l := 0; l < levels; l++ {
+			model.m[a][l] = float64(l + 1)
+			model.u[a][l] = float64(levels - l)
+			sm += model.m[a][l]
+			su += model.u[a][l]
+		}
+		for l := 0; l < levels; l++ {
+			model.m[a][l] /= sm
+			model.u[a][l] /= su
+		}
+	}
+
+	resp := make([]float64, n)
+	for it := 0; it < cfg.MaxIter; it++ {
+		// E-step: responsibility of the match class per pair.
+		for i, row := range obs {
+			lm := math.Log(model.prior)
+			lu := math.Log(1 - model.prior)
+			for a, l := range row {
+				lm += math.Log(model.m[a][l])
+				lu += math.Log(model.u[a][l])
+			}
+			// Stable logistic of (lm - lu).
+			resp[i] = 1 / (1 + math.Exp(lu-lm))
+		}
+		// M-step.
+		var sumResp float64
+		for _, r := range resp {
+			sumResp += r
+		}
+		newPrior := sumResp / float64(n)
+		// Keep the prior off the boundary so logs stay finite.
+		newPrior = math.Min(math.Max(newPrior, 1e-9), 1-1e-9)
+		for a := 0; a < attrs; a++ {
+			// Laplace smoothing keeps every level probability positive.
+			mc := make([]float64, levels)
+			uc := make([]float64, levels)
+			for l := range mc {
+				mc[l], uc[l] = 1e-6, 1e-6
+			}
+			for i, row := range obs {
+				mc[row[a]] += resp[i]
+				uc[row[a]] += 1 - resp[i]
+			}
+			var sm, su float64
+			for l := 0; l < levels; l++ {
+				sm += mc[l]
+				su += uc[l]
+			}
+			for l := 0; l < levels; l++ {
+				model.m[a][l] = mc[l] / sm
+				model.u[a][l] = uc[l] / su
+			}
+		}
+		model.iters = it + 1
+		if math.Abs(newPrior-model.prior) < cfg.Tol {
+			model.prior = newPrior
+			break
+		}
+		model.prior = newPrior
+	}
+	return model, nil
+}
+
+// Prior returns the fitted match prior P(match).
+func (m *Model) Prior() float64 { return m.prior }
+
+// Iterations returns how many EM iterations ran.
+func (m *Model) Iterations() int { return m.iters }
+
+// Weight returns the Fellegi-Sunter match weight of a feature vector: the
+// sum over attributes of log2(m_l / u_l) for the observed agreement levels.
+// Positive weights favor match.
+func (m *Model) Weight(features []float64) (float64, error) {
+	if len(features) != m.attrs {
+		return 0, fmt.Errorf("%w: %d attributes, want %d", ErrBadInput, len(features), m.attrs)
+	}
+	var w float64
+	for a, v := range features {
+		l := Level(v, m.levels)
+		w += math.Log2(m.m[a][l] / m.u[a][l])
+	}
+	return w, nil
+}
+
+// Probability returns the posterior match probability of a feature vector
+// under the fitted model — the machine metric of the paper's §IV-A.
+func (m *Model) Probability(features []float64) (float64, error) {
+	if len(features) != m.attrs {
+		return 0, fmt.Errorf("%w: %d attributes, want %d", ErrBadInput, len(features), m.attrs)
+	}
+	lm := math.Log(m.prior)
+	lu := math.Log(1 - m.prior)
+	for a, v := range features {
+		l := Level(v, m.levels)
+		lm += math.Log(m.m[a][l])
+		lu += math.Log(m.u[a][l])
+	}
+	return 1 / (1 + math.Exp(lu-lm)), nil
+}
+
+// LevelProbabilities exposes the fitted conditional probabilities of one
+// attribute: P(level | match) and P(level | unmatch).
+func (m *Model) LevelProbabilities(attr int) (match, unmatch []float64, err error) {
+	if attr < 0 || attr >= m.attrs {
+		return nil, nil, fmt.Errorf("%w: attribute %d out of [0,%d)", ErrBadInput, attr, m.attrs)
+	}
+	match = append([]float64(nil), m.m[attr]...)
+	unmatch = append([]float64(nil), m.u[attr]...)
+	return match, unmatch, nil
+}

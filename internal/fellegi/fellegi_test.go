@@ -1,0 +1,226 @@
+package fellegi
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthetic generates feature vectors from a known two-class process:
+// matches draw attribute similarities near 1, non-matches near 0.
+func synthetic(n int, matchRate float64, seed int64) (features [][]float64, labels []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		match := rng.Float64() < matchRate
+		f := make([]float64, 3)
+		for a := range f {
+			if match {
+				f[a] = clamp(1 - math.Abs(rng.NormFloat64())*0.15)
+			} else {
+				f[a] = clamp(math.Abs(rng.NormFloat64()) * 0.15)
+			}
+		}
+		features = append(features, f)
+		labels = append(labels, match)
+	}
+	return features, labels
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Error("empty input should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {}}, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Error("ragged features should fail")
+	}
+	if _, err := Fit([][]float64{{}, {}}, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Error("zero-dim features should fail")
+	}
+	if _, err := Fit([][]float64{{math.NaN()}, {0}}, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Error("NaN should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {0}}, Config{Levels: 1}); !errors.Is(err, ErrBadInput) {
+		t.Error("single level should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {0}}, Config{InitialPrior: 1.5}); !errors.Is(err, ErrBadInput) {
+		t.Error("bad prior should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {0}}, Config{MaxIter: -1}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative MaxIter should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {0}}, Config{Tol: -1}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative Tol should fail")
+	}
+}
+
+func TestLevel(t *testing.T) {
+	cases := []struct {
+		sim    float64
+		levels int
+		want   int
+	}{
+		{-0.5, 4, 0},
+		{0, 4, 0},
+		{0.24, 4, 0},
+		{0.26, 4, 1},
+		{0.74, 4, 2},
+		{0.76, 4, 3},
+		{1, 4, 3},
+		{1.7, 4, 3},
+	}
+	for _, c := range cases {
+		if got := Level(c.sim, c.levels); got != c.want {
+			t.Errorf("Level(%v, %d) = %d, want %d", c.sim, c.levels, got, c.want)
+		}
+	}
+}
+
+func TestEMRecoversPrior(t *testing.T) {
+	features, _ := synthetic(5000, 0.2, 1)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Prior()-0.2) > 0.05 {
+		t.Errorf("fitted prior %.3f, want ~0.20", m.Prior())
+	}
+	if m.Iterations() < 1 {
+		t.Error("EM did not iterate")
+	}
+}
+
+func TestProbabilitySeparatesClasses(t *testing.T) {
+	features, labels := synthetic(5000, 0.15, 2)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, f := range features {
+		p, err := m.Probability(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (p >= 0.5) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(features)); acc < 0.97 {
+		t.Errorf("unsupervised accuracy %.3f on separable classes, want >= 0.97", acc)
+	}
+}
+
+func TestWeightSignTracksClass(t *testing.T) {
+	features, _ := synthetic(3000, 0.2, 3)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wHigh, err := m.Weight([]float64{0.95, 0.95, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLow, err := m.Weight([]float64{0.05, 0.05, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(wHigh > 0 && wLow < 0) {
+		t.Errorf("weights: high=%v low=%v, want positive/negative", wHigh, wLow)
+	}
+}
+
+func TestProbabilityMonotoneInSimilarity(t *testing.T) {
+	features, _ := synthetic(4000, 0.2, 4)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for v := 0.0; v <= 1.0001; v += 0.25 {
+		p, err := m.Probability([]float64{v, v, v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-9 {
+			t.Errorf("probability not monotone at v=%v: %v < %v", v, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestProbabilityBoundsProperty(t *testing.T) {
+	features, _ := synthetic(2000, 0.25, 5)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c float64) bool {
+		v := []float64{clamp(math.Abs(math.Mod(a, 1))), clamp(math.Abs(math.Mod(b, 1))), clamp(math.Abs(math.Mod(c, 1)))}
+		p, err := m.Probability(v)
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	features, _ := synthetic(100, 0.3, 6)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Probability([]float64{0.5}); !errors.Is(err, ErrBadInput) {
+		t.Error("wrong dimension should fail")
+	}
+	if _, err := m.Weight([]float64{0.5, 0.5, 0.5, 0.5}); !errors.Is(err, ErrBadInput) {
+		t.Error("wrong dimension should fail")
+	}
+}
+
+func TestLevelProbabilities(t *testing.T) {
+	features, _ := synthetic(2000, 0.2, 7)
+	m, err := Fit(features, Config{Levels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, unmatch, err := m.LevelProbabilities(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if math.Abs(sum(match)-1) > 1e-9 || math.Abs(sum(unmatch)-1) > 1e-9 {
+		t.Error("level probabilities must sum to 1")
+	}
+	// Matches concentrate at the top level, non-matches at the bottom.
+	if match[4] <= match[0] {
+		t.Errorf("m probabilities not top-heavy: %v", match)
+	}
+	if unmatch[0] <= unmatch[4] {
+		t.Errorf("u probabilities not bottom-heavy: %v", unmatch)
+	}
+	if _, _, err := m.LevelProbabilities(9); !errors.Is(err, ErrBadInput) {
+		t.Error("out-of-range attribute should fail")
+	}
+}

@@ -1,0 +1,253 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func logistic(tau, v float64) float64 {
+	return 0.95 / (1 + math.Exp(-tau*(v-0.55)))
+}
+
+func TestFitValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Fit(nil, nil, nil, cfg); !errors.Is(err, ErrBadInput) {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Fit([]float64{1}, []float64{1, 2}, nil, cfg); !errors.Is(err, ErrBadInput) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, []float64{-1}, cfg); !errors.Is(err, ErrBadInput) {
+		t.Error("negative noise should fail")
+	}
+	if _, err := Fit([]float64{math.NaN()}, []float64{1}, nil, cfg); !errors.Is(err, ErrBadInput) {
+		t.Error("NaN input should fail")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, nil, Config{LengthScale: 0, SignalVar: 1}); !errors.Is(err, ErrBadInput) {
+		t.Error("zero length scale should fail")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, nil, Config{LengthScale: 1, SignalVar: -1}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative signal variance should fail")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, nil, Config{LengthScale: 1, SignalVar: 1, NoiseFloor: -1}); !errors.Is(err, ErrBadInput) {
+		t.Error("negative noise floor should fail")
+	}
+}
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	x := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	y := []float64{0.02, 0.1, 0.45, 0.85, 0.97}
+	r, err := Fit(x, y, nil, Config{LengthScale: 0.1, SignalVar: 0.3, NoiseFloor: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		got := r.PredictMean(x[i])
+		if math.Abs(got-y[i]) > 1e-3 {
+			t.Errorf("PredictMean(%v) = %v, want ~%v", x[i], got, y[i])
+		}
+		v, err := r.PredictVar(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 1e-3 {
+			t.Errorf("PredictVar(%v) = %v, want ~0 at training point", x[i], v)
+		}
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	x := []float64{0.4, 0.5, 0.6}
+	y := []float64{0.3, 0.5, 0.7}
+	r, err := Fit(x, y, nil, Config{LengthScale: 0.05, SignalVar: 0.25, NoiseFloor: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vNear, err := r.PredictVar(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vFar, err := r.PredictVar(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vFar <= vNear {
+		t.Errorf("variance far (%v) should exceed variance near (%v)", vFar, vNear)
+	}
+	// Far from all data the variance approaches the prior signal variance.
+	if math.Abs(vFar-0.25) > 0.01 {
+		t.Errorf("far variance = %v, want ~0.25 (prior)", vFar)
+	}
+}
+
+func TestRecoverLogisticCurve(t *testing.T) {
+	// Train on 15 points of a logistic curve; prediction error at held-out
+	// points must be small. This mirrors Algorithm 1's use.
+	var x, y []float64
+	for i := 0; i < 15; i++ {
+		v := float64(i) / 14
+		x = append(x, v)
+		y = append(y, logistic(14, v))
+	}
+	r, err := Fit(x, y, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v := 0.02 + 0.96*float64(i)/49
+		got := r.PredictMean(v)
+		want := logistic(14, v)
+		if math.Abs(got-want) > 0.06 {
+			t.Errorf("PredictMean(%.3f) = %.4f, want %.4f (+-0.06)", v, got, want)
+		}
+	}
+}
+
+func TestPredictJointPosterior(t *testing.T) {
+	x := []float64{0.2, 0.5, 0.8}
+	y := []float64{0.1, 0.5, 0.9}
+	r, err := Fit(x, y, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := r.Predict([]float64{0.3, 0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(post.Mean) != 3 {
+		t.Fatalf("mean length = %d, want 3", len(post.Mean))
+	}
+	rr, cc := post.Cov.Dims()
+	if rr != 3 || cc != 3 {
+		t.Fatalf("cov dims = (%d,%d), want (3,3)", rr, cc)
+	}
+	// Covariance must be symmetric with non-negative diagonal, and the
+	// diagonal must agree with PredictVar.
+	for i := 0; i < 3; i++ {
+		if post.Cov.At(i, i) < 0 {
+			t.Errorf("cov diag %d negative: %v", i, post.Cov.At(i, i))
+		}
+		v, err := r.PredictVar(post.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(post.Cov.At(i, i)-v) > 1e-9 {
+			t.Errorf("cov diag %d = %v, PredictVar = %v", i, post.Cov.At(i, i), v)
+		}
+		for j := 0; j < 3; j++ {
+			if math.Abs(post.Cov.At(i, j)-post.Cov.At(j, i)) > 1e-12 {
+				t.Errorf("cov not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Mean must agree with PredictMean.
+	for i, v := range post.X {
+		if math.Abs(post.Mean[i]-r.PredictMean(v)) > 1e-12 {
+			t.Errorf("joint mean %d disagrees with PredictMean", i)
+		}
+	}
+	// Nearby points should be positively correlated.
+	if post.Cov.At(0, 1) <= 0 {
+		t.Errorf("cov(0.3, 0.4) = %v, want > 0", post.Cov.At(0, 1))
+	}
+	if _, err := r.Predict(nil); !errors.Is(err, ErrBadInput) {
+		t.Error("empty query should fail")
+	}
+}
+
+func TestPerPointNoiseWidensPosterior(t *testing.T) {
+	x := []float64{0.2, 0.5, 0.8}
+	y := []float64{0.1, 0.5, 0.9}
+	exact, err := Fit(x, y, nil, Config{LengthScale: 0.1, SignalVar: 0.25, NoiseFloor: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Fit(x, y, []float64{0.01, 0.01, 0.01}, Config{LengthScale: 0.1, SignalVar: 0.25, NoiseFloor: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := exact.PredictVar(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, err := noisy.PredictVar(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vn <= ve {
+		t.Errorf("noisy posterior variance (%v) should exceed exact (%v)", vn, ve)
+	}
+}
+
+func TestFitSelectPicksBetterModel(t *testing.T) {
+	// Data generated from a smooth curve: a sane length scale must beat an
+	// absurdly tiny one on marginal likelihood.
+	var x, y []float64
+	for i := 0; i < 20; i++ {
+		v := float64(i) / 19
+		x = append(x, v)
+		y = append(y, logistic(10, v))
+	}
+	good := Config{LengthScale: 0.15, SignalVar: 0.2, NoiseFloor: 1e-4}
+	bad := Config{LengthScale: 0.0005, SignalVar: 0.2, NoiseFloor: 1e-4}
+	r, err := FitSelect(x, y, nil, []Config{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config().LengthScale != good.LengthScale {
+		t.Errorf("FitSelect picked length scale %v, want %v", r.Config().LengthScale, good.LengthScale)
+	}
+	if _, err := FitSelect(x, y, nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("no candidates should fail")
+	}
+}
+
+func TestDefaultGridNonEmptyAndValid(t *testing.T) {
+	grid := DefaultGrid(1e-4)
+	if len(grid) == 0 {
+		t.Fatal("DefaultGrid empty")
+	}
+	for _, cfg := range grid {
+		if err := cfg.validate(); err != nil {
+			t.Errorf("grid config %+v invalid: %v", cfg, err)
+		}
+	}
+}
+
+func TestPosteriorVarianceNeverNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+		}
+		r, err := Fit(x, y, nil, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			v, err := r.PredictVar(rng.Float64())
+			if err != nil || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateInputsDoNotBreakFactorization(t *testing.T) {
+	x := []float64{0.5, 0.5, 0.5, 0.7}
+	y := []float64{0.4, 0.45, 0.5, 0.8}
+	if _, err := Fit(x, y, nil, DefaultConfig()); err != nil {
+		t.Fatalf("duplicate inputs: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseFrom(t *testing.T) {
+	m, err := NewDenseFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := m.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("Dims = (%d,%d), want (3,2)", r, c)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+	if _, err := NewDenseFrom([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestSetAddRowClone(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 5 {
+		t.Errorf("Set+Add = %v, want 5", m.At(0, 1))
+	}
+	row := m.Row(0)
+	row[1] = 99 // must not alias
+	if m.At(0, 1) != 5 {
+		t.Error("Row must return a copy")
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 42)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds At should panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	r, c := mt.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims = (%d,%d), want (3,2)", r, c)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Errorf("T content wrong:\n%v", mt)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	p, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := Mul(a, NewDense(3, 1)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: err = %v", err)
+	}
+}
+
+func TestMulVecDot(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	v, err := MulVec(a, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", v)
+	}
+	d, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 32 {
+		t.Errorf("Dot = %v, want 32", d)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Error("Dot length mismatch should fail")
+	}
+	if _, err := MulVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Error("MulVec shape mismatch should fail")
+	}
+}
+
+// randomSPD builds A = B Bᵀ + n*I which is SPD with probability 1.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	bt := b.T()
+	a, _ := Mul(b, bt)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		l := ch.L()
+		lt := l.T()
+		rec, err := Mul(l, lt)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-a.At(i, j)) > 1e-8*(1+math.Abs(a.At(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b, err := MulVec(a, x)
+		if err != nil {
+			return false
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		got, err := ch.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskySolveMatrixAndLogDet(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// det = 4*3 - 2*2 = 8.
+	if got := ch.LogDet(); math.Abs(got-math.Log(8)) > 1e-12 {
+		t.Errorf("LogDet = %v, want log(8)=%v", got, math.Log(8))
+	}
+	eye, _ := NewDenseFrom([][]float64{{1, 0}, {0, 1}})
+	inv, err := ch.Solve(eye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := Mul(a, inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-12 {
+				t.Errorf("A*inv(A)[%d][%d] = %v, want %v", i, j, prod.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	// Indefinite matrix.
+	a, _ := NewDenseFrom([][]float64{{0, 1}, {1, 0}})
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("indefinite: err = %v, want ErrNotSPD", err)
+	}
+	// Non-square.
+	if _, err := NewCholesky(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square: err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveTriLowerVec(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 5}
+	y, err := ch.SolveTriLowerVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check L y = b.
+	l := ch.L()
+	back, _ := MulVec(l, y)
+	for i := range b {
+		if math.Abs(back[i]-b[i]) > 1e-12 {
+			t.Errorf("L*y[%d] = %v, want %v", i, back[i], b[i])
+		}
+	}
+	if _, err := ch.SolveTriLowerVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{4, 2}, {2, 3}})
+	ch, _ := NewCholesky(a)
+	if _, err := ch.SolveVec([]float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Error("SolveVec wrong length should fail")
+	}
+	if _, err := ch.Solve(NewDense(3, 1)); !errors.Is(err, ErrShape) {
+		t.Error("Solve wrong rows should fail")
+	}
+}

@@ -1,0 +1,83 @@
+// Package metrics computes the quality measures of the paper's Eq. 1–2:
+// precision, recall and F1 of a labeling solution against ground truth.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLengthMismatch reports label slices of different lengths.
+var ErrLengthMismatch = errors.New("metrics: label slices differ in length")
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies predicted against truth.
+func NewConfusion(predicted, truth []bool) (Confusion, error) {
+	var c Confusion
+	if len(predicted) != len(truth) {
+		return c, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(predicted), len(truth))
+	}
+	for i := range predicted {
+		switch {
+		case predicted[i] && truth[i]:
+			c.TP++
+		case predicted[i] && !truth[i]:
+			c.FP++
+		case !predicted[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Precision returns |TP| / (|TP| + |FP|) per Eq. 1. With no positive
+// predictions it returns 1: no match label was wrong. (HUMO's bound
+// formulations make the same vacuous-truth choice for an empty D+.)
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns |TP| / (|TP| + |FN|) per Eq. 2. With no actual matches it
+// returns 1: there was nothing to find.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Quality bundles the three headline measures.
+type Quality struct {
+	Precision, Recall, F1 float64
+}
+
+// Evaluate computes Quality directly from label slices.
+func Evaluate(predicted, truth []bool) (Quality, error) {
+	c, err := NewConfusion(predicted, truth)
+	if err != nil {
+		return Quality{}, err
+	}
+	return Quality{Precision: c.Precision(), Recall: c.Recall(), F1: c.F1()}, nil
+}
+
+func (q Quality) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f f1=%.4f", q.Precision, q.Recall, q.F1)
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	predicted := []bool{true, true, false, false, true}
+	truth := []bool{true, false, true, false, true}
+	c, err := NewConfusion(predicted, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v, want 2/3", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v, want 2/3", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v, want 2/3", got)
+	}
+}
+
+func TestConfusionLengthMismatch(t *testing.T) {
+	if _, err := NewConfusion([]bool{true}, []bool{true, false}); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Evaluate([]bool{true}, nil); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("Evaluate mismatch should fail")
+	}
+}
+
+func TestVacuousCases(t *testing.T) {
+	// No positive predictions: precision 1.
+	c, _ := NewConfusion([]bool{false, false}, []bool{true, false})
+	if c.Precision() != 1 {
+		t.Errorf("vacuous precision = %v, want 1", c.Precision())
+	}
+	// No actual matches: recall 1.
+	c, _ = NewConfusion([]bool{true, false}, []bool{false, false})
+	if c.Recall() != 1 {
+		t.Errorf("vacuous recall = %v, want 1", c.Recall())
+	}
+	// All wrong: F1 well-defined.
+	c, _ = NewConfusion([]bool{true}, []bool{false})
+	if c.F1() != 0 {
+		t.Errorf("all-wrong F1 = %v, want 0", c.F1())
+	}
+}
+
+func TestPerfectLabeling(t *testing.T) {
+	labels := []bool{true, false, true, true, false}
+	q, err := Evaluate(labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision != 1 || q.Recall != 1 || q.F1 != 1 {
+		t.Errorf("perfect labeling quality = %v", q)
+	}
+}
+
+func TestMetricsBoundedAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		pred := make([]bool, n)
+		truth := make([]bool, n)
+		for i := 0; i < n; i++ {
+			pred[i] = rng.Float64() < 0.5
+			truth[i] = rng.Float64() < 0.5
+		}
+		c, err := NewConfusion(pred, truth)
+		if err != nil {
+			return false
+		}
+		if c.TP+c.FP+c.TN+c.FN != n {
+			return false
+		}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		if p < 0 || p > 1 || r < 0 || r > 1 || f1 < 0 || f1 > 1 {
+			return false
+		}
+		// F1 is between min and max of p, r.
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	q := Quality{Precision: 0.5, Recall: 0.25, F1: 1.0 / 3}
+	if got := q.String(); got != "precision=0.5000 recall=0.2500 f1=0.3333" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+// Package oracle simulates the human side of HUMO. The ground-truth labels
+// of an ER workload are held out from the optimization algorithms and
+// revealed one pair at a time, exactly as in the paper's protocol: "the
+// ground-truth labels are originally hidden; whenever manual verification is
+// called for, they are provided to the program" (§VIII-A).
+//
+// Every oracle memoizes, so asking about the same pair twice (e.g. a pair
+// that is first sampled and later falls inside DH) costs one inspection —
+// matching the paper's human-cost metric, the number of manually inspected
+// instance pairs.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrUnknownPair reports a label request for a pair id outside the truth set.
+var ErrUnknownPair = errors.New("oracle: unknown pair id")
+
+// Simulated is a perfect human labeler over a fixed ground truth.
+// It is safe for concurrent use.
+type Simulated struct {
+	mu      sync.Mutex
+	truth   map[int]bool
+	labeled map[int]bool // memoized answers (also the cost ledger)
+}
+
+// NewSimulated builds an oracle over ground truth: truth[id] reports whether
+// pair id is a matching pair.
+func NewSimulated(truth map[int]bool) *Simulated {
+	copied := make(map[int]bool, len(truth))
+	for id, v := range truth {
+		copied[id] = v
+	}
+	return &Simulated{truth: copied, labeled: make(map[int]bool)}
+}
+
+// Label reveals the ground-truth label of the pair, recording it as one unit
+// of human cost on first inspection. Unknown ids panic: they indicate a
+// wiring bug between workload and oracle, not a user error.
+func (o *Simulated) Label(id int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v, ok := o.labeled[id]; ok {
+		return v
+	}
+	v, ok := o.truth[id]
+	if !ok {
+		panic(fmt.Sprintf("%v: %d", ErrUnknownPair, id))
+	}
+	o.labeled[id] = v
+	return v
+}
+
+// Cost returns the number of distinct pairs manually inspected so far —
+// the paper's human-cost metric.
+func (o *Simulated) Cost() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.labeled)
+}
+
+// Reset clears the inspection ledger (the ground truth is kept), so one
+// truth set can serve several independent runs.
+func (o *Simulated) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.labeled = make(map[int]bool)
+}
+
+// Truth returns the ground-truth label without charging human cost. It is
+// for evaluation code only (computing achieved precision/recall).
+func (o *Simulated) Truth(id int) (bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.truth[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownPair, id)
+	}
+	return v, nil
+}
+
+// Noisy wraps a ground truth with symmetric label noise: each pair's human
+// answer is flipped with the configured probability, decided once per pair
+// and then memoized (a human does not flip-flop on the same pair). It
+// supports the §IV discussion of human errors in DH and the corresponding
+// ablation experiment.
+type Noisy struct {
+	mu        sync.Mutex
+	truth     map[int]bool
+	answers   map[int]bool
+	errorRate float64
+	rng       *rand.Rand
+}
+
+// NewNoisy builds a noisy oracle. errorRate must be in [0, 1); rng must be
+// non-nil when errorRate > 0.
+func NewNoisy(truth map[int]bool, errorRate float64, rng *rand.Rand) (*Noisy, error) {
+	if errorRate < 0 || errorRate >= 1 {
+		return nil, fmt.Errorf("oracle: error rate %v must be in [0,1)", errorRate)
+	}
+	if errorRate > 0 && rng == nil {
+		return nil, errors.New("oracle: rng required for errorRate > 0")
+	}
+	copied := make(map[int]bool, len(truth))
+	for id, v := range truth {
+		copied[id] = v
+	}
+	return &Noisy{truth: copied, answers: make(map[int]bool), errorRate: errorRate, rng: rng}, nil
+}
+
+// Label returns the (possibly erroneous) human answer for the pair.
+func (o *Noisy) Label(id int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v, ok := o.answers[id]; ok {
+		return v
+	}
+	v, ok := o.truth[id]
+	if !ok {
+		panic(fmt.Sprintf("%v: %d", ErrUnknownPair, id))
+	}
+	if o.errorRate > 0 && o.rng.Float64() < o.errorRate {
+		v = !v
+	}
+	o.answers[id] = v
+	return v
+}
+
+// Cost returns the number of distinct pairs inspected.
+func (o *Noisy) Cost() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.answers)
+}
+
+// Truth returns the error-free ground truth for evaluation.
+func (o *Noisy) Truth(id int) (bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.truth[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownPair, id)
+	}
+	return v, nil
+}
+
+// Crowd simulates majority voting over an odd number of noisy workers, the
+// way HUMO's human workload would be processed on a crowdsourcing platform
+// (§IX future work). Each worker answers independently with the per-worker
+// error rate; cost counts worker answers, not pairs.
+type Crowd struct {
+	mu         sync.Mutex
+	truth      map[int]bool
+	answers    map[int]bool
+	workers    int
+	errorRate  float64
+	rng        *rand.Rand
+	totalVotes int
+}
+
+// NewCrowd builds a crowdsourced oracle with the given odd worker count per
+// pair and per-worker error rate in [0, 0.5).
+func NewCrowd(truth map[int]bool, workers int, errorRate float64, rng *rand.Rand) (*Crowd, error) {
+	if workers < 1 || workers%2 == 0 {
+		return nil, fmt.Errorf("oracle: workers %d must be odd and >= 1", workers)
+	}
+	if errorRate < 0 || errorRate >= 0.5 {
+		return nil, fmt.Errorf("oracle: per-worker error rate %v must be in [0,0.5)", errorRate)
+	}
+	if errorRate > 0 && rng == nil {
+		return nil, errors.New("oracle: rng required for errorRate > 0")
+	}
+	copied := make(map[int]bool, len(truth))
+	for id, v := range truth {
+		copied[id] = v
+	}
+	return &Crowd{truth: copied, answers: make(map[int]bool), workers: workers, errorRate: errorRate, rng: rng}, nil
+}
+
+// Label returns the majority vote over the workers for the pair.
+func (o *Crowd) Label(id int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v, ok := o.answers[id]; ok {
+		return v
+	}
+	v, ok := o.truth[id]
+	if !ok {
+		panic(fmt.Sprintf("%v: %d", ErrUnknownPair, id))
+	}
+	agree := 0
+	for i := 0; i < o.workers; i++ {
+		ans := v
+		if o.errorRate > 0 && o.rng.Float64() < o.errorRate {
+			ans = !ans
+		}
+		if ans == v {
+			agree++
+		}
+	}
+	o.totalVotes += o.workers
+	ans := v
+	if agree <= o.workers/2 {
+		ans = !v // the majority got it wrong
+	}
+	o.answers[id] = ans
+	return ans
+}
+
+// Cost returns the number of distinct pairs adjudicated.
+func (o *Crowd) Cost() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.answers)
+}
+
+// Votes returns the total number of worker answers collected, the monetary
+// cost proxy on a crowdsourcing platform.
+func (o *Crowd) Votes() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.totalVotes
+}
+
+// Truth returns the error-free ground truth for evaluation.
+func (o *Crowd) Truth(id int) (bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.truth[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownPair, id)
+	}
+	return v, nil
+}

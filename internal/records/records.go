@@ -1,0 +1,76 @@
+// Package records models the relational records the simulated real datasets
+// are built from (paper §VIII-A: bibliographic records for DBLP-Scholar,
+// product records for Abt-Buy). A Record carries a hidden EntityID — the
+// real-world entity it denotes — which generators set and the oracle uses
+// for ground truth; resolution algorithms never read it.
+package records
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTable reports a structurally invalid table.
+var ErrBadTable = errors.New("records: invalid table")
+
+// Record is one relational record.
+type Record struct {
+	// ID is unique within its table.
+	ID int
+	// EntityID identifies the underlying real-world entity (ground truth).
+	EntityID int
+	// Values holds one string per table attribute.
+	Values []string
+}
+
+// Table is a named collection of records over a fixed attribute schema.
+type Table struct {
+	Name       string
+	Attributes []string
+	Records    []Record
+}
+
+// Validate checks structural invariants: non-empty schema, per-record value
+// arity, and unique record ids.
+func (t *Table) Validate() error {
+	if len(t.Attributes) == 0 {
+		return fmt.Errorf("%w: table %q has no attributes", ErrBadTable, t.Name)
+	}
+	seen := make(map[int]struct{}, len(t.Records))
+	for i, r := range t.Records {
+		if len(r.Values) != len(t.Attributes) {
+			return fmt.Errorf("%w: table %q record %d has %d values, want %d", ErrBadTable, t.Name, i, len(r.Values), len(t.Attributes))
+		}
+		if _, dup := seen[r.ID]; dup {
+			return fmt.Errorf("%w: table %q has duplicate record id %d", ErrBadTable, t.Name, r.ID)
+		}
+		seen[r.ID] = struct{}{}
+	}
+	return nil
+}
+
+// AttributeIndex returns the position of the named attribute, or an error.
+func (t *Table) AttributeIndex(name string) (int, error) {
+	for i, a := range t.Attributes {
+		if a == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: table %q has no attribute %q", ErrBadTable, t.Name, name)
+}
+
+// Column returns the values of attribute i across all records, in record
+// order. It is the input to similarity.DistinctValueWeights.
+func (t *Table) Column(i int) []string {
+	if i < 0 || i >= len(t.Attributes) {
+		panic(fmt.Sprintf("records: column %d out of range for table %q", i, t.Name))
+	}
+	out := make([]string, len(t.Records))
+	for j, r := range t.Records {
+		out[j] = r.Values[i]
+	}
+	return out
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.Records) }

@@ -1,0 +1,265 @@
+package similarity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"a-b_c.d", []string{"a", "b", "c", "d"}},
+		{"", nil},
+		{"   ", nil},
+		{"SVM2018 paper", []string{"svm2018", "paper"}},
+		{"ÜBER café", []string{"über", "café"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"a b c", "a b c", 1},
+		{"a b", "c d", 0},
+		{"a b c", "b c d", 0.5},
+		{"", "", 1},
+		{"a", "", 0},
+		{"a a a", "a", 1}, // set semantics
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.944444},
+		{"DIXON", "DICKSONX", 0.766667},
+		{"JELLYFISH", "SMELLYFISH", 0.896296},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"same", "same", 1},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Jaro(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961111},
+		{"DIXON", "DICKSONX", 0.813333},
+		{"TRATE", "TRACE", 0.906667},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("JaroWinkler(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSimBounds(t *testing.T) {
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Errorf("LevenshteinSim empty = %v, want 1", got)
+	}
+	if got := LevenshteinSim("abc", "xyz"); got != 0 {
+		t.Errorf("LevenshteinSim disjoint = %v, want 0", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine("a b", "a b"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Cosine identical = %v, want 1", got)
+	}
+	if got := Cosine("a", "b"); got != 0 {
+		t.Errorf("Cosine disjoint = %v, want 0", got)
+	}
+	// "a a b" vs "a b b": tf vectors (2,1) and (1,2) -> cos = 4/5.
+	if got := Cosine("a a b", "a b b"); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("Cosine = %v, want 0.8", got)
+	}
+}
+
+// Property tests: all measures must be symmetric, bounded in [0,1], and
+// reflexive (s(x,x)=1).
+func TestMeasureProperties(t *testing.T) {
+	measures := []Measure{
+		{"jaccard", Jaccard},
+		{"jaro", Jaro},
+		{"jarowinkler", JaroWinkler},
+		{"levenshtein", LevenshteinSim},
+		{"cosine", Cosine},
+	}
+	vocab := []string{"data", "base", "entity", "match", "2018", "svm", "x", "yz"}
+	randString := func(rng *rand.Rand) string {
+		n := rng.Intn(6)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(parts, " ")
+	}
+	for _, m := range measures {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				a, b := randString(rng), randString(rng)
+				sab, sba := m.Func(a, b), m.Func(b, a)
+				if math.Abs(sab-sba) > 1e-12 {
+					return false
+				}
+				if sab < 0 || sab > 1+1e-12 {
+					return false
+				}
+				return math.Abs(m.Func(a, a)-1) < 1e-12
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	measures := []Measure{{"jaccard", Jaccard}, {"jw", JaroWinkler}}
+	agg, err := NewAggregator(measures, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := agg.Weights()
+	if math.Abs(w[0]-0.75) > 1e-12 || math.Abs(w[1]-0.25) > 1e-12 {
+		t.Errorf("Weights = %v, want [0.75 0.25]", w)
+	}
+	sim, err := agg.Similarity([]string{"a b", "abc"}, []string{"a b", "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-1) > 1e-12 {
+		t.Errorf("identical tuples similarity = %v, want 1", sim)
+	}
+	feats, err := agg.Features([]string{"a b", "abc"}, []string{"b c", "abd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 2 {
+		t.Fatalf("Features len = %d, want 2", len(feats))
+	}
+	for i, f := range feats {
+		if f < 0 || f > 1 {
+			t.Errorf("feature %d = %v out of [0,1]", i, f)
+		}
+	}
+}
+
+func TestAggregatorErrors(t *testing.T) {
+	m := []Measure{{"j", Jaccard}}
+	if _, err := NewAggregator(nil, nil); !errors.Is(err, ErrBadWeights) {
+		t.Error("empty measures should fail")
+	}
+	if _, err := NewAggregator(m, []float64{1, 2}); !errors.Is(err, ErrBadWeights) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewAggregator(m, []float64{-1}); !errors.Is(err, ErrBadWeights) {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewAggregator(m, []float64{0}); !errors.Is(err, ErrBadWeights) {
+		t.Error("zero-sum weights should fail")
+	}
+	agg, _ := NewAggregator(m, []float64{1})
+	if _, err := agg.Similarity([]string{"a", "b"}, []string{"a"}); !errors.Is(err, ErrBadWeights) {
+		t.Error("tuple length mismatch should fail")
+	}
+	if _, err := agg.Features([]string{"a", "b"}, []string{"a"}); !errors.Is(err, ErrBadWeights) {
+		t.Error("Features tuple length mismatch should fail")
+	}
+}
+
+func TestAggregatedSimilarityBounded(t *testing.T) {
+	agg, err := NewAggregator(
+		[]Measure{{"jaccard", Jaccard}, {"jw", JaroWinkler}, {"lev", LevenshteinSim}},
+		[]float64{5, 2, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a1, a2, b1, b2, c1, c2 string) bool {
+		s, err := agg.Similarity([]string{a1, b1, c1}, []string{a2, b2, c2})
+		if err != nil {
+			return false
+		}
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctValueWeights(t *testing.T) {
+	cols := [][]string{
+		{"a", "b", "a", "c"},
+		{"x", "x", "x", "x"},
+		{},
+	}
+	w := DistinctValueWeights(cols)
+	if w[0] != 3 || w[1] != 1 || w[2] != 0 {
+		t.Errorf("DistinctValueWeights = %v, want [3 1 0]", w)
+	}
+}
+
+func TestJaccardSetsOrderIndependence(t *testing.T) {
+	sa := TokenSet("a b c d e")
+	sb := TokenSet("d e")
+	if JaccardSets(sa, sb) != JaccardSets(sb, sa) {
+		t.Error("JaccardSets must be symmetric regardless of size ordering")
+	}
+}

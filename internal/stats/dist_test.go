@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.841344746, 1.0},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if !almostEqual(got, c.want, 1e-5) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileExtremes(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+}
+
+func TestTwoSidedZKnownValues(t *testing.T) {
+	z, err := TwoSidedZ(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(z, 1.959964, 1e-5) {
+		t.Errorf("TwoSidedZ(0.95) = %v, want 1.959964", z)
+	}
+	z, err = TwoSidedZ(0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(z, 1.644854, 1e-5) {
+		t.Errorf("TwoSidedZ(0.90) = %v, want 1.644854", z)
+	}
+}
+
+func TestTwoSidedZBadParams(t *testing.T) {
+	for _, theta := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := TwoSidedZ(theta); err == nil {
+			t.Errorf("TwoSidedZ(%v) should fail", theta)
+		}
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},     // uniform CDF
+		{2, 2, 0.5, 0.5},     // symmetric beta at midpoint
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution midpoint
+		{2, 1, 0.5, 0.25},    // I_x(2,1) = x^2
+		{1, 2, 0.25, 0.4375}, // 1-(1-x)^2
+		{5, 3, 1.0, 1.0},     // boundary
+		{5, 3, 0.0, 0.0},     // boundary
+	}
+	for _, c := range cases {
+		got, err := RegIncBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%v,%v,%v): %v", c.a, c.b, c.x, err)
+		}
+		if !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBadParams(t *testing.T) {
+	if _, err := RegIncBeta(-1, 1, 0.5); err == nil {
+		t.Error("negative a should fail")
+	}
+	if _, err := RegIncBeta(1, 0, 0.5); err == nil {
+		t.Error("zero b should fail")
+	}
+	if _, err := RegIncBeta(1, 1, 1.5); err == nil {
+		t.Error("x > 1 should fail")
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	f := func(a, b uint8, x1, x2 float64) bool {
+		aa := 0.5 + float64(a%40)/4
+		bb := 0.5 + float64(b%40)/4
+		x1 = math.Abs(math.Mod(x1, 1))
+		x2 = math.Abs(math.Mod(x2, 1))
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		v1, err1 := RegIncBeta(aa, bb, x1)
+		v2, err2 := RegIncBeta(aa, bb, x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v1 <= v2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// With df=1 (Cauchy), CDF(1) = 0.75.
+	v, err := StudentTCDF(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 0.75, 1e-10) {
+		t.Errorf("StudentTCDF(1, 1) = %v, want 0.75", v)
+	}
+	// Symmetry at zero.
+	v, err = StudentTCDF(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 0.5, 1e-12) {
+		t.Errorf("StudentTCDF(0, 7) = %v, want 0.5", v)
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Classic t-table values (two-sided 95% => p = 0.975).
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.7062},
+		{0.975, 5, 2.5706},
+		{0.975, 10, 2.2281},
+		{0.975, 30, 2.0423},
+		{0.95, 10, 1.8125},
+		{0.995, 10, 3.1693},
+	}
+	for _, c := range cases {
+		got, err := StudentTQuantile(c.p, c.df)
+		if err != nil {
+			t.Fatalf("StudentTQuantile(%v, %v): %v", c.p, c.df, err)
+		}
+		if !almostEqual(got, c.want, 1e-3) {
+			t.Errorf("StudentTQuantile(%v, %v) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileSymmetry(t *testing.T) {
+	f := func(pRaw float64, dfRaw uint16) bool {
+		p := 0.01 + 0.98*math.Abs(math.Mod(pRaw, 1))
+		df := 1 + float64(dfRaw%200)
+		q1, err1 := StudentTQuantile(p, df)
+		q2, err2 := StudentTQuantile(1-p, df)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(q1, -q2, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	f := func(pRaw float64, dfRaw uint16) bool {
+		p := 0.01 + 0.98*math.Abs(math.Mod(pRaw, 1))
+		df := 1 + float64(dfRaw%100)
+		q, err := StudentTQuantile(p, df)
+		if err != nil {
+			return false
+		}
+		back, err := StudentTCDF(q, df)
+		if err != nil {
+			return false
+		}
+		return almostEqual(back, p, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoSidedTApproachesNormal(t *testing.T) {
+	tv, err := TwoSidedT(0.95, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tv, 1.959964, 1e-3) {
+		t.Errorf("TwoSidedT(0.95, 1e6) = %v, want ~1.96", tv)
+	}
+	// Huge df path falls back to normal.
+	tv, err = TwoSidedT(0.95, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tv, 1.959964, 1e-5) {
+		t.Errorf("TwoSidedT(0.95, 1e9) = %v, want 1.96", tv)
+	}
+}
+
+func TestTwoSidedTWiderThanNormal(t *testing.T) {
+	// t critical values must dominate normal critical values at any df.
+	z, _ := TwoSidedZ(0.9)
+	for _, df := range []float64{1, 2, 5, 20, 100} {
+		tv, err := TwoSidedT(0.9, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv < z-1e-9 {
+			t.Errorf("TwoSidedT(0.9, %v) = %v < z = %v", df, tv, z)
+		}
+	}
+}
+
+func TestTwoSidedTBadParams(t *testing.T) {
+	if _, err := TwoSidedT(0.9, 0); err == nil {
+		t.Error("df=0 should fail")
+	}
+	if _, err := TwoSidedT(0, 5); err == nil {
+		t.Error("theta=0 should fail")
+	}
+}

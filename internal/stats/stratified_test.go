@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStratumValidate(t *testing.T) {
+	cases := []struct {
+		s  Stratum
+		ok bool
+	}{
+		{Stratum{Size: 200, Sampled: 20, Matches: 5}, true},
+		{Stratum{Size: 200, Sampled: 200, Matches: 200}, true},
+		{Stratum{Size: 0, Sampled: 0, Matches: 0}, true},
+		{Stratum{Size: 10, Sampled: 20, Matches: 5}, false},
+		{Stratum{Size: 10, Sampled: 5, Matches: 6}, false},
+		{Stratum{Size: -1, Sampled: 0, Matches: 0}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v): err=%v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+}
+
+func TestStratumProportion(t *testing.T) {
+	s := Stratum{Size: 200, Sampled: 40, Matches: 10}
+	if got := s.Proportion(); got != 0.25 {
+		t.Errorf("Proportion = %v, want 0.25", got)
+	}
+	if got := (Stratum{}).Proportion(); got != 0 {
+		t.Errorf("empty Proportion = %v, want 0", got)
+	}
+}
+
+func TestEstimateTotalFullCensus(t *testing.T) {
+	// Fully labeled strata: estimate is exact with zero variance.
+	strata := []Stratum{
+		{Size: 100, Sampled: 100, Matches: 30},
+		{Size: 50, Sampled: 50, Matches: 50},
+		{Size: 80, Sampled: 80, Matches: 0},
+	}
+	est, err := EstimateTotal(strata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 80 {
+		t.Errorf("Mean = %v, want 80", est.Mean)
+	}
+	if est.StdDev != 0 {
+		t.Errorf("StdDev = %v, want 0 (census)", est.StdDev)
+	}
+	lo, hi, err := est.Interval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 80 || hi != 80 {
+		t.Errorf("census interval = [%v,%v], want [80,80]", lo, hi)
+	}
+}
+
+func TestEstimateTotalErrors(t *testing.T) {
+	if _, err := EstimateTotal([]Stratum{{Size: 10, Sampled: 0}}); err == nil {
+		t.Error("unsampled nonempty stratum should fail")
+	}
+	if _, err := EstimateTotal([]Stratum{{Size: -5}}); err == nil {
+		t.Error("invalid stratum should fail")
+	}
+}
+
+func TestEstimateTotalIntervalClamped(t *testing.T) {
+	strata := []Stratum{{Size: 10, Sampled: 2, Matches: 1}}
+	est, err := EstimateTotal(strata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := est.Interval(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 10 {
+		t.Errorf("interval [%v,%v] escapes [0,10]", lo, hi)
+	}
+	if lo > hi {
+		t.Errorf("lo %v > hi %v", lo, hi)
+	}
+}
+
+// TestEstimateTotalCoverage draws many synthetic populations, samples them,
+// and verifies the t-interval covers the true total at least ~theta of the
+// time. This is the statistical contract Eq. 12 relies on.
+func TestEstimateTotalCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage simulation is slow")
+	}
+	rng := rand.New(rand.NewSource(42))
+	const (
+		trials = 400
+		theta  = 0.90
+	)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		// Population: 20 strata of 200 pairs with varying proportions.
+		var strata []Stratum
+		trueTotal := 0
+		for i := 0; i < 20; i++ {
+			p := rng.Float64()
+			matchesPop := 0
+			labels := make([]bool, 200)
+			for j := range labels {
+				if rng.Float64() < p {
+					labels[j] = true
+					matchesPop++
+				}
+			}
+			trueTotal += matchesPop
+			// Sample 30 without replacement.
+			perm := rng.Perm(200)
+			sampleMatches := 0
+			for _, idx := range perm[:30] {
+				if labels[idx] {
+					sampleMatches++
+				}
+			}
+			strata = append(strata, Stratum{Size: 200, Sampled: 30, Matches: sampleMatches})
+		}
+		est, err := EstimateTotal(strata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, err := est.Interval(theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(trueTotal) >= lo && float64(trueTotal) <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < theta-0.05 {
+		t.Errorf("coverage %.3f below theta %.2f (minus tolerance)", rate, theta)
+	}
+}
+
+func TestEstimateTotalBoundsOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var strata []Stratum
+		for i := 0; i < 5; i++ {
+			size := 50 + rng.Intn(200)
+			sampled := 2 + rng.Intn(size-1)
+			matches := rng.Intn(sampled + 1)
+			strata = append(strata, Stratum{Size: size, Sampled: sampled, Matches: matches})
+		}
+		est, err := EstimateTotal(strata)
+		if err != nil {
+			return false
+		}
+		lo, err1 := est.LowerBound(0.9)
+		hi, err2 := est.UpperBound(0.9)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lo <= est.Mean+1e-9 && est.Mean <= hi+1e-9 && lo >= 0 && hi <= float64(est.Pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateTotalHigherConfidenceWiderInterval(t *testing.T) {
+	strata := []Stratum{
+		{Size: 200, Sampled: 20, Matches: 7},
+		{Size: 200, Sampled: 20, Matches: 13},
+	}
+	est, err := EstimateTotal(strata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo90, hi90, _ := est.Interval(0.90)
+	lo99, hi99, _ := est.Interval(0.99)
+	if !(lo99 <= lo90 && hi99 >= hi90) {
+		t.Errorf("99%% interval [%v,%v] should contain 90%% interval [%v,%v]", lo99, hi99, lo90, hi90)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi, err := WilsonInterval(50, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 0.5 && hi > 0.5) {
+		t.Errorf("Wilson(50/100) = [%v,%v] should straddle 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("Wilson(50/100) width %v too wide", hi-lo)
+	}
+	// Extreme proportions stay in [0,1].
+	lo, hi, err = WilsonInterval(0, 10, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("Wilson(0/10) = [%v,%v] escapes [0,1]", lo, hi)
+	}
+	if _, _, err := WilsonInterval(5, 0, 0.9); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, _, err := WilsonInterval(11, 10, 0.9); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if s := StdDev(xs); !almostEqual(s, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", s, want)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}

@@ -1,0 +1,195 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); !errors.Is(err, ErrBadTraining) {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Train([][]float64{{1}}, []bool{true, false}, Config{}); !errors.Is(err, ErrBadTraining) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []bool{true, false}, Config{}); !errors.Is(err, ErrBadTraining) {
+		t.Error("ragged features should fail")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []bool{true, true}, Config{}); !errors.Is(err, ErrBadTraining) {
+		t.Error("single-class training should fail")
+	}
+	if _, err := Train([][]float64{{}, {}}, []bool{true, false}, Config{}); !errors.Is(err, ErrBadTraining) {
+		t.Error("zero-dim features should fail")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []bool{true, false}, Config{Lambda: -1}); !errors.Is(err, ErrBadTraining) {
+		t.Error("negative lambda should fail")
+	}
+}
+
+func TestLinearlySeparable(t *testing.T) {
+	// Points in 2D separated by x0 + x1 = 1.
+	rng := rand.New(rand.NewSource(1))
+	var feats [][]float64
+	var labels []bool
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		s := x[0] + x[1]
+		if s > 0.9 && s < 1.1 {
+			continue // margin
+		}
+		feats = append(feats, x)
+		labels = append(labels, s >= 1)
+	}
+	m, err := Train(feats, labels, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := range feats {
+		if m.Predict(feats[i]) != labels[i] {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / float64(len(feats)); rate > 0.02 {
+		t.Errorf("training error %.3f on separable data", rate)
+	}
+}
+
+func TestDecisionMonotoneInFeature(t *testing.T) {
+	// 1-D threshold data: higher similarity means match; the decision value
+	// must increase with the feature.
+	var feats [][]float64
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		feats = append(feats, []float64{v})
+		labels = append(labels, v >= 0.5)
+	}
+	m, err := Train(feats, labels, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights[0] <= 0 {
+		t.Fatalf("weight %v should be positive", m.Weights[0])
+	}
+	if !(m.Decision([]float64{0.9}) > m.Decision([]float64{0.1})) {
+		t.Error("decision not monotone in the informative feature")
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var feats [][]float64
+	var labels []bool
+	for i := 0; i < 100; i++ {
+		feats = append(feats, []float64{rng.Float64(), rng.Float64()})
+		labels = append(labels, rng.Float64() < 0.5)
+	}
+	// Guarantee both classes.
+	labels[0], labels[1] = true, false
+	m1, err := Train(feats, labels, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(feats, labels, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range m1.Weights {
+		if m1.Weights[j] != m2.Weights[j] {
+			t.Fatal("training not deterministic")
+		}
+	}
+	if m1.Bias != m2.Bias {
+		t.Fatal("bias not deterministic")
+	}
+}
+
+func TestClassWeightingLiftsMinorityRecall(t *testing.T) {
+	// Imbalanced, overlapping 1-D data: without positive weighting the
+	// minority class is largely ignored; with it, recall improves.
+	rng := rand.New(rand.NewSource(6))
+	var feats [][]float64
+	var labels []bool
+	for i := 0; i < 3000; i++ {
+		if rng.Float64() < 0.05 {
+			feats = append(feats, []float64{0.5 + 0.3*rng.NormFloat64()})
+			labels = append(labels, true)
+		} else {
+			feats = append(feats, []float64{-0.5 + 0.3*rng.NormFloat64()})
+			labels = append(labels, false)
+		}
+	}
+	recallOf := func(w float64) float64 {
+		m, err := Train(feats, labels, Config{Seed: 7, PositiveWeight: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, fn := 0, 0
+		for i := range feats {
+			if !labels[i] {
+				continue
+			}
+			if m.Predict(feats[i]) {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	weighted := recallOf(0) // auto weighting
+	tiny := recallOf(0.5)   // deliberately under-weighted positives
+	if weighted <= tiny {
+		t.Errorf("auto class weighting recall %.3f should beat under-weighted %.3f", weighted, tiny)
+	}
+}
+
+func TestDecisionFiniteProperty(t *testing.T) {
+	m := &Model{Weights: []float64{0.5, -0.25}, Bias: 0.1}
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		d := m.Decision([]float64{a, b})
+		return !math.IsNaN(d) && !math.IsInf(d, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test, err := TrainTestSplit(100, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 30 || len(test) != 70 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, train...), test...) {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatal("split is not a permutation")
+		}
+		seen[i] = true
+	}
+	// Deterministic.
+	train2, _, _ := TrainTestSplit(100, 30, 1)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	if _, _, err := TrainTestSplit(10, 0, 1); !errors.Is(err, ErrBadTraining) {
+		t.Error("zero train size should fail")
+	}
+	if _, _, err := TrainTestSplit(10, 10, 1); !errors.Is(err, ErrBadTraining) {
+		t.Error("train size == n should fail")
+	}
+}
