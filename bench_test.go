@@ -60,6 +60,31 @@ func BenchmarkAblationHumanError(b *testing.B)   { benchExperiment(b, "ablation-
 func BenchmarkAblationBudget(b *testing.B)       { benchExperiment(b, "ablation-budget") }
 func BenchmarkAblationMetric(b *testing.B)       { benchExperiment(b, "ablation-metric") }
 
+// Parallel harness: the same multi-repetition experiment pinned to one
+// worker vs fanned out across GOMAXPROCS. The emitted tables are
+// bit-identical; only wall-clock differs (compare the two benchmarks on a
+// multi-core machine to see the speedup).
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	env := experiments.NewEnv(experiments.ScaleSmall, 6, 7)
+	env.Workers = workers
+	if _, err := experiments.Run(env, id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(env, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Workers1(b *testing.B)   { benchExperimentWorkers(b, "table3", 1) }
+func BenchmarkTable3WorkersMax(b *testing.B) { benchExperimentWorkers(b, "table3", 0) }
+func BenchmarkTable4Workers1(b *testing.B)   { benchExperimentWorkers(b, "table4", 1) }
+func BenchmarkTable4WorkersMax(b *testing.B) { benchExperimentWorkers(b, "table4", 0) }
+
 // Micro-benchmarks of the hot paths underneath the experiments.
 
 func benchWorkload(b *testing.B, n int) (*humo.Workload, map[int]bool) {

@@ -6,25 +6,38 @@
 // Usage:
 //
 //	humoexp -list
-//	humoexp [-scale small|full] [-runs N] [-seed S] all
-//	humoexp [-scale small|full] [-runs N] [-seed S] table1 fig6 ...
+//	humoexp [-scale small|full] [-runs N] [-seed S] [-parallel N] all
+//	humoexp [-scale small|full] [-runs N] [-seed S] [-parallel N] table1 fig6 ...
+//
+// -parallel N (default GOMAXPROCS) bounds each fan-out level independently:
+// up to N experiment ids run concurrently, and each running experiment fans
+// its stochastic repetitions out across up to N more workers — so nested
+// load can reach N×N goroutines; use -parallel 1 for a strictly sequential
+// run. Repetition seeds are fixed per index, so -parallel only changes
+// wall-clock time — the printed tables are bit-identical for every N (timing
+// columns such as table7's excepted, since they report measured wall-clock,
+// which contention inflates). Output is buffered per experiment and flushed
+// in command-line order, so interleaving never garbles it.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"humo/internal/experiments"
+	"humo/internal/parallel"
 )
 
 func main() {
 	var (
-		scaleFlag = flag.String("scale", "small", "dataset scale: small or full")
-		runsFlag  = flag.Int("runs", 0, "repetitions for stochastic approaches (0 = scale default)")
-		seedFlag  = flag.Int64("seed", 20180402, "experiment seed")
-		listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+		scaleFlag    = flag.String("scale", "small", "dataset scale: small or full")
+		runsFlag     = flag.Int("runs", 0, "repetitions for stochastic approaches (0 = scale default)")
+		seedFlag     = flag.Int64("seed", 20180402, "experiment seed")
+		parallelFlag = flag.Int("parallel", 0, "worker pool size for experiments and repetitions (0 = GOMAXPROCS)")
+		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -56,16 +69,48 @@ func main() {
 	}
 
 	env := experiments.NewEnv(scale, *runsFlag, *seedFlag)
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := experiments.Run(env, id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "humoexp: %s: %v\n", id, err)
+	env.Workers = *parallelFlag
+
+	// Experiments run concurrently, each rendering into its own buffer; the
+	// printer loop below flushes them in the order they were requested as
+	// soon as each finishes.
+	type expResult struct {
+		out     bytes.Buffer
+		elapsed time.Duration
+		err     error
+	}
+	results := make([]expResult, len(ids))
+	done := make([]chan struct{}, len(ids))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go func() {
+		// Run errors are carried per experiment in results (fn never returns
+		// one), so every id executes and the first failure in command-line
+		// order is reported — matching the sequential driver.
+		_ = parallel.ForEach(env.Workers, len(ids), func(i int) error {
+			defer close(done[i])
+			start := time.Now()
+			tables, err := experiments.Run(env, ids[i])
+			results[i].elapsed = time.Since(start)
+			if err != nil {
+				results[i].err = err
+				return nil
+			}
+			for _, t := range tables {
+				t.Fprint(&results[i].out)
+			}
+			return nil
+		})
+	}()
+
+	for i, id := range ids {
+		<-done[i]
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "humoexp: %s: %v\n", id, results[i].err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			t.Fprint(os.Stdout)
-		}
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		os.Stdout.Write(results[i].out.Bytes())
+		fmt.Printf("[%s completed in %v]\n\n", id, results[i].elapsed.Round(time.Millisecond))
 	}
 }

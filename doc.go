@@ -50,4 +50,32 @@
 // Package-level generators (Logistic, DSLike, ABLike) reproduce the paper's
 // evaluation workloads for benchmarking; cmd/humoexp regenerates every table
 // and figure of the paper's evaluation section.
+//
+// # Module setup
+//
+// The repository is the single Go module "humo" (see go.mod); a fresh clone
+// builds and tests with the standard toolchain and no third-party
+// dependencies:
+//
+//	go build ./... && go test ./...
+//
+// # Parallelism
+//
+// The experiment harness and the hot estimation paths fan out on bounded
+// worker pools (internal/parallel). Every concurrency knob uses the same
+// convention — values <= 0 select GOMAXPROCS — and every parallel path is
+// deterministic: repetition seeds are fixed per index and reductions happen
+// in index order, so any worker count produces bit-identical results. The
+// bound applies per fan-out level (concurrent experiments, repetitions
+// within one, the estimator precompute), not globally — nested levels can
+// briefly oversubscribe, which trades some scheduling overhead for a much
+// simpler determinism story.
+//
+//   - cmd/humoexp -parallel N runs up to N experiments concurrently and
+//     fans each experiment's stochastic repetitions out across up to N
+//     workers, printing output in command-line order regardless of
+//     completion order.
+//   - SamplingConfig.Workers bounds the goroutines of the coherent
+//     Gaussian-process variance precompute (the O(m²) part of Eq. 20).
+//   - humo.Workers normalizes a knob the way the rest of the package does.
 package humo

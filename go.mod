@@ -1,0 +1,3 @@
+module humo
+
+go 1.24

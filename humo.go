@@ -5,6 +5,7 @@ import (
 	"humo/internal/datagen"
 	"humo/internal/metrics"
 	"humo/internal/oracle"
+	"humo/internal/parallel"
 )
 
 // Core workload model. See package core for full documentation of the
@@ -35,6 +36,17 @@ type (
 // DefaultSubsetSize is the unit-subset size used when NewWorkload receives 0
 // (200 pairs, as in the paper's evaluation).
 const DefaultSubsetSize = core.DefaultSubsetSize
+
+// Parallelism. Every concurrency knob in the package follows one convention:
+// values <= 0 select the runtime's GOMAXPROCS. SamplingConfig.Workers bounds
+// the goroutines of the coherent Gaussian-process variance precompute
+// (CoherentAggregation), and cmd/humoexp's -parallel flag bounds both
+// concurrent experiments and the repetition fan-out. Every parallel path is
+// bit-deterministic: a worker count changes wall-clock time, never results.
+
+// Workers normalizes a worker-count knob: n <= 0 selects GOMAXPROCS,
+// anything else is returned unchanged.
+func Workers(n int) int { return parallel.Workers(n) }
 
 // Workload and search constructors.
 

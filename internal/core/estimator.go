@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"humo/internal/gp"
+	"humo/internal/parallel"
 	"humo/internal/stats"
 )
 
@@ -133,11 +135,19 @@ func clampCount(lo, hi, pop float64) (float64, float64, error) {
 //     it assumes can float up in unison.
 //
 // Coherent prefix and suffix variances for every split point are precomputed
-// incrementally in O(m·(m+t)); mid-range variances for a fixed lower bound
-// are built on demand (the upper-bound scan uses a single lower bound).
+// incrementally in O(m·(m+t)) — the O(m²) kernel sums fan out across workers
+// — and mid-range variances for a fixed lower bound are built on demand (the
+// upper-bound scan uses a single lower bound).
+//
+// Interval queries are safe for concurrent use: prefixInterval and
+// suffixInterval only read precomputed state, and midInterval guards its
+// lazily rebuilt cache with a mutex. For best performance still prefer one
+// estimator per goroutine — concurrent midInterval queries with different
+// lower bounds thrash the shared cache (correct, but repeatedly rebuilt).
 type gpEstimator struct {
 	reg      *gp.Regressor
 	coherent bool
+	workers  int         // concurrency of the O(m²) precomputes; <= 0 = GOMAXPROCS
 	x        []float64   // subset centers
 	n        []float64   // subset sizes
 	white    [][]float64 // whitened cross-covariance per subset
@@ -155,7 +165,8 @@ type gpEstimator struct {
 	// between-anchor variance).
 	ancK, ancR, ancR2 []float64
 
-	midLo  int // lower bound the mid cache is built for (-1 = none)
+	midMu  sync.Mutex // guards midLo and midVar
+	midLo  int        // lower bound the mid cache is built for (-1 = none)
 	midVar []float64
 }
 
@@ -170,11 +181,17 @@ type gpEstimator struct {
 // GP systematically flattens rare positive observations into the noise.
 // Interval queries return the outer hull of the GP interval and the
 // cluster-sample interval.
-func newGPEstimator(w *Workload, reg *gp.Regressor, coherent bool, bandVar float64, strata map[int]stats.Stratum) (*gpEstimator, error) {
+//
+// workers bounds the goroutines of the coherent O(m²) variance precomputes;
+// <= 0 selects GOMAXPROCS. The result is bit-identical for every worker
+// count: each subset's kernel sum is accumulated in the same index order,
+// only across goroutines.
+func newGPEstimator(w *Workload, reg *gp.Regressor, coherent bool, bandVar float64, strata map[int]stats.Stratum, workers int) (*gpEstimator, error) {
 	m := w.Subsets()
 	e := &gpEstimator{
 		reg:       reg,
 		coherent:  coherent,
+		workers:   workers,
 		x:         make([]float64, m),
 		n:         make([]float64, m),
 		white:     make([][]float64, m),
@@ -235,22 +252,21 @@ func newGPEstimator(w *Workload, reg *gp.Regressor, coherent bool, bandVar float
 	// Incremental prefix variances. With S_k = sum_{i<k} n_i f_i:
 	// Var(S_{k+1}) = Var(S_k) + 2 Cov(S_k, n_k f_k) + n_k^2 Var(f_k), and
 	// Cov(S_k, n_k f_k) = n_k (sum_{i<k} n_i K(x_i,x_k) - U_k . w_k) where
-	// U_k = sum_{i<k} n_i w_i.
+	// U_k = sum_{i<k} n_i w_i. The kernel sums dominate (O(m²) against the
+	// recurrence's O(m·t)) and are independent per k, so they are hoisted
+	// into a parallel precompute.
 	t := 0
 	if m > 0 {
 		t = len(e.white[0])
 	}
+	covPref := e.kernelRangeSums(func(k int) (int, int) { return 0, k })
 	u := make([]float64, t)
 	for k := 0; k < m; k++ {
-		cov := 0.0
-		for i := 0; i < k; i++ {
-			cov += e.n[i] * reg.KernelValue(e.x[i], e.x[k])
-		}
 		var uw float64
 		for j := 0; j < t; j++ {
 			uw += u[j] * e.white[k][j]
 		}
-		cov = e.n[k] * (cov - uw)
+		cov := e.n[k] * (covPref[k] - uw)
 		varK := e.pointVar(k)
 		e.prefVar[k+1] = e.prefVar[k] + 2*cov + e.n[k]*e.n[k]*varK
 		if e.prefVar[k+1] < 0 {
@@ -261,19 +277,16 @@ func newGPEstimator(w *Workload, reg *gp.Regressor, coherent bool, bandVar float
 		}
 	}
 	// Suffix variances, mirrored.
+	covSuf := e.kernelRangeSums(func(k int) (int, int) { return k + 1, m })
 	for j := range u {
 		u[j] = 0
 	}
 	for k := m - 1; k >= 0; k-- {
-		cov := 0.0
-		for i := k + 1; i < m; i++ {
-			cov += e.n[i] * reg.KernelValue(e.x[i], e.x[k])
-		}
 		var uw float64
 		for j := 0; j < t; j++ {
 			uw += u[j] * e.white[k][j]
 		}
-		cov = e.n[k] * (cov - uw)
+		cov := e.n[k] * (covSuf[k] - uw)
 		varK := e.pointVar(k)
 		e.sufVar[k] = e.sufVar[k+1] + 2*cov + e.n[k]*e.n[k]*varK
 		if e.sufVar[k] < 0 {
@@ -284,6 +297,27 @@ func newGPEstimator(w *Workload, reg *gp.Regressor, coherent bool, bandVar float
 		}
 	}
 	return e, nil
+}
+
+// kernelRangeSums returns, for every subset k, the pair-weighted kernel sum
+// sum_{i in [bounds(k))} n_i K(x_i, x_k) — the O(m²) half of the coherent
+// variance recurrences. Rows are independent and fan out across the
+// estimator's workers; within a row the accumulation order is always
+// ascending i, so the sums are bit-identical for any worker count.
+func (e *gpEstimator) kernelRangeSums(bounds func(k int) (lo, hiEx int)) []float64 {
+	m := len(e.x)
+	out := make([]float64, m)
+	// fn never fails, so ForEach cannot return an error.
+	_ = parallel.ForEach(e.workers, m, func(k int) error {
+		lo, hiEx := bounds(k)
+		var s float64
+		for i := lo; i < hiEx; i++ {
+			s += e.n[i] * e.reg.KernelValue(e.x[i], e.x[k])
+		}
+		out[k] = s
+		return nil
+	})
+	return out
 }
 
 // pointVar is the posterior variance of subset k's match proportion.
@@ -395,10 +429,15 @@ func (e *gpEstimator) midInterval(a, b int, theta float64) (float64, float64, er
 	pop := e.prefPairs[b+1] - e.prefPairs[a]
 	vari := e.indepVar[b+1] - e.indepVar[a]
 	if e.coherent {
+		// The mid cache is keyed by the lower bound and rebuilt lazily on
+		// query; the lock makes concurrent midInterval calls (one estimator
+		// shared across workers) safe.
+		e.midMu.Lock()
 		if e.midLo != a {
 			e.buildMidCache(a)
 		}
 		vari = e.midVar[b]
+		e.midMu.Unlock()
 	}
 	gLo, gHi, err := e.intervalFrom(mean, vari, pop, theta)
 	if err != nil {
@@ -419,7 +458,10 @@ func (e *gpEstimator) boundarySubset(lo, hi int) int {
 	return (lo + hi) / 2
 }
 
-// buildMidCache computes Var of the sum over [a, b] for every b >= a.
+// buildMidCache computes Var of the sum over [a, b] for every b >= a. The
+// caller must hold midMu. Like the prefix/suffix precomputes, the O(m²)
+// kernel sums fan out across workers while the O(m·t) recurrence stays
+// sequential.
 func (e *gpEstimator) buildMidCache(a int) {
 	m := len(e.x)
 	e.midLo = a
@@ -428,18 +470,20 @@ func (e *gpEstimator) buildMidCache(a int) {
 	if m > 0 {
 		t = len(e.white[0])
 	}
+	covMid := e.kernelRangeSums(func(k int) (int, int) {
+		if k < a {
+			return 0, 0
+		}
+		return a, k
+	})
 	u := make([]float64, t)
 	prev := 0.0
 	for k := a; k < m; k++ {
-		cov := 0.0
-		for i := a; i < k; i++ {
-			cov += e.n[i] * e.reg.KernelValue(e.x[i], e.x[k])
-		}
 		var uw float64
 		for j := 0; j < t; j++ {
 			uw += u[j] * e.white[k][j]
 		}
-		cov = e.n[k] * (cov - uw)
+		cov := e.n[k] * (covMid[k] - uw)
 		v := prev + 2*cov + e.n[k]*e.n[k]*e.pointVar(k)
 		if v < 0 {
 			v = 0

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"humo/internal/gp"
+	"humo/internal/parallel"
+)
+
+// stepGPEstimator fits a GP to a step function over the workload's subset
+// centers and builds a coherent estimator with the given worker count.
+func stepGPEstimator(t *testing.T, workers int) (*Workload, *gpEstimator) {
+	t.Helper()
+	w, _ := threshWorkload(t, 400, 20, 0.5)
+	var xs, ys []float64
+	for k := 0; k < w.Subsets(); k += 2 {
+		v := w.SubsetMeanSim(k)
+		xs = append(xs, v)
+		y := 0.0
+		if v >= 0.5 {
+			y = 1
+		}
+		ys = append(ys, y)
+	}
+	reg, err := gp.Fit(xs, ys, nil, gp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := newGPEstimator(w, reg, true, 0, nil, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, est
+}
+
+// TestGPEstimatorWorkerCountBitIdentical asserts the parallel coherent
+// variance precompute produces exactly the sequential floats: the kernel
+// sums are accumulated per row in a fixed index order, so no worker count
+// may perturb a single bit.
+func TestGPEstimatorWorkerCountBitIdentical(t *testing.T) {
+	_, seq := stepGPEstimator(t, 1)
+	for _, workers := range []int{2, 4, 16} {
+		_, par := stepGPEstimator(t, workers)
+		for i := range seq.prefVar {
+			if seq.prefVar[i] != par.prefVar[i] {
+				t.Fatalf("workers=%d: prefVar[%d] %v != %v", workers, i, par.prefVar[i], seq.prefVar[i])
+			}
+			if seq.sufVar[i] != par.sufVar[i] {
+				t.Fatalf("workers=%d: sufVar[%d] %v != %v", workers, i, par.sufVar[i], seq.sufVar[i])
+			}
+		}
+		// Mid cache, rebuilt through the query path.
+		m := len(seq.x)
+		for b := 3; b < m; b++ {
+			sLo, sHi, err := seq.midInterval(3, b, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pLo, pHi, err := par.midInterval(3, b, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sLo != pLo || sHi != pHi {
+				t.Fatalf("workers=%d: midInterval(3,%d) = (%v,%v), want (%v,%v)", workers, b, pLo, pHi, sLo, sHi)
+			}
+		}
+	}
+}
+
+// TestGPEstimatorSharedAcrossWorkers hammers one coherent estimator from
+// many goroutines with mid-range queries whose lower bounds differ — the
+// cache-thrashing worst case the midMu lock exists for. Run under -race this
+// exercises the documented sharing constraint; the answers must also match
+// a private estimator's.
+func TestGPEstimatorSharedAcrossWorkers(t *testing.T) {
+	_, shared := stepGPEstimator(t, 2)
+	_, private := stepGPEstimator(t, 1)
+	m := len(shared.x)
+	const queries = 200
+	type ans struct{ lo, hi float64 }
+	got, err := parallel.Map(8, queries, func(i int) (ans, error) {
+		a := i % (m - 1)
+		b := a + 1 + i%(m-a-1)
+		lo, hi, err := shared.midInterval(a, b, 0.9)
+		return ans{lo, hi}, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		a := i % (m - 1)
+		b := a + 1 + i%(m-a-1)
+		lo, hi, err := private.midInterval(a, b, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.lo != lo || g.hi != hi {
+			t.Fatalf("query %d: shared (%v,%v) != private (%v,%v)", i, g.lo, g.hi, lo, hi)
+		}
+	}
+}

@@ -37,6 +37,10 @@ type SamplingConfig struct {
 	// per-subset aggregation (see gpEstimator). The coherent form is far
 	// more conservative on pair-heavy flat regions.
 	CoherentAggregation bool
+	// Workers bounds the goroutines of the coherent O(m²) variance
+	// precompute; <= 0 selects GOMAXPROCS. Any worker count produces
+	// bit-identical estimates — the knob trades wall-clock time only.
+	Workers int
 	// Rand drives subset sampling. It must be non-nil for partial labeling
 	// (PairsPerSubset > 0); full-subset labeling is deterministic.
 	Rand *rand.Rand
@@ -411,7 +415,7 @@ func fitPartialSampling(w *Workload, o Oracle, cfg SamplingConfig) (*gpModel, er
 		}
 	}
 
-	est, err := newGPEstimator(w, reg, cfg.CoherentAggregation, bandIrregularity(w, model, anchors), model.strata)
+	est, err := newGPEstimator(w, reg, cfg.CoherentAggregation, bandIrregularity(w, model, anchors), model.strata, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

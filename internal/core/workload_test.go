@@ -314,7 +314,7 @@ func TestGPEstimatorAgainstBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := newGPEstimator(w, reg, true, 0, nil)
+	est, err := newGPEstimator(w, reg, true, 0, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestGPEstimatorIntervalProperties(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := newGPEstimator(w, reg, false, 0, nil)
+	est, err := newGPEstimator(w, reg, false, 0, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

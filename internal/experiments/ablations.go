@@ -71,7 +71,7 @@ func AblationSubsetSize(e *Env) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		avg, err := avgRuns(b, methodHybr, req, minInt(e.Runs, 10), e.Seed)
+		avg, err := e.avgRuns(b, methodHybr, req, minInt(e.Runs, 10))
 		if err != nil {
 			return nil, err
 		}
@@ -98,11 +98,11 @@ func AblationAllVsPartial(e *Env) ([]*Table, error) {
 		Header: []string{"dataset", "ALLSAMP cost %", "SAMP cost %", "ALLSAMP success %", "SAMP success %"},
 	}
 	for _, b := range bundles {
-		all, err := avgRuns(b, methodAllSamp, req, e.Runs, e.Seed)
+		all, err := e.avgRuns(b, methodAllSamp, req, e.Runs)
 		if err != nil {
 			return nil, err
 		}
-		part, err := avgRuns(b, methodSamp, req, e.Runs, e.Seed)
+		part, err := e.avgRuns(b, methodSamp, req, e.Runs)
 		if err != nil {
 			return nil, err
 		}

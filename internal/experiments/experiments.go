@@ -12,12 +12,14 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"humo/internal/core"
 	"humo/internal/datagen"
 	"humo/internal/metrics"
 	"humo/internal/oracle"
+	"humo/internal/parallel"
 )
 
 // ErrUnknownExperiment reports an unregistered experiment id.
@@ -93,7 +95,10 @@ const (
 )
 
 // Env carries the materialized datasets and run parameters shared by the
-// experiment runners. Datasets are generated lazily and cached.
+// experiment runners. Datasets are generated lazily, cached, and safe to
+// request from concurrent runners: each cache is guarded by a sync.Once that
+// also latches the generation error, so every caller observes the same
+// dataset (or the same failure) no matter which goroutine got there first.
 type Env struct {
 	Scale Scale
 	// Runs is the number of repetitions for the stochastic approaches
@@ -101,10 +106,17 @@ type Env struct {
 	Runs int
 	// Seed drives all experiment-level randomness.
 	Seed int64
+	// Workers bounds the goroutines used when repetitions fan out in
+	// avgRuns; <= 0 selects GOMAXPROCS. Repetition seeds are fixed per
+	// index, so every worker count produces bit-identical tables.
+	Workers int
 
-	ds, ab *datagen.ERDataset
-	dsW    *workloadBundle
-	abW    *workloadBundle
+	dsOnce, abOnce   sync.Once
+	dsWOnce, abWOnce sync.Once
+	ds, ab           *datagen.ERDataset
+	dsErr, abErr     error
+	dsW, abW         *workloadBundle
+	dsWErr, abWErr   error
 }
 
 // NewEnv builds an environment. runs <= 0 selects the scale default
@@ -172,58 +184,42 @@ func (e *Env) ABConfig() datagen.ABConfig {
 	return cfg
 }
 
-// DS returns the cached simulated DBLP-Scholar dataset.
+// DS returns the cached simulated DBLP-Scholar dataset. Safe for concurrent
+// callers: the dataset is generated exactly once and the error is latched.
 func (e *Env) DS() (*datagen.ERDataset, error) {
-	if e.ds == nil {
-		ds, err := datagen.DSLike(e.DSConfig())
-		if err != nil {
-			return nil, err
-		}
-		e.ds = ds
-	}
-	return e.ds, nil
+	e.dsOnce.Do(func() { e.ds, e.dsErr = datagen.DSLike(e.DSConfig()) })
+	return e.ds, e.dsErr
 }
 
-// AB returns the cached simulated Abt-Buy dataset.
+// AB returns the cached simulated Abt-Buy dataset. Safe for concurrent
+// callers.
 func (e *Env) AB() (*datagen.ERDataset, error) {
-	if e.ab == nil {
-		ab, err := datagen.ABLike(e.ABConfig())
-		if err != nil {
-			return nil, err
-		}
-		e.ab = ab
-	}
-	return e.ab, nil
+	e.abOnce.Do(func() { e.ab, e.abErr = datagen.ABLike(e.ABConfig()) })
+	return e.ab, e.abErr
 }
 
 func (e *Env) dsBundle() (*workloadBundle, error) {
-	if e.dsW == nil {
+	e.dsWOnce.Do(func() {
 		ds, err := e.DS()
 		if err != nil {
-			return nil, err
+			e.dsWErr = err
+			return
 		}
-		b, err := newBundle("DS", ds.Pairs, e.subsetSize())
-		if err != nil {
-			return nil, err
-		}
-		e.dsW = b
-	}
-	return e.dsW, nil
+		e.dsW, e.dsWErr = newBundle("DS", ds.Pairs, e.subsetSize())
+	})
+	return e.dsW, e.dsWErr
 }
 
 func (e *Env) abBundle() (*workloadBundle, error) {
-	if e.abW == nil {
+	e.abWOnce.Do(func() {
 		ab, err := e.AB()
 		if err != nil {
-			return nil, err
+			e.abWErr = err
+			return
 		}
-		b, err := newBundle("AB", ab.Pairs, e.subsetSize())
-		if err != nil {
-			return nil, err
-		}
-		e.abW = b
-	}
-	return e.abW, nil
+		e.abW, e.abWErr = newBundle("AB", ab.Pairs, e.subsetSize())
+	})
+	return e.abW, e.abWErr
 }
 
 // runResult captures one approach run end to end.
@@ -251,13 +247,17 @@ const (
 )
 
 // runMethod executes one optimization approach on the bundle with a fresh
-// oracle and evaluates the resolved labeling against ground truth. The
+// oracle and evaluates the resolved labeling against ground truth. workers
+// is threaded into the search configuration so the environment's concurrency
+// knob also pins the estimator-level precompute (it defaults to GOMAXPROCS
+// when 0, which matters once a caller enables CoherentAggregation). The
 // elapsed time covers only the machine search, matching the paper's runtime
 // metric ("the reported runtime does not include ... the latency incurred by
 // human verification").
-func runMethod(b *workloadBundle, method string, req core.Requirement, seed int64) (runResult, error) {
+func runMethod(b *workloadBundle, method string, req core.Requirement, seed int64, workers int) (runResult, error) {
 	o := b.oracle()
 	rng := rand.New(rand.NewSource(seed))
+	sCfg := core.SamplingConfig{Rand: rng, Workers: workers}
 	var (
 		sol core.Solution
 		err error
@@ -267,11 +267,11 @@ func runMethod(b *workloadBundle, method string, req core.Requirement, seed int6
 	case methodBase:
 		sol, err = core.BaseSearch(b.w, req, o, core.BaseConfig{StartSubset: -1})
 	case methodSamp:
-		sol, err = core.PartialSamplingSearch(b.w, req, o, core.SamplingConfig{Rand: rng})
+		sol, err = core.PartialSamplingSearch(b.w, req, o, sCfg)
 	case methodAllSamp:
-		sol, err = core.AllSamplingSearch(b.w, req, o, core.SamplingConfig{Rand: rng})
+		sol, err = core.AllSamplingSearch(b.w, req, o, sCfg)
 	case methodHybr:
-		sol, err = core.HybridSearch(b.w, req, o, core.HybridConfig{Sampling: core.SamplingConfig{Rand: rng}})
+		sol, err = core.HybridSearch(b.w, req, o, core.HybridConfig{Sampling: sCfg})
 	default:
 		return runResult{}, fmt.Errorf("%w: method %q", ErrUnknownExperiment, method)
 	}
@@ -298,19 +298,27 @@ type avgResult struct {
 	elapsedMean time.Duration
 }
 
-func avgRuns(b *workloadBundle, method string, req core.Requirement, runs int, seed int64) (avgResult, error) {
+// avgRuns fans the repetitions out across Env.Workers goroutines. Every
+// repetition r derives its seed from its index alone (e.Seed + r*7919, the
+// sequential harness's formula), results are collected by index, and the
+// averages are accumulated in index order afterwards — so the statistics are
+// bit-identical for any worker count, including 1 (strictly sequential).
+// Only elapsedMean is wall-clock and varies run to run regardless of workers.
+func (e *Env) avgRuns(b *workloadBundle, method string, req core.Requirement, runs int) (avgResult, error) {
 	if method == methodBase {
 		// BASE is deterministic: one run suffices.
 		runs = 1
 	}
+	results, err := parallel.Map(e.Workers, runs, func(r int) (runResult, error) {
+		return runMethod(b, method, req, e.Seed+int64(r)*7919, e.Workers)
+	})
 	var out avgResult
+	if err != nil {
+		return out, err
+	}
 	var elapsed time.Duration
 	success := 0
-	for r := 0; r < runs; r++ {
-		res, err := runMethod(b, method, req, seed+int64(r)*7919)
-		if err != nil {
-			return out, err
-		}
+	for _, res := range results {
 		out.costPct += res.costPct(b.w)
 		out.precision += res.quality.Precision
 		out.recall += res.quality.Recall

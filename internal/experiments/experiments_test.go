@@ -199,7 +199,7 @@ func TestRunMethodUnknown(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
-	if _, err := runMethod(b, "NOPE", req, 1); err == nil {
+	if _, err := runMethod(b, "NOPE", req, 1, 1); err == nil {
 		t.Error("unknown method should fail")
 	}
 }
@@ -211,7 +211,7 @@ func TestAvgRunsBaseDeterministicSingleRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := core.Requirement{Alpha: 0.8, Beta: 0.8, Theta: 0.9}
-	avg, err := avgRuns(b, methodBase, req, 50, e.Seed)
+	avg, err := e.avgRuns(b, methodBase, req, 50)
 	if err != nil {
 		t.Fatal(err)
 	}

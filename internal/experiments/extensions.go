@@ -185,7 +185,7 @@ func AblationMetric(e *Env) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		avg, err := avgRuns(b, methodHybr, req, minInt(e.Runs, 10), e.Seed)
+		avg, err := e.avgRuns(b, methodHybr, req, minInt(e.Runs, 10))
 		if err != nil {
 			return nil, err
 		}

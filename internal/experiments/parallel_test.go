@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"humo/internal/core"
+	"humo/internal/parallel"
+)
+
+// TestAvgRunsWorkerCountInvariance asserts the Tables III/IV protocol
+// produces bit-identical statistics whether the repetitions run on one
+// worker or many: per-repetition seeds depend only on the repetition index
+// and the averages are reduced in index order.
+func TestAvgRunsWorkerCountInvariance(t *testing.T) {
+	req := core.Requirement{Alpha: 0.85, Beta: 0.85, Theta: 0.9}
+	run := func(workers int) avgResult {
+		e := NewEnv(ScaleSmall, 4, 11)
+		e.Workers = workers
+		b, err := e.dsBundle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg, err := e.avgRuns(b, methodSamp, req, e.Runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return avg
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 8} {
+		par := run(workers)
+		if par.costPct != seq.costPct || par.precision != seq.precision ||
+			par.recall != seq.recall || par.successPct != seq.successPct {
+			t.Errorf("workers=%d: avgRuns = %+v, sequential = %+v", workers, par, seq)
+		}
+	}
+}
+
+// TestRunWorkerCountInvariance asserts a full experiment emits identical
+// tables with 1 worker and with many, for the same seed. table3 averages the
+// stochastic SAMP approach over Env.Runs repetitions on both datasets — the
+// exact protocol the parallel fan-out rewrites.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []*Table {
+		e := NewEnv(ScaleSmall, 3, 7)
+		e.Workers = workers
+		tables, err := Run(e, "table3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("table3 differs between 1 and 8 workers:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestEnvCachesConcurrent requests every lazily cached dataset and bundle
+// from many goroutines at once: all callers must observe the exact same
+// materialization (single initialization), and -race must stay silent.
+func TestEnvCachesConcurrent(t *testing.T) {
+	e := tinyEnv()
+	type views struct {
+		ds, ab   interface{}
+		dsW, abW interface{}
+	}
+	got, err := parallel.Map(8, 32, func(int) (views, error) {
+		ds, err := e.DS()
+		if err != nil {
+			return views{}, err
+		}
+		ab, err := e.AB()
+		if err != nil {
+			return views{}, err
+		}
+		dsW, err := e.dsBundle()
+		if err != nil {
+			return views{}, err
+		}
+		abW, err := e.abBundle()
+		if err != nil {
+			return views{}, err
+		}
+		return views{ds, ab, dsW, abW}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d observed different cache contents", i)
+		}
+	}
+}

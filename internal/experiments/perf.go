@@ -30,7 +30,7 @@ func Table7(e *Env) ([]*Table, error) {
 	for _, b := range bundles {
 		row := []string{b.name, fmt.Sprintf("%d", b.w.Len())}
 		for _, m := range []string{methodBase, methodSamp, methodHybr} {
-			avg, err := avgRuns(b, m, req, minInt(e.Runs, 5), e.Seed)
+			avg, err := e.avgRuns(b, m, req, minInt(e.Runs, 5))
 			if err != nil {
 				return nil, err
 			}
@@ -61,7 +61,7 @@ func Fig12(e *Env) ([]*Table, error) {
 		}
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, m := range []string{methodBase, methodSamp, methodHybr} {
-			res, err := runMethod(b, m, req, e.Seed)
+			res, err := runMethod(b, m, req, e.Seed, e.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -38,7 +38,7 @@ func Fig6(e *Env) ([]*Table, error) {
 			req := core.Requirement{Alpha: level, Beta: level, Theta: 0.9}
 			row := []string{fmt.Sprintf("(.%02.0f,.%02.0f)", level*100, level*100)}
 			for _, method := range []string{methodBase, methodSamp, methodHybr} {
-				avg, err := avgRuns(b, method, req, e.Runs, e.Seed)
+				avg, err := e.avgRuns(b, method, req, e.Runs)
 				if err != nil {
 					return nil, err
 				}
@@ -73,7 +73,7 @@ func (e *Env) qualityTable(id, method string, withSuccess bool) ([]*Table, error
 		row := []string{fmt.Sprintf("a=b=%.2f", level)}
 		var successes []float64
 		for _, b := range bundles {
-			avg, err := avgRuns(b, method, req, e.Runs, e.Seed)
+			avg, err := e.avgRuns(b, method, req, e.Runs)
 			if err != nil {
 				return nil, err
 			}
@@ -118,11 +118,11 @@ func (e *Env) confidenceSweep(id string, b *workloadBundle) ([]*Table, error) {
 	}
 	for _, theta := range thetas {
 		req := core.Requirement{Alpha: 0.9, Beta: 0.9, Theta: theta}
-		samp, err := avgRuns(b, methodSamp, req, e.Runs, e.Seed)
+		samp, err := e.avgRuns(b, methodSamp, req, e.Runs)
 		if err != nil {
 			return nil, err
 		}
-		hybr, err := avgRuns(b, methodHybr, req, e.Runs, e.Seed)
+		hybr, err := e.avgRuns(b, methodHybr, req, e.Runs)
 		if err != nil {
 			return nil, err
 		}

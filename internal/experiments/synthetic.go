@@ -50,7 +50,7 @@ func (e *Env) parameterSweep(id, title, paramName string, params []float64, gen 
 		precRow := []string{fmt.Sprintf("%.1f", p)}
 		recRow := []string{fmt.Sprintf("%.1f", p)}
 		for _, m := range methods {
-			avg, err := avgRuns(b, m, req, e.Runs, e.Seed)
+			avg, err := e.avgRuns(b, m, req, e.Runs)
 			if err != nil {
 				return nil, err
 			}

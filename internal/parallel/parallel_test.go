@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 16, 100} {
+		const n = 237
+		seen := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexedError(t *testing.T) {
+	// Indices 3 and 7 fail; every worker count must report index 3's error,
+	// exactly like the sequential loop.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Errorf("workers=%d: err = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(2, 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n == 10000 {
+		t.Error("pool claimed every index despite an early failure")
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 32} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	want := errors.New("nope")
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 2 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v", err)
+	}
+	if out != nil {
+		t.Errorf("out = %v, want nil on error", out)
+	}
+}
+
+// TestForEachRace hammers a shared accumulator from many goroutines so
+// `go test -race` exercises the pool's synchronization.
+func TestForEachRace(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(8, 5000, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
