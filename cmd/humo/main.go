@@ -1,18 +1,26 @@
 // Command humo resolves two CSV tables end to end with quality guarantees,
-// driving the human-in-the-loop through files:
+// driving the human-in-the-loop through a resumable resolution session.
 //
-//  1. Run humo with your two tables. It blocks and scores candidate pairs,
-//     then starts the requested optimization. Whenever the optimizer needs a
-//     human answer that the label file does not contain yet, the pair is
-//     queued; if any answers were missing, the queue is written to the
-//     -pending CSV (with both records side by side) and humo exits with
-//     status 3.
-//  2. Review the pending file, append your answers to the label file
-//     (pair_id,label with label match/unmatch), and re-run the same command.
-//     Seeds are fixed, so the optimizer asks for the same pairs plus
-//     whatever the new answers unlock.
-//  3. When no answers are missing, the final resolution is written to -out
-//     and humo exits 0.
+// The pipeline blocks and scores candidate pairs, then starts the requested
+// optimization as a humo.Session. Whenever the optimizer needs human
+// answers, the session surfaces a batch of pair ids:
+//
+//   - By default, the batch is written to the -pending CSV (with both
+//     records side by side) and humo exits with status 3. Review the file,
+//     append your answers to the label file (pair_id,label with label
+//     match/unmatch), and re-run the same command: the session restores
+//     from the label file, replays deterministically (seeds are fixed), and
+//     surfaces the next batch — or finishes. To size one review round
+//     honestly, the queue also includes the pairs a continued search would
+//     need under worst-case answers for the not-yet-reviewed ones.
+//   - With -interactive, batches are labeled live on stdin instead: each
+//     pair is shown with both records and answered with m(atch)/u(nmatch).
+//     Answers are persisted to the label file after every batch, so an
+//     interrupted session resumes where it stopped.
+//
+// The final resolution is written to -out only when every human answer came
+// from a real review — results never contain guessed labels — and the run
+// reports the human cost (distinct pairs reviewed) of the resolution.
 //
 // Example:
 //
@@ -24,51 +32,124 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 	"sort"
 	"strings"
-	"sync"
 
 	"humo"
 	"humo/internal/blocking"
+	"humo/internal/cliutil"
 	"humo/internal/dataio"
 	"humo/internal/records"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+// Exit codes: 0 resolution written, 1 runtime error, 2 usage error,
+// 3 human review needed (pending file written).
+const (
+	exitOK     = 0
+	exitError  = 1
+	exitUsage  = 2
+	exitReview = 3
+)
+
+// fail reports a runtime error on stderr and returns exitError; usageErr
+// does the same for exitUsage.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "humo:", err)
+	return exitError
+}
+
+func usageErr(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "humo:", err)
+	return exitUsage
+}
+
+// run is the whole CLI, parameterized over its streams so tests can drive
+// the pending -> answer -> resume loop end to end in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("humo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		aPath     = flag.String("a", "", "CSV file of the first table (header row = attributes)")
-		bPath     = flag.String("b", "", "CSV file of the second table")
-		spec      = flag.String("spec", "", "attribute specs: name:kind[,name:kind...]; kinds: jaccard, jarowinkler, levenshtein, cosine")
-		blockMode = flag.String("block", "cross", "candidate generation: cross or token")
-		blockAttr = flag.String("block-attr", "", "token blocking attribute (default: first spec attribute)")
-		minShared = flag.Int("min-shared", 1, "token blocking: minimum shared tokens")
-		threshold = flag.Float64("threshold", 0.1, "keep candidate pairs with aggregated similarity >= threshold")
-		alpha     = flag.Float64("alpha", 0.9, "required precision")
-		beta      = flag.Float64("beta", 0.9, "required recall")
-		theta     = flag.Float64("theta", 0.9, "confidence level")
-		method    = flag.String("method", "hybrid", "optimizer: base, sampling or hybrid")
-		labelsIn  = flag.String("labels", "", "CSV of human answers collected so far (pair_id,label)")
-		pending   = flag.String("pending", "pending.csv", "where to write pairs awaiting human review")
-		outPath   = flag.String("out", "results.csv", "where to write the final resolution")
-		seed      = flag.Int64("seed", 1, "seed for all sampling decisions (keep fixed across review rounds)")
+		aPath       = fs.String("a", "", "CSV file of the first table (header row = attributes)")
+		bPath       = fs.String("b", "", "CSV file of the second table")
+		spec        = fs.String("spec", "", "attribute specs: name:kind[,name:kind...]; kinds: jaccard, jarowinkler, levenshtein, cosine")
+		blockMode   = fs.String("block", "cross", "candidate generation: cross or token")
+		blockAttr   = fs.String("block-attr", "", "token blocking attribute (default: first spec attribute)")
+		minShared   = fs.Int("min-shared", 1, "token blocking: minimum shared tokens")
+		threshold   = fs.Float64("threshold", 0.1, "keep candidate pairs with aggregated similarity >= threshold (in [0,1))")
+		alpha       = fs.Float64("alpha", 0.9, "required precision, in (0,1]")
+		beta        = fs.Float64("beta", 0.9, "required recall, in (0,1]")
+		theta       = fs.Float64("theta", 0.9, "confidence level, in (0,1)")
+		method      = fs.String("method", "hybrid", "optimizer: base, allsampling, sampling, hybrid or budgeted")
+		budget      = fs.Int("budget", 0, "manual-inspection budget (pairs) for -method budgeted")
+		subsetSize  = fs.Int("subset", 0, "unit-subset size (0 = default 200)")
+		labelsIn    = fs.String("labels", "", "CSV of human answers collected so far (pair_id,label); rewritten with new answers in -interactive mode")
+		pending     = fs.String("pending", "pending.csv", "where to write pairs awaiting human review")
+		outPath     = fs.String("out", "results.csv", "where to write the final resolution")
+		seed        = fs.Int64("seed", 1, "seed for all sampling decisions (keep fixed across review rounds)")
+		interactive = fs.Bool("interactive", false, "label pending pairs live on stdin instead of exiting for a file review round")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
 	if *aPath == "" || *bPath == "" || *spec == "" {
-		fmt.Fprintln(os.Stderr, "humo: -a, -b and -spec are required; see -help")
-		os.Exit(2)
+		return usageErr(stderr, errors.New("-a, -b and -spec are required; see -help"))
+	}
+	// Fail bad numeric flags here, with a message naming the flag, instead
+	// of letting ErrBadRequirement surface after blocking and scoring.
+	if err := cliutil.ValidateRequirement(*alpha, *beta, *theta); err != nil {
+		return usageErr(stderr, err)
+	}
+	if err := cliutil.ValidateThreshold(*threshold); err != nil {
+		return usageErr(stderr, err)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}} {
+		if err := cliutil.ValidateNonNegative(c.name, c.v); err != nil {
+			return usageErr(stderr, err)
+		}
+	}
+	m, err := humo.ParseMethod(*method)
+	if err != nil {
+		return usageErr(stderr, err)
+	}
+	if m == humo.MethodBudgeted && *budget == 0 {
+		return usageErr(stderr, errors.New("-method budgeted needs a positive -budget"))
 	}
 
-	ta := readTable(*aPath, "a")
-	tb := readTable(*bPath, "b")
-	specs := parseSpecs(*spec)
-	specs, err := blocking.DistinctValueSpecs(ta, tb, specs)
-	exitOn(err)
+	ta, err := readTable(*aPath, "a")
+	if err != nil {
+		return fail(stderr, err)
+	}
+	tb, err := readTable(*bPath, "b")
+	if err != nil {
+		return fail(stderr, err)
+	}
+	specs, err := parseSpecs(*spec)
+	if err != nil {
+		return usageErr(stderr, err)
+	}
+	specs, err = blocking.DistinctValueSpecs(ta, tb, specs)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	scorer, err := blocking.NewScorer(ta, tb, specs)
-	exitOn(err)
+	if err != nil {
+		return fail(stderr, err)
+	}
 
 	var cands []blocking.Pair
 	switch *blockMode {
@@ -80,132 +161,344 @@ func main() {
 			attr = specs[0].Attribute
 		}
 		cands, err = blocking.TokenBlocked(scorer, attr, *minShared, *threshold)
-		exitOn(err)
+		if err != nil {
+			return fail(stderr, err)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "humo: unknown -block %q (want cross or token)\n", *blockMode)
-		os.Exit(2)
+		return usageErr(stderr, fmt.Errorf("unknown -block %q (want cross or token)", *blockMode))
 	}
 	if len(cands) == 0 {
-		fmt.Fprintln(os.Stderr, "humo: no candidate pairs above the threshold")
-		os.Exit(1)
+		return fail(stderr, errors.New("no candidate pairs above the threshold"))
 	}
-	fmt.Printf("candidates: %d pairs above similarity %.2f\n", len(cands), *threshold)
+	fmt.Fprintf(stdout, "candidates: %d pairs above similarity %.2f\n", len(cands), *threshold)
 
 	pairs := make([]humo.Pair, len(cands))
 	for i, c := range cands {
 		pairs[i] = humo.Pair{ID: i, Sim: c.Sim}
 	}
-	w, err := humo.NewWorkload(pairs, 0)
-	exitOn(err)
+	w, err := humo.NewWorkload(pairs, *subsetSize)
+	if err != nil {
+		return fail(stderr, err)
+	}
 
 	known := dataio.Labels{}
 	if *labelsIn != "" {
+		// Labels are keyed by positional candidate id, which means nothing
+		// if the candidate set changes (different -threshold, -spec, -block
+		// or edited input tables). A fingerprint sidecar written on the
+		// first round refuses such a mismatch instead of silently attaching
+		// answers to different record pairs.
+		if err := guardLabelFile(*labelsIn, humo.WorkloadFingerprint(w)); err != nil {
+			return fail(stderr, err)
+		}
 		if f, err := os.Open(*labelsIn); err == nil {
 			known, err = dataio.ReadLabels(f)
 			f.Close()
-			exitOn(err)
+			if err != nil {
+				return fail(stderr, err)
+			}
 		} else if !os.IsNotExist(err) {
-			exitOn(err)
+			return fail(stderr, err)
 		}
 	}
-	oracle := &fileOracle{known: known, missing: map[int]struct{}{}}
 
 	req := humo.Requirement{Alpha: *alpha, Beta: *beta, Theta: *theta}
-	var sol humo.Solution
-	switch *method {
-	case "base":
-		sol, err = humo.Base(w, req, oracle, humo.BaseConfig{StartSubset: -1})
-	case "sampling":
-		sol, err = humo.PartialSampling(w, req, oracle, humo.SamplingConfig{Rand: rand.New(rand.NewSource(*seed))})
-	case "hybrid":
-		sol, err = humo.Hybrid(w, req, oracle, humo.HybridConfig{Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(*seed))}})
-	default:
-		fmt.Fprintf(os.Stderr, "humo: unknown -method %q (want base, sampling or hybrid)\n", *method)
-		os.Exit(2)
+	cfg := humo.SessionConfig{
+		Method:      m,
+		Base:        humo.BaseConfig{StartSubset: -1},
+		BudgetPairs: *budget,
+		Seed:        *seed,
+		Resolve:     true,
+		Known:       known,
 	}
-	exitOn(err)
-	labels := sol.Resolve(w, oracle)
-
-	if ids := oracle.missingIDs(); len(ids) > 0 {
-		f, err := os.Create(*pending)
-		exitOn(err)
-		exitOn(dataio.WritePending(f, ids, cands, ta, tb))
-		exitOn(f.Close())
-		fmt.Printf("%d pairs need human review; queue written to %s\n", len(ids), *pending)
-		fmt.Printf("append answers to %s (pair_id,label) and re-run the same command\n", labelOut(*labelsIn))
-		os.Exit(3)
+	sess, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		return fail(stderr, err)
 	}
 
-	rows := make([]dataio.ResultRow, w.Len())
-	hStart, hEnd := humanRange(w, sol)
-	for i := 0; i < w.Len(); i++ {
-		id := w.Pair(i).ID
+	env := &cliEnv{
+		sess: sess, w: w, cands: cands, ta: ta, tb: tb,
+		known: known, labelsPath: *labelsIn, pendingPath: *pending, outPath: *outPath,
+		stdout: stdout, stderr: stderr,
+	}
+	if *interactive {
+		return env.interactiveLoop(bufio.NewScanner(stdin))
+	}
+	return env.reviewRound()
+}
+
+// cliEnv bundles what the session-driving loops need.
+type cliEnv struct {
+	sess        *humo.Session
+	w           *humo.Workload
+	cands       []blocking.Pair
+	ta, tb      *records.Table
+	known       dataio.Labels
+	labelsPath  string
+	pendingPath string
+	outPath     string
+	stdout      io.Writer
+	stderr      io.Writer
+}
+
+// reviewRound is the non-interactive mode: one run of the session per
+// process. If the search needs answers the label file does not hold, the
+// full review queue is enumerated (the session's honest batch first, then
+// the pairs a continued search would request under worst-case answers for
+// the unreviewed ones), written to the pending file, and the process exits
+// 3. Only a session that completed without a single guessed answer writes
+// results.
+func (e *cliEnv) reviewRound() int {
+	var queued []int
+	seen := make(map[int]struct{})
+	pessimist := humo.LabelerFunc(func(ctx context.Context, ids []int) (map[int]bool, error) {
+		ans := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				queued = append(queued, id)
+			}
+			ans[id] = false // worst-case stand-in; never reaches the output
+		}
+		return ans, nil
+	})
+	if _, err := e.sess.Run(context.Background(), pessimist); err != nil {
+		return fail(e.stderr, err)
+	}
+	if len(queued) > 0 {
+		sort.Ints(queued)
+		if err := e.writePending(queued); err != nil {
+			return fail(e.stderr, err)
+		}
+		fmt.Fprintf(e.stdout, "%d pairs need human review; queue written to %s\n", len(queued), e.pendingPath)
+		fmt.Fprintf(e.stdout, "append answers to %s (pair_id,label) and re-run the same command, or re-run with -interactive\n", labelOut(e.labelsPath))
+		return exitReview
+	}
+	return e.writeResults()
+}
+
+// interactiveLoop labels every surfaced batch live on stdin. Answers are
+// merged into the label file after each batch; on EOF the unanswered
+// remainder goes to the pending file and the process exits 3, resumable by
+// either mode.
+func (e *cliEnv) interactiveLoop(in *bufio.Scanner) int {
+	ctx := context.Background()
+	if e.labelsPath == "" {
+		fmt.Fprintln(e.stdout, "note: no -labels file given; interactive answers are used for this run only and cannot be resumed")
+	}
+	for {
+		b, err := e.sess.Next(ctx)
+		if err != nil {
+			return fail(e.stderr, err)
+		}
+		if b.Empty() {
+			break
+		}
+		fmt.Fprintf(e.stdout, "review batch: %d pairs (answer m/u, match/unmatch, y/n)\n", len(b.IDs))
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			e.printPair(id)
+			v, ok := e.promptLabel(in)
+			if !ok { // stdin exhausted or failed: persist progress, hand off
+				return e.handOff(b, ans, in.Err())
+			}
+			ans[id] = v
+		}
+		if err := e.sess.Answer(ans); err != nil {
+			return fail(e.stderr, err)
+		}
+		if err := e.saveLabels(ans); err != nil {
+			return fail(e.stderr, err)
+		}
+	}
+	if err := e.sess.Err(); err != nil {
+		return fail(e.stderr, err)
+	}
+	return e.writeResults()
+}
+
+// handOff ends an interactive session whose stdin ran dry (scanErr nil) or
+// failed (scanErr non-nil): the answers given so far are persisted, the
+// unanswered remainder of the batch goes to the pending file, and the
+// reported state is honest about whether anything was actually saved.
+func (e *cliEnv) handOff(b humo.Batch, ans map[int]bool, scanErr error) int {
+	if err := e.sess.Answer(ans); err != nil {
+		return fail(e.stderr, err)
+	}
+	if err := e.saveLabels(ans); err != nil {
+		return fail(e.stderr, err)
+	}
+	var remaining []int
+	for _, rid := range b.IDs {
+		if _, done := ans[rid]; !done {
+			remaining = append(remaining, rid)
+		}
+	}
+	e.sess.Cancel()
+	if err := e.writePending(remaining); err != nil {
+		return fail(e.stderr, err)
+	}
+	saved := fmt.Sprintf("%d answers saved to %s", len(ans), e.labelsPath)
+	if e.labelsPath == "" {
+		saved = fmt.Sprintf("%d answers DISCARDED (no -labels file was given)", len(ans))
+	}
+	if scanErr != nil {
+		fmt.Fprintf(e.stdout, "\n%s, %d pairs still pending (queue written to %s)\n", saved, len(remaining), e.pendingPath)
+		return fail(e.stderr, fmt.Errorf("reading stdin: %w", scanErr))
+	}
+	fmt.Fprintf(e.stdout, "\nstdin closed: %s, %d pairs still pending (queue written to %s)\n",
+		saved, len(remaining), e.pendingPath)
+	fmt.Fprintf(e.stdout, "re-run the same command to continue from %s\n", labelOut(e.labelsPath))
+	return exitReview
+}
+
+// printPair shows one candidate pair with both records side by side.
+func (e *cliEnv) printPair(id int) {
+	c := e.cands[id]
+	fmt.Fprintf(e.stdout, "\npair %d  similarity %.4f\n", id, c.Sim)
+	fmt.Fprintf(e.stdout, "  a: %s\n", strings.Join(e.ta.Records[c.A].Values, " | "))
+	fmt.Fprintf(e.stdout, "  b: %s\n", strings.Join(e.tb.Records[c.B].Values, " | "))
+}
+
+// promptLabel reads one answer, re-prompting on unparseable input. ok is
+// false once stdin is exhausted.
+func (e *cliEnv) promptLabel(in *bufio.Scanner) (v, ok bool) {
+	for {
+		fmt.Fprint(e.stdout, "match? [m/u] ")
+		if !in.Scan() {
+			return false, false
+		}
+		v, err := dataio.ParseLabel(strings.TrimSpace(in.Text()))
+		if err != nil {
+			fmt.Fprintf(e.stdout, "unrecognized answer %q\n", in.Text())
+			continue
+		}
+		return v, true
+	}
+}
+
+// saveLabels merges new answers into the known set and rewrites the label
+// file (when one was given), so interactive progress survives interruption.
+// The rewrite is write-temp-then-rename: a crash mid-save loses at most the
+// current batch, never the answers already on disk.
+func (e *cliEnv) saveLabels(ans map[int]bool) error {
+	for id, v := range ans {
+		e.known[id] = v
+	}
+	if e.labelsPath == "" || len(ans) == 0 {
+		return nil
+	}
+	return writeFileAtomic(e.labelsPath, func(w io.Writer) error {
+		return dataio.WriteLabels(w, e.known)
+	})
+}
+
+// writeFileAtomic writes via a temp file in the same directory and renames
+// it over the target, so the target is never left truncated or half-written.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// guardLabelFile pins the label file to the candidate set it was collected
+// for, via a fingerprint sidecar. The guard is only enforced while the
+// label file actually exists: until the first answer is on disk there is
+// nothing to protect, so blocking flags may be tuned freely and the sidecar
+// re-pins on every run. Once labels exist, a missing sidecar is adopted
+// (labels may predate the guard or be hand-built) and a mismatching one is
+// an error.
+func guardLabelFile(labelsPath, fingerprint string) error {
+	guard := labelsPath + ".workload"
+	pin := func() error {
+		return writeFileAtomic(guard, func(w io.Writer) error {
+			_, err := fmt.Fprintln(w, fingerprint)
+			return err
+		})
+	}
+	if _, err := os.Stat(labelsPath); os.IsNotExist(err) {
+		return pin()
+	} else if err != nil {
+		return err
+	}
+	if b, err := os.ReadFile(guard); err == nil {
+		if got := strings.TrimSpace(string(b)); got != fingerprint {
+			return fmt.Errorf("label file %s was collected for a different candidate set (workload %s, now %s): blocking inputs changed between review rounds — restore the original -spec/-block/-threshold and tables, or start over with a fresh -labels file", labelsPath, got, fingerprint)
+		}
+		return nil
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	return pin()
+}
+
+func (e *cliEnv) writePending(ids []int) error {
+	f, err := os.Create(e.pendingPath)
+	if err != nil {
+		return err
+	}
+	if err := dataio.WritePending(f, ids, e.cands, e.ta, e.tb); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeResults emits the final resolution. It is only reachable when the
+// session terminated with every human answer coming from a real review.
+func (e *cliEnv) writeResults() int {
+	sol := e.sess.Solution()
+	labels := e.sess.Labels()
+	rows := make([]dataio.ResultRow, e.w.Len())
+	hStart, hEnd := humanRange(e.w, sol)
+	for i := 0; i < e.w.Len(); i++ {
+		id := e.w.Pair(i).ID
 		source := "machine"
 		if i >= hStart && i < hEnd {
 			source = "human"
 		}
 		rows[i] = dataio.ResultRow{
 			PairID: id,
-			A:      cands[id].A,
-			B:      cands[id].B,
-			Sim:    cands[id].Sim,
+			A:      e.cands[id].A,
+			B:      e.cands[id].B,
+			Sim:    e.cands[id].Sim,
 			Match:  labels[i],
 			Source: source,
 		}
 	}
-	f, err := os.Create(*outPath)
-	exitOn(err)
-	exitOn(dataio.WriteResults(f, rows))
-	exitOn(f.Close())
+	f, err := os.Create(e.outPath)
+	if err != nil {
+		return fail(e.stderr, err)
+	}
+	if err := dataio.WriteResults(f, rows); err != nil {
+		f.Close()
+		return fail(e.stderr, err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(e.stderr, err)
+	}
 	matches := 0
 	for _, r := range rows {
 		if r.Match {
 			matches++
 		}
 	}
-	fmt.Printf("resolution complete: %d matches, %d pairs human-verified (%.2f%%), written to %s\n",
-		matches, oracle.Cost(), 100*float64(oracle.Cost())/float64(w.Len()), *outPath)
-}
-
-// fileOracle answers from the label file; pairs without answers are queued
-// and answered pessimistically (unmatch) so the run can continue far enough
-// to discover everything else it needs.
-type fileOracle struct {
-	mu      sync.Mutex
-	known   dataio.Labels
-	missing map[int]struct{}
-	asked   map[int]struct{}
-}
-
-func (o *fileOracle) Label(id int) bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if o.asked == nil {
-		o.asked = map[int]struct{}{}
-	}
-	o.asked[id] = struct{}{}
-	if v, ok := o.known[id]; ok {
-		return v
-	}
-	o.missing[id] = struct{}{}
-	return false
-}
-
-func (o *fileOracle) Cost() int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return len(o.asked)
-}
-
-func (o *fileOracle) missingIDs() []int {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make([]int, 0, len(o.missing))
-	for id := range o.missing {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
+	cost := e.sess.Cost()
+	fmt.Fprintf(e.stdout, "resolution complete: %d matches, %d pairs human-verified (%.2f%%), written to %s\n",
+		matches, cost, 100*float64(cost)/float64(e.w.Len()), e.outPath)
+	return exitOK
 }
 
 // humanRange returns the half-open sorted-position range of DH.
@@ -218,13 +511,12 @@ func humanRange(w *humo.Workload, sol humo.Solution) (int, int) {
 	return start, end
 }
 
-func parseSpecs(s string) []blocking.AttributeSpec {
+func parseSpecs(s string) ([]blocking.AttributeSpec, error) {
 	var out []blocking.AttributeSpec
 	for _, part := range strings.Split(s, ",") {
 		fields := strings.Split(strings.TrimSpace(part), ":")
 		if len(fields) != 2 {
-			fmt.Fprintf(os.Stderr, "humo: bad spec %q (want name:kind)\n", part)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad spec %q (want name:kind)", part)
 		}
 		var kind blocking.Kind
 		switch fields[1] {
@@ -237,21 +529,20 @@ func parseSpecs(s string) []blocking.AttributeSpec {
 		case "cosine":
 			kind = blocking.KindCosine
 		default:
-			fmt.Fprintf(os.Stderr, "humo: unknown similarity kind %q\n", fields[1])
-			os.Exit(2)
+			return nil, fmt.Errorf("unknown similarity kind %q", fields[1])
 		}
 		out = append(out, blocking.AttributeSpec{Attribute: fields[0], Kind: kind})
 	}
-	return out
+	return out, nil
 }
 
-func readTable(path, name string) *records.Table {
+func readTable(path, name string) (*records.Table, error) {
 	f, err := os.Open(path)
-	exitOn(err)
+	if err != nil {
+		return nil, err
+	}
 	defer f.Close()
-	t, err := dataio.ReadTable(f, name)
-	exitOn(err)
-	return t
+	return dataio.ReadTable(f, name)
 }
 
 func labelOut(path string) string {
@@ -259,11 +550,4 @@ func labelOut(path string) string {
 		return "a labels CSV (pass it with -labels)"
 	}
 	return path
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "humo:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,379 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"humo/internal/dataio"
+)
+
+// writeFixture builds a small two-table workload: token names drawn from a
+// fixed vocabulary, with every even record of A duplicated verbatim into B
+// (a sure match) and every odd one paired with a partial-overlap record.
+// The truth rule is simply "names equal", which is what the test answers
+// with when it plays the human.
+func writeFixture(t *testing.T, dir string) (aPath, bPath string) {
+	t.Helper()
+	vocab := []string{
+		"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+		"hotel", "india", "juliett", "kilo", "lima", "mike", "november",
+		"oscar", "papa", "quebec", "romeo", "sierra", "tango",
+	}
+	rng := rand.New(rand.NewSource(5))
+	name := func() string {
+		perm := rng.Perm(len(vocab))
+		toks := []string{vocab[perm[0]], vocab[perm[1]], vocab[perm[2]]}
+		return strings.Join(toks, " ")
+	}
+	var a, b [][]string
+	for i := 0; i < 40; i++ {
+		n := name()
+		a = append(a, []string{n})
+		if i%2 == 0 {
+			b = append(b, []string{n})
+		} else {
+			// Replace two tokens: overlap 1 of 5 distinct tokens.
+			toks := strings.Fields(n)
+			toks[1] = vocab[rng.Intn(len(vocab))]
+			toks[2] = vocab[rng.Intn(len(vocab))]
+			b = append(b, []string{strings.Join(toks, " ")})
+		}
+	}
+	write := func(path string, rows [][]string) string {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw := csv.NewWriter(f)
+		if err := cw.Write([]string{"name"}); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if err := cw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write(filepath.Join(dir, "a.csv"), a), write(filepath.Join(dir, "b.csv"), b)
+}
+
+// readPendingAnswers plays the human for one review round: every row of the
+// pending file is answered match iff the two names are equal.
+func readPendingAnswers(t *testing.T, path string) map[int]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, want := range []string{"pair_id", "a_name", "b_name"} {
+		if _, ok := col[want]; !ok {
+			t.Fatalf("pending header %v lacks %s", header, want)
+		}
+	}
+	out := map[int]bool{}
+	rows, err := cr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		id, err := strconv.Atoi(row[col["pair_id"]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = row[col["a_name"]] == row[col["b_name"]]
+	}
+	return out
+}
+
+func baseArgs(dir, aPath, bPath string, extra ...string) []string {
+	args := []string{
+		"-a", aPath, "-b", bPath,
+		"-spec", "name:jaccard",
+		"-threshold", "0.15",
+		"-alpha", "0.85", "-beta", "0.85", "-theta", "0.9",
+		"-method", "base", "-subset", "50",
+		"-labels", filepath.Join(dir, "labels.csv"),
+		"-pending", filepath.Join(dir, "pending.csv"),
+		"-out", filepath.Join(dir, "results.csv"),
+	}
+	return append(args, extra...)
+}
+
+// TestRunReviewRounds drives the full pending -> answer -> resume loop:
+// round after round, the pending queue is answered into the label file and
+// the command re-run, until the resolution lands. The results must contain
+// only labels the test actually gave — never a pessimistic guess.
+func TestRunReviewRounds(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	labelsPath := filepath.Join(dir, "labels.csv")
+	args := baseArgs(dir, aPath, bPath)
+
+	given := map[int]bool{} // every answer the "human" has provided
+	rounds := 0
+	for ; rounds < 30; rounds++ {
+		var out, errb bytes.Buffer
+		code := run(args, strings.NewReader(""), &out, &errb)
+		if code == exitOK {
+			break
+		}
+		if code != exitReview {
+			t.Fatalf("round %d: exit %d, stderr: %s", rounds, code, errb.String())
+		}
+		ans := readPendingAnswers(t, filepath.Join(dir, "pending.csv"))
+		if len(ans) == 0 {
+			t.Fatalf("round %d: exit 3 with an empty pending queue", rounds)
+		}
+		for id, v := range ans {
+			given[id] = v
+		}
+		f, err := os.Create(labelsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataio.WriteLabels(f, given); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("resolution completed without a single review round")
+	}
+	if rounds >= 30 {
+		t.Fatal("review loop did not converge in 30 rounds")
+	}
+
+	// Inspect the resolution: every human-sourced row must carry an answer
+	// the test gave, verbatim — no guessed labels.
+	f, err := os.Open(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("results file is empty")
+	}
+	humanRows := 0
+	for _, row := range rows[1:] { // pair_id,record_a,record_b,similarity,label,source
+		if row[5] != "human" {
+			continue
+		}
+		humanRows++
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := given[id]
+		if !ok {
+			t.Fatalf("human-sourced pair %d was never answered by the test: guessed label in output", id)
+		}
+		if got := row[4] == "match"; got != want {
+			t.Fatalf("pair %d: output label %v, answered %v", id, got, want)
+		}
+	}
+	if humanRows == 0 {
+		t.Fatal("no human-sourced rows in the resolution")
+	}
+}
+
+// TestRunInteractive completes a resolution in one process by answering
+// every prompt on stdin.
+func TestRunInteractive(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	args := baseArgs(dir, aPath, bPath, "-interactive")
+
+	// Answer "unmatch" to everything: self-consistent, and it forces the
+	// widest DH — every candidate pair gets prompted exactly once.
+	stdin := strings.NewReader(strings.Repeat("u\n", 5000))
+	var out, errb bytes.Buffer
+	code := run(args, stdin, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s\nstdout tail: %s", code, errb.String(), tail(out.String(), 400))
+	}
+	if !strings.Contains(out.String(), "resolution complete: 0 matches") {
+		t.Errorf("expected an all-unmatch resolution, stdout tail: %s", tail(out.String(), 400))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results.csv")); err != nil {
+		t.Errorf("results file missing: %v", err)
+	}
+	// Progress was persisted to the label file after each batch.
+	f, err := os.Open(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatalf("label file missing: %v", err)
+	}
+	labels, err := dataio.ReadLabels(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) == 0 {
+		t.Error("interactive answers were not persisted to the label file")
+	}
+}
+
+// TestRunInteractiveHandoff: stdin running dry mid-session saves progress
+// and exits 3; a later file-driven round picks up from the label file.
+func TestRunInteractiveHandoff(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	args := baseArgs(dir, aPath, bPath, "-interactive")
+
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader("u\nu\nu\n"), &out, &errb)
+	if code != exitReview {
+		t.Fatalf("exit %d after stdin EOF, want %d; stderr: %s", code, exitReview, errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pending.csv")); err != nil {
+		t.Fatalf("pending queue missing after handoff: %v", err)
+	}
+	f, err := os.Open(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatalf("label file missing after handoff: %v", err)
+	}
+	labels, err := dataio.ReadLabels(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 {
+		t.Fatalf("persisted %d answers, want the 3 given before EOF", len(labels))
+	}
+}
+
+// TestRunLabelGuard: a label file collected under one candidate set is
+// refused when the blocking inputs change, instead of silently attaching
+// its positional pair ids to different record pairs.
+func TestRunLabelGuard(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	args := baseArgs(dir, aPath, bPath)
+
+	var out, errb bytes.Buffer
+	if code := run(args, strings.NewReader(""), &out, &errb); code != exitReview {
+		t.Fatalf("round 1: exit %d, stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "labels.csv.workload")); err != nil {
+		t.Fatalf("fingerprint sidecar not written: %v", err)
+	}
+	// No labels collected yet: blocking flags may still be tuned freely;
+	// the sidecar re-pins instead of erroring.
+	changed := append(append([]string(nil), args...), "-threshold", "0.3")
+	out.Reset()
+	errb.Reset()
+	if code := run(changed, strings.NewReader(""), &out, &errb); code != exitReview {
+		t.Fatalf("tuning before labels exist refused: exit %d, stderr: %s", code, errb.String())
+	}
+	// Collect answers under the original candidate set (re-pins first).
+	out.Reset()
+	errb.Reset()
+	if code := run(args, strings.NewReader(""), &out, &errb); code != exitReview {
+		t.Fatalf("re-pin round: exit %d, stderr: %s", code, errb.String())
+	}
+	ans := readPendingAnswers(t, filepath.Join(dir, "pending.csv"))
+	f, err := os.Create(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteLabels(f, ans); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Now the labels are pinned: a different candidate set is refused.
+	out.Reset()
+	errb.Reset()
+	if code := run(changed, strings.NewReader(""), &out, &errb); code != exitError {
+		t.Fatalf("changed candidate set with labels on disk: exit %d, want %d; stderr: %s", code, exitError, errb.String())
+	}
+	if !strings.Contains(errb.String(), "different candidate set") {
+		t.Errorf("mismatch message unclear: %q", errb.String())
+	}
+	// The original command still works.
+	out.Reset()
+	errb.Reset()
+	if code := run(args, strings.NewReader(""), &out, &errb); code == exitError {
+		t.Fatalf("original command refused after guard: stderr: %s", errb.String())
+	}
+}
+
+// TestRunFlagValidation: bad numeric flags fail fast with exit 2 and a
+// message naming the flag, before any file is touched.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		flag  string
+		value string
+	}{
+		{"-alpha", "1.5"},
+		{"-alpha", "0"},
+		{"-beta", "-0.2"},
+		{"-theta", "1"},
+		{"-threshold", "1"},
+		{"-budget", "-5"},
+	}
+	for _, c := range cases {
+		args := []string{"-a", "nonexistent-a.csv", "-b", "nonexistent-b.csv", "-spec", "name:jaccard", c.flag, c.value}
+		var out, errb bytes.Buffer
+		code := run(args, strings.NewReader(""), &out, &errb)
+		if code != exitUsage {
+			t.Errorf("%s=%s: exit %d, want %d", c.flag, c.value, code, exitUsage)
+		}
+		if !strings.Contains(errb.String(), c.flag) {
+			t.Errorf("%s=%s: stderr %q does not name the flag", c.flag, c.value, errb.String())
+		}
+	}
+	// budgeted without a budget is a usage error too.
+	var out, errb bytes.Buffer
+	code := run([]string{"-a", "x.csv", "-b", "y.csv", "-spec", "name:jaccard", "-method", "budgeted"},
+		strings.NewReader(""), &out, &errb)
+	if code != exitUsage || !strings.Contains(errb.String(), "-budget") {
+		t.Errorf("budgeted without budget: exit %d, stderr %q", code, errb.String())
+	}
+	// Asking for help is not an error.
+	errb.Reset()
+	if code := run([]string{"-h"}, strings.NewReader(""), &out, &errb); code != exitOK {
+		t.Errorf("-h: exit %d, want %d", code, exitOK)
+	}
+	if !strings.Contains(errb.String(), "-alpha") {
+		t.Errorf("-h did not print usage: %q", tail(errb.String(), 200))
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n:]
+}

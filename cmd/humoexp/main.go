@@ -27,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"humo/internal/cliutil"
 	"humo/internal/experiments"
 	"humo/internal/parallel"
 )
@@ -40,6 +41,18 @@ func main() {
 		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	// Fail malformed counts at flag-parse time with a message naming the
+	// flag, before any dataset is generated.
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"-runs", *runsFlag}, {"-parallel", *parallelFlag}} {
+		if err := cliutil.ValidateNonNegative(c.name, c.v); err != nil {
+			fmt.Fprintln(os.Stderr, "humoexp:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *listFlag {
 		for _, id := range experiments.IDs() {

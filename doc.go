@@ -45,7 +45,44 @@
 // The Oracle interface is the human: any implementation that answers
 // match/unmatch per pair id works — a simulated ground truth, a review UI,
 // or a crowdsourcing connector. Human cost is the number of distinct pairs
-// the oracle is asked about.
+// the oracle is asked about (OracleCost reads it back). Oracles that also
+// implement BatchOracle receive whole review batches — a unit subset, a
+// per-subset sample — in one call instead of a pair-by-pair trickle.
+//
+// # Sessions and the Labeler contract
+//
+// The one-shot searches block inside Oracle.Label, which real human
+// backends cannot serve: they answer in batches, asynchronously, and
+// fallibly. Session runs any of the five searches as a pausable state
+// machine instead:
+//
+//	s, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodHybrid, Seed: 1})
+//	for {
+//		batch, err := s.Next(ctx) // coalesced, deduplicated pair ids
+//		if err != nil { ... }
+//		if batch.Empty() { break }
+//		s.Answer(labels)          // partial answers allowed
+//	}
+//	sol, cost := s.Solution(), s.Cost()
+//
+// The search runs on an internal goroutine against a channel-backed oracle,
+// so the core algorithms are unchanged — and a session driven to completion
+// produces the bit-identical Solution and human cost as the one-shot call
+// with the same seed. Sessions are cancellable (Cancel), resumable across
+// process restarts (Checkpoint/RestoreSession replay the answered-label log
+// deterministically), and optionally carry the search through the final DH
+// labeling (SessionConfig.Resolve, Session.Labels).
+//
+// Backends implement the error-aware contract
+//
+//	type Labeler interface {
+//		LabelBatch(ctx context.Context, ids []int) (map[int]bool, error)
+//	}
+//
+// and drive a session with Session.Run, which propagates backend failures
+// and ctx cancellation as errors — states the legacy Oracle cannot
+// represent. OracleLabeler and NewOracleFromLabeler adapt between the two
+// contracts in either direction.
 //
 // Package-level generators (Logistic, DSLike, ABLike) reproduce the paper's
 // evaluation workloads for benchmarking; cmd/humoexp regenerates every table

@@ -1,0 +1,111 @@
+// Session review: drive a resolution batch by batch, the way a review UI
+// or crowd connector would, instead of handing the optimizer a blocking
+// Oracle.
+//
+// The program opens a humo.Session over a synthetic workload, then plays
+// three roles at once to show the whole lifecycle:
+//
+//  1. It pulls batches with Next and answers them from the hidden ground
+//     truth (the "human"), counting batches and pairs.
+//
+//  2. Halfway through, it checkpoints the session to a buffer, cancels it,
+//     and restores a fresh session from the checkpoint — the answered
+//     labels replay deterministically, so the restored run picks up where
+//     the first one stopped without re-asking anything.
+//
+//  3. It verifies the final division equals the one-shot humo.Hybrid call
+//     with the same seed: the session API changes how answers arrive, not
+//     what is computed.
+//
+//     go run ./examples/sessionreview
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"humo"
+)
+
+func main() {
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: 30000, Tau: 14, Sigma: 0.1, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	w, err := humo.NewWorkload(pairs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodHybrid, Seed: 7}
+
+	// Phase 1: answer three batches, then checkpoint and stop — as if the
+	// review process were interrupted.
+	s, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	answered := 0
+	for round := 0; round < 3; round++ {
+		batch, err := s.Next(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if batch.Empty() {
+			break
+		}
+		ans := make(map[int]bool, len(batch.IDs))
+		for _, id := range batch.IDs {
+			ans[id] = truth[id] // a UI would ask a person here
+		}
+		if err := s.Answer(ans); err != nil {
+			log.Fatal(err)
+		}
+		answered += len(ans)
+	}
+	var checkpoint bytes.Buffer
+	if err := s.Checkpoint(&checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	s.Cancel()
+	fmt.Printf("interrupted after %d answers; checkpoint is %d bytes\n", answered, checkpoint.Len())
+
+	// Phase 2: restore in a "new process" and drive to completion with a
+	// Labeler — the error-aware batch contract a real backend implements.
+	restored, err := humo.RestoreSession(w, req, cfg, &checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumedPairs := 0
+	human := humo.LabelerFunc(func(ctx context.Context, ids []int) (map[int]bool, error) {
+		resumedPairs += len(ids)
+		out := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			out[id] = truth[id]
+		}
+		return out, nil
+	})
+	sol, err := restored.Run(ctx, human)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored session asked %d more pairs and finished: %v (cost %d)\n",
+		resumedPairs, sol, restored.Cost())
+
+	// Phase 3: the one-shot call with the same seed lands on the same
+	// division at the same cost.
+	oracle := humo.NewSimulatedOracle(truth)
+	oneShot, err := humo.Hybrid(w, req, oracle, humo.HybridConfig{
+		Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(7))},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-shot parity: solution %v cost %d — identical: %v\n",
+		oneShot, oracle.Cost(), oneShot == sol && oracle.Cost() == restored.Cost())
+}

@@ -109,6 +109,26 @@ func NewSimulatedOracle(truth map[int]bool) *SimulatedOracle {
 	return oracle.NewSimulated(truth)
 }
 
+// Human-cost accounting. Every oracle of this package counts the distinct
+// pairs it was asked about — the paper's human-cost metric — and Session
+// tracks the same ledger for interactive resolutions (Session.Cost).
+
+// CostReporter is implemented by oracles that account human cost: the
+// number of distinct pairs manually inspected so far. SimulatedOracle,
+// NoisyOracle, CrowdOracle and OracleFromLabeler all implement it.
+type CostReporter interface {
+	Cost() int
+}
+
+// OracleCost reports o's human cost when the oracle accounts one. The
+// second return is false for oracles without cost accounting.
+func OracleCost(o Oracle) (int, bool) {
+	if c, ok := o.(CostReporter); ok {
+		return c.Cost(), true
+	}
+	return 0, false
+}
+
 // Quality metrics.
 
 type (

@@ -1,0 +1,44 @@
+// Package cliutil validates command-line parameters shared by the humo
+// binaries at flag-parse time, so a bad -alpha fails with one clear line on
+// stderr instead of an ErrBadRequirement surfacing from deep inside a
+// search (possibly after minutes of blocking and scoring).
+package cliutil
+
+import "fmt"
+
+// ValidateRequirement checks the quality-requirement flags: -alpha and
+// -beta must lie in (0,1], -theta in (0,1). The messages name the flag the
+// user has to fix.
+func ValidateRequirement(alpha, beta, theta float64) error {
+	if !(alpha > 0 && alpha <= 1) {
+		return fmt.Errorf("-alpha %v out of range: required precision must be in (0,1]", alpha)
+	}
+	if !(beta > 0 && beta <= 1) {
+		return fmt.Errorf("-beta %v out of range: required recall must be in (0,1]", beta)
+	}
+	if !(theta > 0 && theta < 1) {
+		return fmt.Errorf("-theta %v out of range: confidence must be in (0,1) — 1 would demand certainty from a sample", theta)
+	}
+	return nil
+}
+
+// ValidateThreshold checks the candidate-similarity threshold flag:
+// -threshold must lie in [0,1). A cutoff of 1 is rejected deliberately:
+// it keeps only exact-similarity-1 pairs, degenerating the workload to
+// pairs that need no human/machine division at all — almost always a
+// mistyped flag rather than an intent.
+func ValidateThreshold(threshold float64) error {
+	if !(threshold >= 0 && threshold < 1) {
+		return fmt.Errorf("-threshold %v out of range: similarity cutoff must be in [0,1)", threshold)
+	}
+	return nil
+}
+
+// ValidateNonNegative checks a count flag that must not be negative
+// (e.g. -runs, -parallel, -min-shared).
+func ValidateNonNegative(flag string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s %d out of range: must be >= 0", flag, v)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateRequirement(t *testing.T) {
+	if err := ValidateRequirement(0.9, 0.9, 0.9); err != nil {
+		t.Fatalf("valid requirement rejected: %v", err)
+	}
+	cases := []struct {
+		alpha, beta, theta float64
+		wantFlag           string
+	}{
+		{0, 0.9, 0.9, "-alpha"},
+		{1.2, 0.9, 0.9, "-alpha"},
+		{0.9, -0.1, 0.9, "-beta"},
+		{0.9, 0.9, 0, "-theta"},
+		{0.9, 0.9, 1, "-theta"},
+	}
+	for _, c := range cases {
+		err := ValidateRequirement(c.alpha, c.beta, c.theta)
+		if err == nil {
+			t.Errorf("(%v,%v,%v) accepted", c.alpha, c.beta, c.theta)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantFlag) {
+			t.Errorf("(%v,%v,%v): message %q does not name %s", c.alpha, c.beta, c.theta, err, c.wantFlag)
+		}
+	}
+	// Boundary values the domains do allow.
+	if err := ValidateRequirement(1, 1, 0.999); err != nil {
+		t.Errorf("alpha=beta=1 rejected: %v", err)
+	}
+}
+
+func TestValidateThreshold(t *testing.T) {
+	if err := ValidateThreshold(0); err != nil {
+		t.Errorf("threshold 0 rejected: %v", err)
+	}
+	if err := ValidateThreshold(0.99); err != nil {
+		t.Errorf("threshold 0.99 rejected: %v", err)
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if err := ValidateThreshold(bad); err == nil {
+			t.Errorf("threshold %v accepted", bad)
+		}
+	}
+}
+
+func TestValidateNonNegative(t *testing.T) {
+	if err := ValidateNonNegative("-runs", 0); err != nil {
+		t.Errorf("0 rejected: %v", err)
+	}
+	if err := ValidateNonNegative("-runs", -1); err == nil {
+		t.Error("-1 accepted")
+	} else if !strings.Contains(err.Error(), "-runs") {
+		t.Errorf("message %q does not name the flag", err)
+	}
+}

@@ -63,11 +63,14 @@ func bootstrapStart(w *Workload, o Oracle, take int) int {
 		if t > n {
 			t = n
 		}
-		matches := 0
+		ids := make([]int, 0, t)
 		for i := 0; i < t; i++ {
 			// Evenly spaced positions keep the probe deterministic.
-			pos := start + i*n/t
-			if o.Label(w.Pair(pos).ID) {
+			ids = append(ids, w.Pair(start+i*n/t).ID)
+		}
+		matches := 0
+		for _, m := range labelAll(o, ids) {
+			if m {
 				matches++
 			}
 		}

@@ -87,19 +87,23 @@ func (c SamplingConfig) normalized() (SamplingConfig, error) {
 func sampleSubset(w *Workload, o Oracle, rng *rand.Rand, k, take int) stats.Stratum {
 	start, end := w.SubsetRange(k)
 	n := end - start
+	var ids []int
 	if take <= 0 || take >= n {
-		matches := 0
+		take = n
+		ids = make([]int, 0, n)
 		for i := start; i < end; i++ {
-			if o.Label(w.Pair(i).ID) {
-				matches++
-			}
+			ids = append(ids, w.Pair(i).ID)
 		}
-		return stats.Stratum{Size: n, Sampled: n, Matches: matches}
+	} else {
+		perm := rng.Perm(n)
+		ids = make([]int, 0, take)
+		for _, off := range perm[:take] {
+			ids = append(ids, w.Pair(start+off).ID)
+		}
 	}
-	perm := rng.Perm(n)
 	matches := 0
-	for _, off := range perm[:take] {
-		if o.Label(w.Pair(start + off).ID) {
+	for _, m := range labelAll(o, ids) {
+		if m {
 			matches++
 		}
 	}

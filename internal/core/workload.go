@@ -40,6 +40,35 @@ type Oracle interface {
 	Label(id int) bool
 }
 
+// BatchOracle is an Oracle that can label several pairs in one call. The
+// searches funnel every fixed set of label requests (a whole subset, a
+// per-subset sample, a bootstrap probe, the final DH resolution) through
+// LabelAll, so implementations backed by humans or crowds can coalesce a
+// request into one review batch instead of answering pair by pair.
+//
+// LabelAll must return one answer per id, aligned with ids, and must answer
+// the ids in the given order: stochastic oracles memoize per pair, and the
+// order in which fresh pairs consume randomness is part of the package's
+// determinism contract.
+type BatchOracle interface {
+	Oracle
+	LabelAll(ids []int) []bool
+}
+
+// labelAll asks the oracle about every id, through the batch path when the
+// oracle provides one and pair by pair otherwise. Both paths answer in id
+// order, so they are interchangeable bit for bit.
+func labelAll(o Oracle, ids []int) []bool {
+	if b, ok := o.(BatchOracle); ok {
+		return b.LabelAll(ids)
+	}
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = o.Label(id)
+	}
+	return out
+}
+
 // DefaultSubsetSize is the number of pairs per unit subset used throughout
 // the paper's evaluation (§VIII: "the number of instance pairs contained by
 // each subset is set to be 200").
@@ -147,14 +176,18 @@ func (w *Workload) SubsetContaining(v float64) int {
 	return i / w.subsetSize
 }
 
-// labelSubset asks the oracle for every pair of subset k and returns the
-// number of matching pairs. Oracles memoize, so repeated calls do not
-// inflate human cost.
+// labelSubset asks the oracle for every pair of subset k (as one batch) and
+// returns the number of matching pairs. Oracles memoize, so repeated calls
+// do not inflate human cost.
 func (w *Workload) labelSubset(o Oracle, k int) int {
 	s, e := w.SubsetRange(k)
-	matches := 0
+	ids := make([]int, 0, e-s)
 	for _, p := range w.pairs[s:e] {
-		if o.Label(p.ID) {
+		ids = append(ids, p.ID)
+	}
+	matches := 0
+	for _, m := range labelAll(o, ids) {
+		if m {
 			matches++
 		}
 	}
@@ -221,8 +254,12 @@ func (s Solution) Resolve(w *Workload, o Oracle) []bool {
 		hStart, _ = w.SubsetRange(s.Lo)
 		_, hEnd = w.SubsetRange(s.Hi)
 	}
+	ids := make([]int, 0, hEnd-hStart)
 	for i := hStart; i < hEnd; i++ {
-		labels[i] = o.Label(w.pairs[i].ID)
+		ids = append(ids, w.pairs[i].ID)
+	}
+	for i, m := range labelAll(o, ids) {
+		labels[hStart+i] = m
 	}
 	for i := hEnd; i < len(labels); i++ {
 		labels[i] = true

@@ -112,7 +112,7 @@ func ReadLabels(r io.Reader) (Labels, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: row %d: pair id %q", ErrBadFormat, i+2, row[0])
 		}
-		label, err := parseLabel(row[1])
+		label, err := ParseLabel(row[1])
 		if err != nil {
 			return nil, fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
 		}
@@ -121,11 +121,14 @@ func ReadLabels(r io.Reader) (Labels, error) {
 	return out, nil
 }
 
-func parseLabel(s string) (bool, error) {
+// ParseLabel parses one human answer: match/unmatch, m/u, yes/no, y/n or
+// anything strconv.ParseBool accepts. The same forms work in label CSVs and
+// at the interactive prompt.
+func ParseLabel(s string) (bool, error) {
 	switch s {
-	case "match", "Match", "MATCH", "yes", "y":
+	case "match", "Match", "MATCH", "yes", "y", "m":
 		return true, nil
-	case "unmatch", "Unmatch", "UNMATCH", "no", "n":
+	case "unmatch", "Unmatch", "UNMATCH", "no", "n", "u":
 		return false, nil
 	}
 	v, err := strconv.ParseBool(s)

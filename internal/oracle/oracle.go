@@ -44,6 +44,22 @@ func NewSimulated(truth map[int]bool) *Simulated {
 func (o *Simulated) Label(id int) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.labelLocked(id)
+}
+
+// LabelAll reveals the batch's labels in id order under one lock
+// acquisition. It is bit-identical to calling Label per id.
+func (o *Simulated) LabelAll(ids []int) []bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = o.labelLocked(id)
+	}
+	return out
+}
+
+func (o *Simulated) labelLocked(id int) bool {
 	if v, ok := o.labeled[id]; ok {
 		return v
 	}
@@ -116,6 +132,23 @@ func NewNoisy(truth map[int]bool, errorRate float64, rng *rand.Rand) (*Noisy, er
 func (o *Noisy) Label(id int) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.labelLocked(id)
+}
+
+// LabelAll answers the batch in id order under one lock acquisition. Fresh
+// pairs consume the error stream in id order, so a batched run is
+// bit-identical to a pair-by-pair run.
+func (o *Noisy) LabelAll(ids []int) []bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = o.labelLocked(id)
+	}
+	return out
+}
+
+func (o *Noisy) labelLocked(id int) bool {
 	if v, ok := o.answers[id]; ok {
 		return v
 	}
@@ -160,6 +193,7 @@ type Crowd struct {
 	errorRate  float64
 	rng        *rand.Rand
 	totalVotes int
+	batches    int
 }
 
 // NewCrowd builds a crowdsourced oracle with the given odd worker count per
@@ -181,10 +215,45 @@ func NewCrowd(truth map[int]bool, workers int, errorRate float64, rng *rand.Rand
 	return &Crowd{truth: copied, answers: make(map[int]bool), workers: workers, errorRate: errorRate, rng: rng}, nil
 }
 
-// Label returns the majority vote over the workers for the pair.
+// Label returns the majority vote over the workers for the pair. A fresh
+// pair counts as its own one-pair crowdsourcing batch; see LabelAll for
+// batched submission.
 func (o *Crowd) Label(id int) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if _, known := o.answers[id]; !known {
+		o.batches++
+	}
+	return o.labelLocked(id)
+}
+
+// LabelAll adjudicates the batch in id order. All fresh pairs of the call
+// are submitted to the crowd as one batch (the HIT-group model of
+// crowdsourced ER: workers vote on a page of pairs, not one pair at a time),
+// so Batches counts one unit per call instead of one per pair, while Votes
+// still counts every per-pair worker answer. Vote randomness is consumed per
+// pair in id order, bit-identical to pair-by-pair submission.
+func (o *Crowd) LabelAll(ids []int) []bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fresh := false
+	for _, id := range ids {
+		if _, known := o.answers[id]; !known {
+			fresh = true
+			break
+		}
+	}
+	if fresh {
+		o.batches++
+	}
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = o.labelLocked(id)
+	}
+	return out
+}
+
+func (o *Crowd) labelLocked(id int) bool {
 	if v, ok := o.answers[id]; ok {
 		return v
 	}
@@ -224,6 +293,16 @@ func (o *Crowd) Votes() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.totalVotes
+}
+
+// Batches returns the number of crowdsourcing batches submitted so far: one
+// per LabelAll call that adjudicated at least one fresh pair, one per fresh
+// single-pair Label call. It proxies the per-HIT platform overhead that
+// batching amortizes.
+func (o *Crowd) Batches() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.batches
 }
 
 // Truth returns the error-free ground truth for evaluation.

@@ -1,0 +1,144 @@
+package humo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"humo/internal/core"
+)
+
+// BatchOracle is an Oracle that can label several pairs in one call. The
+// searches funnel every fixed set of label requests (a whole unit subset, a
+// per-subset sample, a bootstrap probe, the final DH resolution) through
+// LabelAll, so a human- or crowd-backed implementation sees one review batch
+// instead of a pair-by-pair trickle. See core.BatchOracle for the ordering
+// contract.
+type BatchOracle = core.BatchOracle
+
+// Labeler is the error-aware human contract: a batch of pair ids goes out,
+// a map of match/unmatch answers comes back, and failure is representable —
+// a crowd platform timing out, a reviewer closing the terminal, a context
+// being canceled. Real human backends answer in batches and fallibly; the
+// legacy Oracle interface can express neither, so Labeler is the contract
+// new integrations should implement.
+//
+// LabelBatch must answer every requested id (extra ids are ignored) or
+// return an error. Implementations should honor ctx cancellation.
+type Labeler interface {
+	LabelBatch(ctx context.Context, ids []int) (map[int]bool, error)
+}
+
+// LabelerFunc adapts a function to the Labeler interface.
+type LabelerFunc func(ctx context.Context, ids []int) (map[int]bool, error)
+
+// LabelBatch calls f.
+func (f LabelerFunc) LabelBatch(ctx context.Context, ids []int) (map[int]bool, error) {
+	return f(ctx, ids)
+}
+
+// OracleLabeler adapts a legacy Oracle to the Labeler contract. The batch
+// path is used when the oracle provides one; ctx is checked between pairs
+// otherwise, and a canceled ctx surfaces as its error.
+func OracleLabeler(o Oracle) Labeler { return oracleLabeler{o} }
+
+type oracleLabeler struct{ o Oracle }
+
+func (a oracleLabeler) LabelBatch(ctx context.Context, ids []int) (map[int]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[int]bool, len(ids))
+	if b, ok := a.o.(BatchOracle); ok {
+		for i, v := range b.LabelAll(ids) {
+			out[ids[i]] = v
+		}
+		return out, nil
+	}
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[id] = a.o.Label(id)
+	}
+	return out, nil
+}
+
+// OracleFromLabeler adapts an error-aware Labeler to the legacy Oracle
+// contract, so the one-shot searches can run against a batch backend. The
+// legacy contract cannot express failure, so the first error latches: from
+// then on unanswered pairs are answered false without asking the backend,
+// and the caller must check Err after the search — a nil Err guarantees
+// every answer came from the Labeler. New code should prefer Session, which
+// propagates the same errors without the latch.
+type OracleFromLabeler struct {
+	ctx context.Context
+	l   Labeler
+
+	mu    sync.Mutex
+	known map[int]bool
+	err   error
+}
+
+// NewOracleFromLabeler builds the adapter. ctx is passed through to every
+// LabelBatch call, so canceling it fails the adapter (and with it the
+// search) at the next label request.
+func NewOracleFromLabeler(ctx context.Context, l Labeler) *OracleFromLabeler {
+	return &OracleFromLabeler{ctx: ctx, l: l, known: make(map[int]bool)}
+}
+
+// Label answers one pair (a batch of one).
+func (o *OracleFromLabeler) Label(id int) bool { return o.LabelAll([]int{id})[0] }
+
+// LabelAll answers the batch, asking the Labeler only about deduplicated
+// ids it has not answered before.
+func (o *OracleFromLabeler) LabelAll(ids []int) []bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var unknown []int
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if _, ok := o.known[id]; !ok {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 && o.err == nil {
+		ans, err := o.l.LabelBatch(o.ctx, unknown)
+		if err != nil {
+			o.err = err
+		} else {
+			for _, id := range unknown {
+				v, ok := ans[id]
+				if !ok {
+					o.err = fmt.Errorf("humo: labeler omitted pair %d from its batch answer", id)
+					break
+				}
+				o.known[id] = v
+			}
+		}
+	}
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = o.known[id] // false for pairs lost to a latched error
+	}
+	return out
+}
+
+// Err returns the first Labeler failure, or nil when every answer so far
+// genuinely came from the backend.
+func (o *OracleFromLabeler) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Cost returns the number of distinct pairs answered by the backend.
+func (o *OracleFromLabeler) Cost() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.known)
+}

@@ -1,0 +1,571 @@
+package humo
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"humo/internal/core"
+)
+
+// Method names a search a Session can drive.
+type Method string
+
+// The five searches of the package, by CLI name.
+const (
+	MethodBase            Method = "base"
+	MethodAllSampling     Method = "allsampling"
+	MethodPartialSampling Method = "sampling"
+	MethodHybrid          Method = "hybrid"
+	MethodBudgeted        Method = "budgeted"
+)
+
+// ParseMethod parses a method name as used by SessionConfig and the CLIs.
+func ParseMethod(s string) (Method, error) {
+	switch m := Method(s); m {
+	case MethodBase, MethodAllSampling, MethodPartialSampling, MethodHybrid, MethodBudgeted:
+		return m, nil
+	}
+	return "", fmt.Errorf("humo: unknown method %q (want base, allsampling, sampling, hybrid or budgeted)", s)
+}
+
+// ErrSessionCanceled is the terminal error of a session stopped by Cancel.
+var ErrSessionCanceled = errors.New("humo: session canceled")
+
+// ErrSessionDone reports an Answer sent to a session that already
+// terminated.
+var ErrSessionDone = errors.New("humo: session already terminated")
+
+// ErrCheckpointMismatch reports a checkpoint restored against a workload or
+// configuration it was not written for.
+var ErrCheckpointMismatch = errors.New("humo: checkpoint does not match session configuration")
+
+// SessionConfig configures a resolution session. Exactly one search runs,
+// selected by Method; the matching config field applies (Base for
+// MethodBase, Sampling for the sampling and budgeted searches, Hybrid —
+// including its embedded Sampling — for MethodHybrid).
+//
+// All sampling randomness is derived from Seed so that a session replays
+// deterministically from its answered-label log: the Rand fields of
+// Sampling and Hybrid.Sampling must be left nil.
+type SessionConfig struct {
+	Method Method
+
+	Base     BaseConfig
+	Sampling SamplingConfig
+	Hybrid   HybridConfig
+
+	// BudgetPairs is the manual-inspection budget of MethodBudgeted
+	// (ignored by the other methods, which take a Requirement instead).
+	BudgetPairs int
+
+	// Seed drives every sampling decision. Keep it fixed across
+	// checkpoint/restore cycles: the search re-runs from scratch on
+	// restore and must ask for the same pairs in the same order.
+	Seed int64
+
+	// Resolve extends the session past the search: after a solution is
+	// found, the pairs of DH are labeled through the same batch loop, and
+	// Labels reports the complete resolution. Without it the session
+	// terminates as soon as the division is known.
+	Resolve bool
+
+	// Known seeds the answered-label log, e.g. with a label file from an
+	// earlier review round. Known answers are replayed without being
+	// surfaced in batches; they count toward Cost only if the search
+	// actually asks for them.
+	Known map[int]bool
+}
+
+// Batch is one round of pairs needing human labels: deduplicated, sorted by
+// pair id, and all unanswered at the time it was emitted.
+type Batch struct {
+	IDs []int
+}
+
+// Empty reports whether the batch carries no work — the session has
+// terminated when Next returns an empty batch.
+func (b Batch) Empty() bool { return len(b.IDs) == 0 }
+
+// Session drives one search as a pausable state machine. The search runs on
+// an internal goroutine against a channel-backed oracle; whenever it needs
+// labels the session parks it and hands the caller a Batch:
+//
+//	s, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodHybrid, Seed: 1})
+//	for {
+//		b, err := s.Next(ctx)
+//		if err != nil { ... }           // terminal failure or ctx cancellation
+//		if b.Empty() { break }          // terminated: Solution()/Err()/Labels()
+//		s.Answer(askTheHumans(b.IDs))   // partial answers allowed
+//	}
+//
+// Next, Answer, Checkpoint, Cancel and the accessors are safe for
+// concurrent use. A session that is abandoned before terminating must be
+// Canceled, or its search goroutine stays parked forever.
+type Session struct {
+	w   *Workload
+	req Requirement
+	cfg SessionConfig
+
+	mu       sync.Mutex
+	answered map[int]bool     // the label log: Known + everything Answered
+	consumed map[int]struct{} // distinct ids the search asked — the cost ledger
+	pending  []int            // unanswered remainder of the surfaced batch
+	done     bool
+	sol      Solution
+	labels   []bool
+	err      error
+
+	reqCh     chan []int    // search -> Next: a batch of unknown ids
+	ansCh     chan struct{} // Answer/Next -> search: the batch is fully answered
+	doneCh    chan struct{} // closed when the search goroutine exits
+	abort     chan struct{} // closed by Cancel
+	abortOnce sync.Once
+}
+
+// NewSession validates the configuration and starts the search. Requirement
+// validation happens here — not deep inside the first Next — so a bad
+// Alpha/Beta/Theta fails fast. MethodBudgeted ignores req.
+func NewSession(w *Workload, req Requirement, cfg SessionConfig) (*Session, error) {
+	if w == nil {
+		return nil, errors.New("humo: nil workload")
+	}
+	if _, err := ParseMethod(string(cfg.Method)); err != nil {
+		return nil, err
+	}
+	if cfg.Method != MethodBudgeted {
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Sampling.Rand != nil || cfg.Hybrid.Sampling.Rand != nil {
+		return nil, errors.New("humo: session randomness is derived from SessionConfig.Seed; leave the Rand fields nil")
+	}
+	s := &Session{
+		w:        w,
+		req:      req,
+		cfg:      cfg,
+		answered: make(map[int]bool, len(cfg.Known)),
+		consumed: make(map[int]struct{}),
+		reqCh:    make(chan []int),
+		ansCh:    make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		abort:    make(chan struct{}),
+	}
+	for id, v := range cfg.Known {
+		s.answered[id] = v
+	}
+	go s.run()
+	return s, nil
+}
+
+// errSessionAborted is the sentinel the oracle adapter panics with when
+// Cancel fires while the search is parked.
+var errSessionAborted = errors.New("humo: internal session abort")
+
+func (s *Session) run() {
+	sol, labels, err := s.search()
+	s.mu.Lock()
+	s.done = true
+	s.sol, s.labels, s.err = sol, labels, err
+	s.pending = nil
+	s.mu.Unlock()
+	close(s.doneCh)
+}
+
+func (s *Session) search() (sol Solution, labels []bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errSessionAborted { //nolint:errorlint // sentinel identity
+				sol, labels, err = Solution{}, nil, ErrSessionCanceled
+				return
+			}
+			panic(r)
+		}
+	}()
+	ad := &sessionOracle{s: s}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	switch s.cfg.Method {
+	case MethodBase:
+		sol, err = core.BaseSearch(s.w, s.req, ad, s.cfg.Base)
+	case MethodAllSampling:
+		sc := s.cfg.Sampling
+		sc.Rand = rng
+		sol, err = core.AllSamplingSearch(s.w, s.req, ad, sc)
+	case MethodPartialSampling:
+		sc := s.cfg.Sampling
+		sc.Rand = rng
+		sol, err = core.PartialSamplingSearch(s.w, s.req, ad, sc)
+	case MethodHybrid:
+		hc := s.cfg.Hybrid
+		hc.Sampling.Rand = rng
+		sol, err = core.HybridSearch(s.w, s.req, ad, hc)
+	case MethodBudgeted:
+		sc := s.cfg.Sampling
+		sc.Rand = rng
+		sol, err = core.BudgetedSearch(s.w, s.cfg.BudgetPairs, ad, sc)
+	}
+	if err == nil && s.cfg.Resolve {
+		labels = sol.Resolve(s.w, ad)
+	}
+	return sol, labels, err
+}
+
+// sessionOracle is the channel-backed oracle the search runs against. Known
+// answers are served from the log; unknown ids park the search goroutine
+// until the caller Answers them (or Cancel aborts the run).
+type sessionOracle struct{ s *Session }
+
+func (a *sessionOracle) Label(id int) bool { return a.LabelAll([]int{id})[0] }
+
+func (a *sessionOracle) LabelAll(ids []int) []bool {
+	s := a.s
+	s.mu.Lock()
+	var unknown []int
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		s.consumed[id] = struct{}{}
+		if _, ok := s.answered[id]; !ok {
+			unknown = append(unknown, id)
+		}
+	}
+	s.mu.Unlock()
+	if len(unknown) > 0 {
+		sort.Ints(unknown)
+		select {
+		case s.reqCh <- unknown:
+		case <-s.abort:
+			panic(errSessionAborted)
+		}
+		select {
+		case <-s.ansCh:
+		case <-s.abort:
+			panic(errSessionAborted)
+		}
+	}
+	s.mu.Lock()
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = s.answered[id]
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Next blocks until the session needs labels or terminates. It returns the
+// next Batch of pair ids to label, or an empty Batch once the session has
+// terminated — successfully (nil error) or with the terminal error. A ctx
+// cancellation returns ctx's error without terminating the session; use
+// Cancel to abort it.
+func (s *Session) Next(ctx context.Context) (Batch, error) {
+	for {
+		s.mu.Lock()
+		if len(s.pending) > 0 {
+			b := append([]int(nil), s.pending...)
+			s.mu.Unlock()
+			return Batch{IDs: b}, nil
+		}
+		done, err := s.done, s.err
+		s.mu.Unlock()
+		if done {
+			return Batch{}, err
+		}
+		select {
+		case ids := <-s.reqCh:
+			s.mu.Lock()
+			// Answers may have arrived through Answer (or a restore merge)
+			// while the search was computing; only surface what is still
+			// unanswered.
+			var remaining []int
+			for _, id := range ids {
+				if _, ok := s.answered[id]; !ok {
+					remaining = append(remaining, id)
+				}
+			}
+			s.pending = remaining
+			s.mu.Unlock()
+			if len(remaining) == 0 {
+				s.release()
+				continue
+			}
+			return Batch{IDs: append([]int(nil), remaining...)}, nil
+		case <-s.doneCh:
+			// Loop: re-read the terminal state under the lock.
+		case <-ctx.Done():
+			return Batch{}, ctx.Err()
+		}
+	}
+}
+
+// release unparks the search goroutine after its batch is fully answered.
+func (s *Session) release() {
+	select {
+	case s.ansCh <- struct{}{}:
+	case <-s.doneCh: // the run was aborted while we held the answers
+	}
+}
+
+// Answer feeds human labels into the session's log. Partial answers are
+// allowed: the unanswered remainder of the current batch is returned by the
+// following Next, and the search resumes only once the whole batch is
+// covered. Ids outside the current batch are recorded too (and served if
+// the search asks later). Answering a terminated session is an error.
+func (s *Session) Answer(labels map[int]bool) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return ErrSessionDone
+	}
+	for id, v := range labels {
+		s.answered[id] = v
+	}
+	released := false
+	if len(s.pending) > 0 {
+		var remaining []int
+		for _, id := range s.pending {
+			if _, ok := s.answered[id]; !ok {
+				remaining = append(remaining, id)
+			}
+		}
+		s.pending = remaining
+		released = len(remaining) == 0
+	}
+	s.mu.Unlock()
+	if released {
+		s.release()
+	}
+	return nil
+}
+
+// Run drives the session to termination with a Labeler: the batch loop of
+// Next/Answer with error propagation. A Labeler failure or ctx cancellation
+// cancels the session and is returned.
+func (s *Session) Run(ctx context.Context, l Labeler) (Solution, error) {
+	for {
+		b, err := s.Next(ctx)
+		if err != nil {
+			s.Cancel()
+			return Solution{}, err
+		}
+		if b.Empty() {
+			return s.Solution(), nil
+		}
+		ans, err := l.LabelBatch(ctx, b.IDs)
+		if err != nil {
+			s.Cancel()
+			return Solution{}, fmt.Errorf("humo: labeler failed: %w", err)
+		}
+		if err := s.Answer(ans); err != nil {
+			return Solution{}, err
+		}
+	}
+}
+
+// Cancel aborts the session: the search goroutine is torn down at its next
+// label request and the session terminates with ErrSessionCanceled. Cancel
+// waits for the goroutine to exit, so the terminal state is observable when
+// it returns. Canceling a terminated session is a no-op; a search that
+// never asks for another label finishes normally (with its real result).
+func (s *Session) Cancel() {
+	s.abortOnce.Do(func() {
+		s.mu.Lock()
+		s.pending = nil
+		s.mu.Unlock()
+		close(s.abort)
+	})
+	<-s.doneCh
+}
+
+// Done reports whether the session has terminated.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// Err returns the terminal error: nil while running or after success,
+// ErrSessionCanceled after Cancel, or the search's own failure.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Solution returns the division found by the search. It is meaningful only
+// once the session terminated successfully (Done true, Err nil).
+func (s *Session) Solution() Solution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sol
+}
+
+// Labels returns the complete resolution (indexed by sorted pair position,
+// as Solution.Resolve) of a session configured with Resolve, or nil.
+func (s *Session) Labels() []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.labels == nil {
+		return nil
+	}
+	return append([]bool(nil), s.labels...)
+}
+
+// Cost returns the human cost so far: the number of distinct pairs the
+// search asked about, whether answered interactively or replayed from the
+// Known log. It matches the Cost an oracle would have accounted in the
+// one-shot API.
+func (s *Session) Cost() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.consumed)
+}
+
+// Checkpoint serialization. A checkpoint is the answered-label log plus
+// enough configuration to verify a restore is replaying the same search
+// over the same workload. The search itself is not serialized: on restore
+// it re-runs from scratch and the log answers everything it already asked,
+// deterministically, because all sampling randomness derives from Seed.
+
+const checkpointVersion = 1
+
+type labelEntry struct {
+	ID    int  `json:"id"`
+	Match bool `json:"match"`
+}
+
+type sessionCheckpoint struct {
+	Version       int          `json:"version"`
+	Method        Method       `json:"method"`
+	Seed          int64        `json:"seed"`
+	Alpha         float64      `json:"alpha"`
+	Beta          float64      `json:"beta"`
+	Theta         float64      `json:"theta"`
+	BudgetPairs   int          `json:"budget_pairs"`
+	ConfigHash    string       `json:"config_hash"`
+	WorkloadPairs int          `json:"workload_pairs"`
+	SubsetSize    int          `json:"subset_size"`
+	WorkloadHash  string       `json:"workload_hash"`
+	Labels        []labelEntry `json:"labels"`
+}
+
+// configFingerprint hashes the search knobs that shape which pairs the
+// search asks for, so a restore with different Base/Sampling/Hybrid
+// settings is refused instead of silently diverging from the label log.
+// Workers is excluded (it trades wall-clock only, never results), and the
+// Rand fields are nil by session invariant.
+func configFingerprint(cfg SessionConfig) string {
+	base := cfg.Base
+	samp := cfg.Sampling
+	samp.Workers = 0
+	hyb := cfg.Hybrid
+	hyb.Sampling.Workers = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%+v|%+v", base, samp, hyb)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WorkloadFingerprint returns a stable hash of the workload's sorted pair
+// sequence (ids and similarity bits). Checkpoints embed it so a restore
+// over a different workload is refused; callers that persist human labels
+// keyed by pair id (e.g. cmd/humo's label files) should guard them the
+// same way — the ids mean nothing once the candidate set changes.
+func WorkloadFingerprint(w *Workload) string { return workloadFingerprint(w) }
+
+// workloadFingerprint hashes the sorted pair sequence (id and similarity
+// bits), so a checkpoint cannot silently be replayed over a different
+// workload.
+func workloadFingerprint(w *Workload) string {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < w.Len(); i++ {
+		p := w.Pair(i)
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(p.ID))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(p.Sim))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Checkpoint writes the session's answered-label log and configuration
+// fingerprint as JSON. It may be called at any point of the lifecycle; a
+// restore resumes from exactly the answers captured here.
+func (s *Session) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	entries := make([]labelEntry, 0, len(s.answered))
+	for id, v := range s.answered {
+		entries = append(entries, labelEntry{ID: id, Match: v})
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sessionCheckpoint{
+		Version:       checkpointVersion,
+		Method:        s.cfg.Method,
+		Seed:          s.cfg.Seed,
+		Alpha:         s.req.Alpha,
+		Beta:          s.req.Beta,
+		Theta:         s.req.Theta,
+		BudgetPairs:   s.cfg.BudgetPairs,
+		ConfigHash:    configFingerprint(s.cfg),
+		WorkloadPairs: s.w.Len(),
+		SubsetSize:    s.w.SubsetSize(),
+		WorkloadHash:  workloadFingerprint(s.w),
+		Labels:        entries,
+	})
+}
+
+// RestoreSession resumes a checkpointed resolution: the caller rebuilds the
+// workload and configuration (they are deliberately not serialized — the
+// workload may be large, and the config may hold live state), RestoreSession
+// verifies they match what the checkpoint was written for, seeds the label
+// log, and starts a session that replays deterministically up to the first
+// genuinely unanswered pair. Answers in cfg.Known are merged in (checkpoint
+// labels win on conflict).
+func RestoreSession(w *Workload, req Requirement, cfg SessionConfig, r io.Reader) (*Session, error) {
+	var cp sessionCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("humo: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("%w: checkpoint version %d, want %d", ErrCheckpointMismatch, cp.Version, checkpointVersion)
+	}
+	if cp.Method != cfg.Method || cp.Seed != cfg.Seed || cp.BudgetPairs != cfg.BudgetPairs {
+		return nil, fmt.Errorf("%w: checkpoint is for method=%s seed=%d budget=%d, got method=%s seed=%d budget=%d",
+			ErrCheckpointMismatch, cp.Method, cp.Seed, cp.BudgetPairs, cfg.Method, cfg.Seed, cfg.BudgetPairs)
+	}
+	if cfg.Method != MethodBudgeted && (cp.Alpha != req.Alpha || cp.Beta != req.Beta || cp.Theta != req.Theta) {
+		return nil, fmt.Errorf("%w: checkpoint requirement (%v,%v,%v) differs from (%v,%v,%v)",
+			ErrCheckpointMismatch, cp.Alpha, cp.Beta, cp.Theta, req.Alpha, req.Beta, req.Theta)
+	}
+	if cp.ConfigHash != configFingerprint(cfg) {
+		return nil, fmt.Errorf("%w: search configuration (Base/Sampling/Hybrid knobs) changed since the checkpoint was written", ErrCheckpointMismatch)
+	}
+	if w == nil {
+		return nil, errors.New("humo: nil workload")
+	}
+	if cp.WorkloadPairs != w.Len() || cp.SubsetSize != w.SubsetSize() || cp.WorkloadHash != workloadFingerprint(w) {
+		return nil, fmt.Errorf("%w: workload changed since the checkpoint was written", ErrCheckpointMismatch)
+	}
+	known := make(map[int]bool, len(cp.Labels)+len(cfg.Known))
+	for id, v := range cfg.Known {
+		known[id] = v
+	}
+	for _, e := range cp.Labels {
+		known[e.ID] = e.Match
+	}
+	cfg.Known = known
+	return NewSession(w, req, cfg)
+}
