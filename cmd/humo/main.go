@@ -388,29 +388,9 @@ func (e *cliEnv) saveLabels(ans map[int]bool) error {
 	if e.labelsPath == "" || len(ans) == 0 {
 		return nil
 	}
-	return writeFileAtomic(e.labelsPath, func(w io.Writer) error {
+	return dataio.WriteFileAtomic(e.labelsPath, func(w io.Writer) error {
 		return dataio.WriteLabels(w, e.known)
 	})
-}
-
-// writeFileAtomic writes via a temp file in the same directory and renames
-// it over the target, so the target is never left truncated or half-written.
-func writeFileAtomic(path string, write func(io.Writer) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // guardLabelFile pins the label file to the candidate set it was collected
@@ -423,7 +403,7 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 func guardLabelFile(labelsPath, fingerprint string) error {
 	guard := labelsPath + ".workload"
 	pin := func() error {
-		return writeFileAtomic(guard, func(w io.Writer) error {
+		return dataio.WriteFileAtomic(guard, func(w io.Writer) error {
 			_, err := fmt.Fprintln(w, fingerprint)
 			return err
 		})

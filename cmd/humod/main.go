@@ -1,0 +1,134 @@
+// Command humod serves many concurrent resolution sessions over an HTTP
+// JSON API, surviving process restarts.
+//
+// Each session drives one humo.Session; human workforces pull pending
+// batches with GET /next (long-poll) and push answers with POST /answers.
+// Every answered batch is journaled to an atomic checkpoint file under the
+// state directory, so a humod killed at any point — SIGTERM or power cord —
+// restarts on the same -state directory with every live session restored
+// and completes each resolution bit-identically to an uninterrupted run.
+//
+// API (see internal/serve and the package documentation for the contract):
+//
+//	POST   /v1/sessions               create (inline pairs or workload_file)
+//	GET    /v1/sessions               list
+//	GET    /v1/sessions/{id}          status / solution / cost
+//	GET    /v1/sessions/{id}/next     long-poll the pending batch
+//	POST   /v1/sessions/{id}/answers  submit (partial) answers
+//	GET    /v1/sessions/{id}/labels   long-poll answered labels
+//	DELETE /v1/sessions/{id}          cancel and forget
+//
+// Example:
+//
+//	humod -addr 127.0.0.1:8080 -state ./humod-state -data ./workloads
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"humo/internal/cliutil"
+	"humo/internal/serve"
+)
+
+func main() {
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, shutdown))
+}
+
+// Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+// run is the whole server, parameterized over its streams and shutdown
+// signal so tests can boot a real listener in-process, kill it
+// mid-resolution, and restart it on the same state directory.
+func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int {
+	fs := flag.NewFlagSet("humod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		stateDir    = fs.String("state", "humod-state", "state directory for session specs and checkpoint journals")
+		dataDir     = fs.String("data", ".", "directory workload_file session references are resolved in")
+		maxSessions = fs.Int("max-sessions", serve.DefaultMaxSessions, "cap on concurrently live sessions")
+		drain       = fs.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	if err := cliutil.ValidateNonNegative("-max-sessions", *maxSessions); err != nil {
+		fmt.Fprintln(stderr, "humod:", err)
+		return exitUsage
+	}
+
+	m, err := serve.Open(serve.Config{StateDir: *stateDir, DataDir: *dataDir, MaxSessions: *maxSessions})
+	if err != nil {
+		fmt.Fprintln(stderr, "humod:", err)
+		return exitError
+	}
+	if n := m.Len(); n > 0 {
+		fmt.Fprintf(stdout, "humod: recovered %d session(s) from %s\n", n, *stateDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		m.Close()
+		fmt.Fprintln(stderr, "humod:", err)
+		return exitError
+	}
+	fmt.Fprintf(stdout, "humod: listening on %s\n", ln.Addr())
+
+	// Long-polls block on their request context, which derives from
+	// baseCtx: canceling it on shutdown makes every parked poll return
+	// immediately instead of running out the drain window.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	srv := &http.Server{
+		Handler:     serve.NewHandler(m),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	code := exitOK
+	select {
+	case <-shutdown:
+		fmt.Fprintln(stdout, "humod: shutting down")
+		baseCancel()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "humod: draining requests:", err)
+			code = exitError
+		}
+		cancel()
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "humod:", err)
+			code = exitError
+		}
+	}
+	// Checkpoint-on-shutdown: every session's label log goes to disk one
+	// last time before the process exits, whatever interrupted it.
+	if err := m.Close(); err != nil {
+		fmt.Fprintln(stderr, "humod: checkpointing sessions:", err)
+		code = exitError
+	}
+	fmt.Fprintln(stdout, "humod: state saved, bye")
+	return code
+}

@@ -1,0 +1,440 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"humo"
+	"humo/internal/dataio"
+	"humo/internal/serve"
+)
+
+// syncBuffer is a goroutine-safe stdout sink for a server running on a
+// test goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// server is one in-process humod over a real TCP listener.
+type server struct {
+	url  string
+	sig  chan os.Signal
+	exit chan int
+	out  *syncBuffer
+	errb *syncBuffer
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer boots humod on a free port and waits for the listener.
+func startServer(t *testing.T, extra ...string) *server {
+	t.Helper()
+	s := &server{
+		sig:  make(chan os.Signal, 1),
+		exit: make(chan int, 1),
+		out:  &syncBuffer{},
+		errb: &syncBuffer{},
+	}
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { s.exit <- run(args, s.out, s.errb, s.sig) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(s.out.String()); m != nil {
+			s.url = "http://" + m[1]
+			return s
+		}
+		select {
+		case code := <-s.exit:
+			t.Fatalf("humod exited %d before listening; stderr: %s", code, s.errb.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("humod did not start listening; stdout: %s stderr: %s", s.out.String(), s.errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// stop SIGTERMs the server and returns its exit code.
+func (s *server) stop(t *testing.T) int {
+	t.Helper()
+	s.sig <- os.Interrupt
+	select {
+	case code := <-s.exit:
+		return code
+	case <-time.After(30 * time.Second):
+		t.Fatalf("humod did not shut down; stdout: %s", s.out.String())
+		return -1
+	}
+}
+
+// doJSON performs one request against the server and decodes the response.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var r io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s %s response %q: %v", method, url, data, err)
+		}
+	}
+	return res.StatusCode
+}
+
+// nextBody / labelsWire mirror the wire shapes (the test speaks raw JSON on
+// purpose: it pins the public contract, not the server's internal types).
+type nextWire struct {
+	IDs   []int  `json:"ids"`
+	Done  bool   `json:"done"`
+	Error string `json:"error"`
+}
+
+type solutionWire struct {
+	Lo         int  `json:"lo"`
+	Hi         int  `json:"hi"`
+	Empty      bool `json:"empty"`
+	HumanPairs int  `json:"human_pairs"`
+}
+
+type statusWire struct {
+	ID       string        `json:"id"`
+	Answered int           `json:"answered"`
+	Cost     int           `json:"cost"`
+	Done     bool          `json:"done"`
+	Error    string        `json:"error"`
+	Solution *solutionWire `json:"solution"`
+	Matches  *int          `json:"matches"`
+}
+
+// e2eWorkload builds the shared small workload of the humod tests.
+func e2eWorkload(t *testing.T) ([]serve.SpecPair, map[int]bool) {
+	t.Helper()
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: 1500, Tau: 14, Sigma: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	sp := make([]serve.SpecPair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = serve.SpecPair{ID: p.ID, Sim: p.Sim}
+	}
+	return sp, truth
+}
+
+func e2eSpec(pairs []serve.SpecPair) serve.Spec {
+	return serve.Spec{
+		Method: "hybrid", Seed: 17,
+		Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+		SubsetSize: 100,
+		Pairs:      pairs,
+	}
+}
+
+// referenceRun drives the uninterrupted in-process twin of an e2eSpec
+// session and returns its solution and cost.
+func referenceRun(t *testing.T, truth map[int]bool) (humo.Solution, int) {
+	t.Helper()
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: 1500, Tau: 14, Sigma: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _ := humo.Split(labeled)
+	w, err := humo.NewWorkload(pairs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := humo.NewSession(w, humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}, humo.SessionConfig{
+		Method: humo.MethodHybrid, Seed: 17, Base: humo.BaseConfig{StartSubset: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sess.Run(context.Background(), humo.OracleLabeler(humo.NewSimulatedOracle(truth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, sess.Cost()
+}
+
+func answersWire(ids []int, truth map[int]bool) map[string]any {
+	labels := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		labels[strconv.Itoa(id)] = truth[id]
+	}
+	return map[string]any{"labels": labels}
+}
+
+// driveToCompletion answers next-batches over the wire until the session
+// reports done, returning the number of answer rounds.
+func driveToCompletion(t *testing.T, url, id string, truth map[int]bool) int {
+	t.Helper()
+	rounds := 0
+	for i := 0; ; i++ {
+		if i > 300 {
+			t.Fatal("resolution did not converge over the wire")
+		}
+		var next nextWire
+		code := doJSON(t, "GET", url+"/v1/sessions/"+id+"/next?wait=30s", nil, &next)
+		if code == http.StatusNoContent {
+			continue
+		}
+		if code != http.StatusOK {
+			t.Fatalf("next: status %d", code)
+		}
+		if next.Done {
+			if next.Error != "" {
+				t.Fatalf("session failed: %s", next.Error)
+			}
+			return rounds
+		}
+		if code := doJSON(t, "POST", url+"/v1/sessions/"+id+"/answers", answersWire(next.IDs, truth), nil); code != http.StatusOK {
+			t.Fatalf("answers: status %d", code)
+		}
+		rounds++
+	}
+}
+
+// TestHumodRoundTrip: create -> next -> answer -> solution over a real
+// listener, for both an inline-pairs session and a workload-file one, with
+// solutions matching the in-process reference bit for bit.
+func TestHumodRoundTrip(t *testing.T) {
+	state, data := t.TempDir(), t.TempDir()
+	pairs, truth := e2eWorkload(t)
+
+	// Materialize the same workload as a CSV for the file-reference twin.
+	cp := make([]humo.Pair, len(pairs))
+	for i, p := range pairs {
+		cp[i] = humo.Pair{ID: p.ID, Sim: p.Sim}
+	}
+	f, err := os.Create(filepath.Join(data, "pairs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WritePairs(f, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := startServer(t, "-state", state, "-data", data)
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "inline", Spec: e2eSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create inline: %d", code)
+	}
+	fileSpec := e2eSpec(nil)
+	fileSpec.WorkloadFile = "pairs.csv"
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "fromfile", Spec: fileSpec}, nil); code != http.StatusCreated {
+		t.Fatalf("create fromfile: %d", code)
+	}
+
+	if n := driveToCompletion(t, srv.url, "inline", truth); n == 0 {
+		t.Fatal("no review rounds served")
+	}
+	driveToCompletion(t, srv.url, "fromfile", truth)
+
+	wantSol, wantCost := referenceRun(t, truth)
+	for _, id := range []string{"inline", "fromfile"} {
+		var st statusWire
+		if code := doJSON(t, "GET", srv.url+"/v1/sessions/"+id, nil, &st); code != http.StatusOK {
+			t.Fatalf("%s status: %d", id, code)
+		}
+		if !st.Done || st.Error != "" || st.Solution == nil {
+			t.Fatalf("%s final status %+v", id, st)
+		}
+		if st.Solution.Lo != wantSol.Lo || st.Solution.Hi != wantSol.Hi {
+			t.Errorf("%s solution (%d,%d), want (%d,%d)", id, st.Solution.Lo, st.Solution.Hi, wantSol.Lo, wantSol.Hi)
+		}
+		if st.Cost != wantCost {
+			t.Errorf("%s cost %d, want %d", id, st.Cost, wantCost)
+		}
+	}
+	if code := srv.stop(t); code != exitOK {
+		t.Fatalf("shutdown exit %d; stderr: %s", code, srv.errb.String())
+	}
+}
+
+// TestHumodPartialAnswerRepoll: half-answering a batch over the wire leaves
+// the remainder pending across polls.
+func TestHumodPartialAnswerRepoll(t *testing.T) {
+	srv := startServer(t, "-state", t.TempDir())
+	defer srv.stop(t)
+	pairs, truth := e2eWorkload(t)
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "p", Spec: e2eSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var next nextWire
+	if code := doJSON(t, "GET", srv.url+"/v1/sessions/p/next", nil, &next); code != http.StatusOK || len(next.IDs) < 2 {
+		t.Fatalf("next: %d %+v", code, next)
+	}
+	half, rest := next.IDs[:len(next.IDs)/2], next.IDs[len(next.IDs)/2:]
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions/p/answers", answersWire(half, truth), nil); code != http.StatusOK {
+		t.Fatalf("partial answers: %d", code)
+	}
+	var re nextWire
+	if code := doJSON(t, "GET", srv.url+"/v1/sessions/p/next", nil, &re); code != http.StatusOK {
+		t.Fatalf("re-poll: %d", code)
+	}
+	if fmt.Sprint(re.IDs) != fmt.Sprint(rest) {
+		t.Fatalf("re-poll served %v, want the unanswered remainder %v", re.IDs, rest)
+	}
+}
+
+// TestHumodRestartRecovery is the acceptance test of the PR: kill a humod
+// mid-resolution, restart it on the same state directory, finish the
+// resolution, and the Solution and human cost are bit-identical to an
+// uninterrupted session with the same seed.
+func TestHumodRestartRecovery(t *testing.T) {
+	state := t.TempDir()
+	pairs, truth := e2eWorkload(t)
+
+	srv := startServer(t, "-state", state)
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "phoenix", Spec: e2eSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	// Answer three batches, then pull the plug.
+	for i := 0; i < 3; i++ {
+		var next nextWire
+		if code := doJSON(t, "GET", srv.url+"/v1/sessions/phoenix/next?wait=30s", nil, &next); code != http.StatusOK {
+			t.Fatalf("round %d next: %d", i, code)
+		}
+		if next.Done {
+			t.Fatal("session finished before the kill point; grow the workload")
+		}
+		if code := doJSON(t, "POST", srv.url+"/v1/sessions/phoenix/answers", answersWire(next.IDs, truth), nil); code != http.StatusOK {
+			t.Fatalf("round %d answers: %d", i, code)
+		}
+	}
+	var before statusWire
+	doJSON(t, "GET", srv.url+"/v1/sessions/phoenix", nil, &before)
+	if code := srv.stop(t); code != exitOK {
+		t.Fatalf("first shutdown exit %d; stderr: %s", code, srv.errb.String())
+	}
+
+	// Restart on the same state directory: the session is back, with every
+	// acknowledged answer intact, and finishes as if never interrupted.
+	srv2 := startServer(t, "-state", state)
+	if !strings.Contains(srv2.out.String(), "recovered 1 session(s)") {
+		t.Fatalf("restart did not report recovery; stdout: %s", srv2.out.String())
+	}
+	var after statusWire
+	if code := doJSON(t, "GET", srv2.url+"/v1/sessions/phoenix", nil, &after); code != http.StatusOK {
+		t.Fatalf("status after restart: %d", code)
+	}
+	if after.Answered != before.Answered {
+		t.Fatalf("restart lost answers: %d, had %d", after.Answered, before.Answered)
+	}
+	driveToCompletion(t, srv2.url, "phoenix", truth)
+
+	wantSol, wantCost := referenceRun(t, truth)
+	var st statusWire
+	if code := doJSON(t, "GET", srv2.url+"/v1/sessions/phoenix", nil, &st); code != http.StatusOK {
+		t.Fatalf("final status: %d", code)
+	}
+	if !st.Done || st.Error != "" || st.Solution == nil {
+		t.Fatalf("final status %+v", st)
+	}
+	if st.Solution.Lo != wantSol.Lo || st.Solution.Hi != wantSol.Hi {
+		t.Errorf("recovered solution (%d,%d), want (%d,%d)", st.Solution.Lo, st.Solution.Hi, wantSol.Lo, wantSol.Hi)
+	}
+	if st.Cost != wantCost {
+		t.Errorf("recovered cost %d, want %d", st.Cost, wantCost)
+	}
+	if code := srv2.stop(t); code != exitOK {
+		t.Fatalf("second shutdown exit %d", code)
+	}
+}
+
+// TestHumodErrorPaths pins the HTTP error contract over a real listener:
+// 400 malformed, 404 unknown, 409 duplicate/cap.
+func TestHumodErrorPaths(t *testing.T) {
+	srv := startServer(t, "-state", t.TempDir(), "-max-sessions", "1")
+	defer srv.stop(t)
+	pairs, _ := e2eWorkload(t)
+
+	req, _ := http.NewRequest("POST", srv.url+"/v1/sessions", strings.NewReader("{broken"))
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed create: %d", res.StatusCode)
+	}
+	if code := doJSON(t, "GET", srv.url+"/v1/sessions/ghost", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: %d", code)
+	}
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "only", Spec: e2eSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "only", Spec: e2eSpec(pairs)}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate: %d", code)
+	}
+	if code := doJSON(t, "POST", srv.url+"/v1/sessions", serve.CreateRequest{ID: "over", Spec: e2eSpec(pairs)}, nil); code != http.StatusConflict {
+		t.Fatalf("cap: %d", code)
+	}
+	if code := doJSON(t, "DELETE", srv.url+"/v1/sessions/only", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+}
+
+// TestHumodFlagValidation: usage errors exit 2, -h exits 0.
+func TestHumodFlagValidation(t *testing.T) {
+	var out, errb syncBuffer
+	sig := make(chan os.Signal)
+	if code := run([]string{"-h"}, &out, &errb, sig); code != exitOK {
+		t.Errorf("-h exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "-state") {
+		t.Errorf("-h did not print usage: %q", errb.String())
+	}
+	if code := run([]string{"-max-sessions", "-3", "-state", t.TempDir()}, &out, &errb, sig); code != exitUsage {
+		t.Errorf("negative cap exit %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb, sig); code != exitUsage {
+		t.Errorf("unknown flag exit %d, want %d", code, exitUsage)
+	}
+}

@@ -84,6 +84,39 @@
 // represent. OracleLabeler and NewOracleFromLabeler adapt between the two
 // contracts in either direction.
 //
+// # The humod server
+//
+// One session is one resolution; a deployment runs many at once, each with
+// its own human workforce answering asynchronously. internal/serve provides
+// that serving layer and cmd/humod exposes it over an HTTP JSON API:
+//
+//	POST   /v1/sessions               create (inline pairs or workload_file)
+//	GET    /v1/sessions               list
+//	GET    /v1/sessions/{id}          status / solution / cost
+//	GET    /v1/sessions/{id}/next     long-poll the pending batch
+//	POST   /v1/sessions/{id}/answers  submit (partial) answers
+//	GET    /v1/sessions/{id}/labels   long-poll the answered-label log
+//	DELETE /v1/sessions/{id}          cancel and forget
+//
+// The serve.Manager owns the sessions (create/get/list/delete, bounded by
+// a configurable cap, one mutex per session) and journals: every answers
+// call is applied to the session and then checkpointed to an atomic
+// per-session file under the state directory before it is acknowledged.
+// The recovery guarantee follows from Checkpoint/RestoreSession's replay
+// semantics: a humod killed at ANY point — between two batches, mid-batch,
+// mid-write (the temp-file-plus-rename makes a torn checkpoint impossible)
+// — restarts on the same state directory with every live session restored,
+// and each resolution completes with the bit-identical Solution and human
+// cost of a run that was never interrupted. The cmd/humod e2e tests kill a
+// server mid-resolution and assert exactly that.
+//
+// HTTPLabeler closes the loop from the client side: it implements Labeler
+// against the labels endpoint, so a local Session.Run can label through a
+// remote humod's workforce. Create the remote session as the deterministic
+// twin of the local one (same workload, method, knobs and seed): the pairs
+// the local search asks for are then exactly the pairs the remote session
+// surfaces to its workforce, and both runs land on the same division.
+//
 // Package-level generators (Logistic, DSLike, ABLike) reproduce the paper's
 // evaluation workloads for benchmarking; cmd/humoexp regenerates every table
 // and figure of the paper's evaluation section.

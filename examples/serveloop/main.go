@@ -1,0 +1,240 @@
+// Serve loop: two concurrent resolutions through one humod server.
+//
+// The program boots the humod serving stack in-process — a serve.Manager
+// journaling to a state directory, exposed over a real HTTP listener — and
+// wires two independent resolutions through it at the same time:
+//
+//  1. "products" is driven entirely over the wire, the way a human
+//     workforce frontend would: long-poll GET /next for the pending batch,
+//     POST /answers with the labels, repeat until done.
+//
+//  2. "papers" is additionally mirrored by a local twin humo.Session (same
+//     workload, method and seed) that labels through humo.HTTPLabeler: the
+//     remote session's workforce supplies the answers, the local Run gets
+//     them over HTTP, and determinism makes both land on the bit-identical
+//     division.
+//
+// Both resolutions end with the same solution and human cost as their
+// one-shot counterparts — the server changes how answers travel, not what
+// is computed. Every answered batch was journaled under the state
+// directory; restarting a humod on it would resume both sessions (see
+// cmd/humod and TestHumodRestartRecovery for that walkthrough).
+//
+//	go run ./examples/serveloop
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"humo"
+	"humo/internal/serve"
+)
+
+// workload bundles one synthetic resolution input.
+type workload struct {
+	name  string
+	spec  serve.Spec
+	pairs []humo.Pair
+	truth map[int]bool
+}
+
+func makeWorkload(name string, n int, seed int64) workload {
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: n, Tau: 14, Sigma: 0.1, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	sp := make([]serve.SpecPair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = serve.SpecPair{ID: p.ID, Sim: p.Sim}
+	}
+	return workload{
+		name: name,
+		spec: serve.Spec{
+			Method: "hybrid", Seed: seed,
+			Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+			SubsetSize: 100,
+			Pairs:      sp,
+		},
+		pairs: pairs,
+		truth: truth,
+	}
+}
+
+// post/get are minimal JSON helpers over net/http.
+func post(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	res, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return decode(res, out)
+}
+
+func get(url string, out any) error {
+	res, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decode(res, out)
+}
+
+func decode(res *http.Response, out any) error {
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", res.Status, data)
+	}
+	if out == nil || len(data) == 0 {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// workforce plays the human side of one session over the wire until the
+// session terminates, returning the number of batches it answered.
+func workforce(base, id string, truth map[int]bool) (int, error) {
+	rounds := 0
+	for {
+		var next struct {
+			IDs  []int  `json:"ids"`
+			Done bool   `json:"done"`
+			Err  string `json:"error"`
+		}
+		if err := get(base+"/v1/sessions/"+id+"/next?wait=30s", &next); err != nil {
+			return rounds, err
+		}
+		if next.Done {
+			if next.Err != "" {
+				return rounds, fmt.Errorf("session %s failed: %s", id, next.Err)
+			}
+			return rounds, nil
+		}
+		if len(next.IDs) == 0 {
+			continue // long-poll window elapsed; poll again
+		}
+		labels := make(map[string]bool, len(next.IDs))
+		for _, pid := range next.IDs {
+			labels[strconv.Itoa(pid)] = truth[pid]
+		}
+		if err := post(base+"/v1/sessions/"+id+"/answers", map[string]any{"labels": labels}, nil); err != nil {
+			return rounds, err
+		}
+		rounds++
+	}
+}
+
+func main() {
+	stateDir, err := os.MkdirTemp("", "serveloop-state-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	// The humod serving stack, in-process: manager + HTTP API on a real
+	// listener.
+	m, err := serve.Open(serve.Config{StateDir: stateDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(m)}
+	go srv.Serve(ln) //nolint:errcheck // torn down with the process
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("humod stack listening on %s, journaling to %s\n", base, stateDir)
+
+	products := makeWorkload("products", 30000, 11)
+	papers := makeWorkload("papers", 20000, 12)
+	for _, wl := range []workload{products, papers} {
+		if err := post(base+"/v1/sessions", serve.CreateRequest{ID: wl.name, Spec: wl.spec}, nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("created session %q: %d pairs, method %s\n", wl.name, len(wl.pairs), wl.spec.Method)
+	}
+
+	var wg sync.WaitGroup
+	// Resolution 1: "products", answered purely over the wire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rounds, err := workforce(base, products.name, products.truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workforce finished %q after %d answer rounds\n", products.name, rounds)
+	}()
+
+	// Resolution 2: "papers", with a workforce on the wire AND a local twin
+	// session labeling through the server.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := workforce(base, papers.name, papers.truth); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	w, err := humo.NewWorkload(papers.pairs, papers.spec.SubsetSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, err := humo.NewSession(w,
+		humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9},
+		humo.SessionConfig{Method: humo.MethodHybrid, Seed: papers.spec.Seed, Base: humo.BaseConfig{StartSubset: -1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	localSol, err := local.Run(ctx, &humo.HTTPLabeler{BaseURL: base, SessionID: papers.name})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+	fmt.Printf("local twin of %q finished through HTTPLabeler: %v (cost %d)\n",
+		papers.name, localSol, local.Cost())
+
+	// Read the served results back and compare with one-shot runs.
+	for _, wl := range []workload{products, papers} {
+		var st serve.Status
+		if err := get(base+"/v1/sessions/"+wl.name, &st); err != nil {
+			log.Fatal(err)
+		}
+		ow, err := humo.NewWorkload(wl.pairs, wl.spec.SubsetSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracle := humo.NewSimulatedOracle(wl.truth)
+		oneShot, err := humo.Hybrid(ow, humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}, oracle, humo.HybridConfig{
+			Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(wl.spec.Seed))},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q served: DH subsets [%d,%d], human cost %d — one-shot parity: %v\n",
+			wl.name, st.Solution.Lo, st.Solution.Hi, st.Cost,
+			st.Solution.Lo == oneShot.Lo && st.Solution.Hi == oneShot.Hi && st.Cost == oracle.Cost())
+	}
+}

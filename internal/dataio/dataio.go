@@ -10,10 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 
 	"humo/internal/blocking"
+	"humo/internal/core"
 	"humo/internal/records"
 )
 
@@ -155,6 +158,103 @@ func WriteLabels(w io.Writer, labels Labels) error {
 			label = "match"
 		}
 		if err := cw.Write([]string{strconv.Itoa(id), label}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFileAtomic writes via a temp file in the same directory, fsyncs it,
+// renames it over the target, and fsyncs the directory — so the target is
+// never left truncated or half-written, even across a power failure. It is
+// the write discipline behind both cmd/humo's label files and the humod
+// checkpoint journal.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReadPairs parses a workload CSV of the form `pair_id,similarity` (header
+// row required) into the instance pairs a Workload is built from. It is the
+// format humod's workload-file session references use.
+func ReadPairs(r io.Reader) ([]core.Pair, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	// Insist on the named header: a headerless file would otherwise lose
+	// its first pair silently, changing the workload fingerprint.
+	if len(header) < 2 || header[0] != "pair_id" {
+		return nil, fmt.Errorf("%w: pair header needs pair_id,similarity (got %v)", ErrBadFormat, header)
+	}
+	var out []core.Pair
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		if len(row) < 2 {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want >= 2", ErrBadFormat, i+2, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: pair id %q", ErrBadFormat, i+2, row[0])
+		}
+		sim, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: similarity %q", ErrBadFormat, i+2, row[1])
+		}
+		out = append(out, core.Pair{ID: id, Sim: sim})
+	}
+	return out, nil
+}
+
+// WritePairs writes a workload CSV, the inverse of ReadPairs.
+func WritePairs(w io.Writer, pairs []core.Pair) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair_id", "similarity"}); err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if err := cw.Write([]string{strconv.Itoa(p.ID), strconv.FormatFloat(p.Sim, 'g', -1, 64)}); err != nil {
 			return err
 		}
 	}

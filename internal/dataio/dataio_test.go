@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"humo/internal/blocking"
+	"humo/internal/core"
 	"humo/internal/records"
 )
 
@@ -155,6 +156,42 @@ func TestWriteResults(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("results output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	pairs := []core.Pair{{ID: 3, Sim: 0.125}, {ID: 0, Sim: 0.987654321}, {ID: 7, Sim: 1}}
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("read %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if got[i] != pairs[i] {
+			t.Errorf("pair %d = %+v, want %+v (similarities must survive bit-exactly)", i, got[i], pairs[i])
+		}
+	}
+}
+
+func TestReadPairsErrors(t *testing.T) {
+	cases := []string{
+		"",                              // no header
+		"pair_id\n1\n",                  // header too narrow
+		"1,0.5\n2,0.7\n",                // headerless: must not eat the first pair
+		"pair_id,similarity\nx,0.5\n",   // bad id
+		"pair_id,similarity\n1,maybe\n", // bad similarity
+		"pair_id,similarity\n1\n",       // short row
+	}
+	for _, c := range cases {
+		if _, err := ReadPairs(strings.NewReader(c)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("input %q: err %v, want ErrBadFormat", c, err)
 		}
 	}
 }

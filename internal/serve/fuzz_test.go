@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeCreateRequest holds the humod request decoder to its contract:
+// arbitrary bytes either yield a CreateRequest whose spec would survive
+// Manager.Create's own validation, or an error — never a panic. The seed
+// corpus covers a valid request, truncated JSON, an id that is unsafe as a
+// file name, and conflicting workload sources; `go test` replays the seeds
+// as regular tests, so the corpus cannot rot.
+func FuzzDecodeCreateRequest(f *testing.F) {
+	valid, err := json.Marshal(CreateRequest{ID: "orders", Spec: Spec{
+		Method: "hybrid", Seed: 7, Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+		Pairs: []SpecPair{{ID: 0, Sim: 0.1}, {ID: 1, Sim: 0.9}},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"id":"../escape","method":"base","alpha":0.9,"beta":0.9,"theta":0.9,"pairs":[{"id":0,"sim":0.5}]}`))
+	f.Add([]byte(`{"method":"base","alpha":0.9,"beta":0.9,"theta":0.9,"pairs":[{"id":0,"sim":0.5}],"workload_file":"both.csv"}`))
+	f.Add([]byte(`{"method":"budgeted","pairs":[{"id":0,"sim":0.5}]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeCreateRequest(data)
+		if err != nil {
+			return
+		}
+		// A decoded request must be internally consistent: the id is safe
+		// as a file stem and the spec re-validates.
+		if req.ID != "" && !idPattern.MatchString(req.ID) {
+			t.Fatalf("decoder accepted unsafe id %q", req.ID)
+		}
+		if err := req.Spec.Validate(); err != nil {
+			t.Fatalf("decoder accepted a spec its own validation refuses: %v", err)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"humo"
+)
+
+// Long-poll windows for the next and labels endpoints: ?wait=DURATION is
+// clamped to [0, maxWait]; an absent wait selects defaultWait.
+const (
+	defaultWait = 30 * time.Second
+	maxWait     = 5 * time.Minute
+)
+
+// maxBodyBytes caps request bodies (inline workloads included).
+const maxBodyBytes = 64 << 20
+
+// NewHandler exposes a Manager over the humod HTTP JSON API:
+//
+//	POST   /v1/sessions               create a session (CreateRequest body)
+//	GET    /v1/sessions               list session statuses
+//	GET    /v1/sessions/{id}          status / solution / cost
+//	GET    /v1/sessions/{id}/next     long-poll the pending batch (?wait=30s)
+//	POST   /v1/sessions/{id}/answers  submit (partial) answers
+//	GET    /v1/sessions/{id}/labels   long-poll answered labels (?ids=1,2&wait=30s)
+//	DELETE /v1/sessions/{id}          cancel the session and drop its journal
+//
+// Errors are JSON {"error": "..."} with 400 for malformed requests, 404 for
+// unknown sessions, 409 for conflicts (duplicate id, session cap, answers
+// after termination), and 500 otherwise.
+func NewHandler(m *Manager) http.Handler {
+	h := &handler{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", h.create)
+	mux.HandleFunc("GET /v1/sessions", h.list)
+	mux.HandleFunc("GET /v1/sessions/{id}", h.status)
+	mux.HandleFunc("GET /v1/sessions/{id}/next", h.next)
+	mux.HandleFunc("POST /v1/sessions/{id}/answers", h.answers)
+	mux.HandleFunc("GET /v1/sessions/{id}/labels", h.labels)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", h.delete)
+	return mux
+}
+
+type handler struct{ m *Manager }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSONResponse(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone, nothing to do
+}
+
+// writeError maps manager and session errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrSessionNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrTooManySessions), errors.Is(err, humo.ErrSessionDone):
+		status = http.StatusConflict
+	}
+	writeJSONResponse(w, status, errorBody{Error: err.Error()})
+}
+
+// waitWindow parses ?wait= into the long-poll window.
+func waitWindow(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return defaultWait, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: wait %q: %v", ErrBadSpec, raw, err)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	return d, nil
+}
+
+// pollContext derives the context a long-poll blocks on: the request's,
+// bounded by the wait window — or already expired for wait=0, which turns
+// the poll into a snapshot.
+func pollContext(r *http.Request, wait time.Duration) (context.Context, context.CancelFunc) {
+	if wait == 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		cancel()
+		return ctx, cancel
+	}
+	return context.WithTimeout(r.Context(), wait)
+}
+
+func (h *handler) create(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		return
+	}
+	req, err := DecodeCreateRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s, err := h.m.Create(req.ID, req.Spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONResponse(w, http.StatusCreated, s.Status())
+}
+
+// listBody is the JSON body of GET /v1/sessions.
+type listBody struct {
+	Sessions []Status `json:"sessions"`
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	sessions := h.m.List()
+	out := listBody{Sessions: make([]Status, len(sessions))}
+	for i, s := range sessions {
+		out.Sessions[i] = s.Status()
+	}
+	writeJSONResponse(w, http.StatusOK, out)
+}
+
+func (h *handler) session(r *http.Request) (*ManagedSession, error) {
+	return h.m.Get(r.PathValue("id"))
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	s, err := h.session(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONResponse(w, http.StatusOK, s.Status())
+}
+
+// nextBody is the JSON body of GET /v1/sessions/{id}/next.
+type nextBody struct {
+	// IDs is the pending batch: pairs awaiting human answers.
+	IDs []int `json:"ids,omitempty"`
+	// Done is true once the session terminated: no batch will ever follow.
+	Done bool `json:"done"`
+	// Error is the terminal error of a session that did not succeed.
+	Error string `json:"error,omitempty"`
+}
+
+func (h *handler) next(w http.ResponseWriter, r *http.Request) {
+	s, err := h.session(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	wait, err := waitWindow(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := pollContext(r, wait)
+	defer cancel()
+	b, err := s.Next(ctx)
+	switch {
+	case err == nil && !b.Empty():
+		writeJSONResponse(w, http.StatusOK, nextBody{IDs: b.IDs})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The window elapsed with no batch and no termination: poll again.
+		w.WriteHeader(http.StatusNoContent)
+	case err != nil:
+		writeJSONResponse(w, http.StatusOK, nextBody{Done: true, Error: err.Error()})
+	default:
+		writeJSONResponse(w, http.StatusOK, nextBody{Done: true})
+	}
+}
+
+// answersBody is the JSON body of POST /v1/sessions/{id}/answers: pair ids
+// (as JSON object keys) mapped to match/unmatch.
+type answersBody struct {
+	Labels map[string]bool `json:"labels"`
+}
+
+func (h *handler) answers(w http.ResponseWriter, r *http.Request) {
+	s, err := h.session(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		return
+	}
+	var ab answersBody
+	if err := unmarshalJSONStrict(body, &ab); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding answers: %v", ErrBadSpec, err))
+		return
+	}
+	if len(ab.Labels) == 0 {
+		writeError(w, fmt.Errorf("%w: answers carry no labels", ErrBadSpec))
+		return
+	}
+	labels := make(map[int]bool, len(ab.Labels))
+	for k, v := range ab.Labels {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: pair id %q", ErrBadSpec, k))
+			return
+		}
+		labels[id] = v
+	}
+	if err := s.Answer(labels); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONResponse(w, http.StatusOK, s.Status())
+}
+
+// labelsBody is the JSON body of GET /v1/sessions/{id}/labels.
+type labelsBody struct {
+	// Labels maps each answered requested id to its label.
+	Labels map[string]bool `json:"labels"`
+	// Missing lists requested ids that are still unanswered.
+	Missing []int `json:"missing,omitempty"`
+	// Done and Error mirror the session's terminal state, so a client
+	// waiting on Missing knows when no answer can ever arrive.
+	Done  bool   `json:"done"`
+	Error string `json:"error,omitempty"`
+}
+
+func (h *handler) labels(w http.ResponseWriter, r *http.Request) {
+	s, err := h.session(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ids, err := parseIDs(r.URL.Query().Get("ids"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	wait, err := waitWindow(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := pollContext(r, wait)
+	defer cancel()
+	got, missing, done, err := s.WaitLabels(ctx, ids)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, err)
+		return
+	}
+	// Done comes from WaitLabels' own observation, consistent with the
+	// label snapshot: done + missing means those pairs can never be
+	// answered, which clients (HTTPLabeler) treat as a permanent failure.
+	body := labelsBody{Labels: make(map[string]bool, len(got)), Missing: missing, Done: done}
+	for id, v := range got {
+		body.Labels[strconv.Itoa(id)] = v
+	}
+	if done {
+		if serr := s.Session().Err(); serr != nil {
+			body.Error = serr.Error()
+		}
+	}
+	writeJSONResponse(w, http.StatusOK, body)
+}
+
+func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
+	if err := h.m.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseIDs parses the ?ids=1,2,3 list of the labels endpoint.
+func parseIDs(raw string) ([]int, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("%w: the labels endpoint needs ?ids=1,2,3", ErrBadSpec)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("%w: pair id %q", ErrBadSpec, p)
+		}
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out, nil
+}

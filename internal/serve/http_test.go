@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testServer boots a handler over a fresh manager.
+func testServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	m, err := Open(Config{StateDir: t.TempDir(), MaxSessions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return srv, m
+}
+
+// doJSON performs a request and decodes the JSON response into out (when
+// out is non-nil and the response has a body).
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var r io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s %s response %q: %v", method, url, data, err)
+		}
+	}
+	return res.StatusCode
+}
+
+// answersFor converts truth answers for a batch into the wire shape.
+func answersFor(ids []int, truth map[int]bool) map[string]any {
+	labels := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		labels[strconv.Itoa(id)] = truth[id]
+	}
+	return map[string]any{"labels": labels}
+}
+
+// TestHandlerRoundTrip drives create -> next -> answers -> status over the
+// wire until the resolution lands, and checks the solution against the
+// uninterrupted in-process twin.
+func TestHandlerRoundTrip(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, truth := testWorkload(t, 1500, 11)
+	spec := testSpec(pairs)
+
+	var created Status
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "rt", Spec: spec}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.ID != "rt" || created.Done {
+		t.Fatalf("created status %+v", created)
+	}
+
+	for rounds := 0; ; rounds++ {
+		if rounds > 200 {
+			t.Fatal("resolution did not converge in 200 rounds")
+		}
+		var next nextBody
+		code := doJSON(t, "GET", srv.URL+"/v1/sessions/rt/next?wait=30s", nil, &next)
+		if code == http.StatusNoContent {
+			continue
+		}
+		if code != http.StatusOK {
+			t.Fatalf("next: status %d", code)
+		}
+		if next.Done {
+			if next.Error != "" {
+				t.Fatalf("session failed: %s", next.Error)
+			}
+			break
+		}
+		var st Status
+		if code := doJSON(t, "POST", srv.URL+"/v1/sessions/rt/answers", answersFor(next.IDs, truth), &st); code != http.StatusOK {
+			t.Fatalf("answers: status %d", code)
+		}
+	}
+
+	var st Status
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/rt", nil, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if !st.Done || st.Solution == nil || st.Solution.Lo != wantSol.Lo || st.Solution.Hi != wantSol.Hi {
+		t.Fatalf("final status %+v, want solution %+v", st, wantSol)
+	}
+	if st.Cost != wantCost {
+		t.Errorf("cost %d, want %d", st.Cost, wantCost)
+	}
+
+	var list listBody
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions", nil, &list); code != http.StatusOK || len(list.Sessions) != 1 {
+		t.Fatalf("list: %d %+v", code, list)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/v1/sessions/rt", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions", nil, &list); code != http.StatusOK || len(list.Sessions) != 0 {
+		t.Fatalf("list after delete: %d %+v", code, list)
+	}
+}
+
+// TestHandlerPartialAnswers: answering half a batch over the wire leaves
+// the remainder pending, and the next poll serves exactly that remainder.
+func TestHandlerPartialAnswers(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, truth := testWorkload(t, 1200, 12)
+	spec := testSpec(pairs)
+	spec.Method = "allsampling"
+	spec.PairsPerSubset = 20
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "p", Spec: spec}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var next nextBody
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/p/next", nil, &next); code != http.StatusOK || len(next.IDs) < 2 {
+		t.Fatalf("next: %d %+v", code, next)
+	}
+	half := next.IDs[:len(next.IDs)/2]
+	rest := next.IDs[len(next.IDs)/2:]
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions/p/answers", answersFor(half, truth), nil); code != http.StatusOK {
+		t.Fatalf("partial answers: %d", code)
+	}
+	var re nextBody
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/p/next", nil, &re); code != http.StatusOK {
+		t.Fatalf("re-poll: %d", code)
+	}
+	if fmt.Sprint(re.IDs) != fmt.Sprint(rest) {
+		t.Fatalf("re-polled batch %v, want the unanswered remainder %v", re.IDs, rest)
+	}
+	// The status view agrees.
+	var st Status
+	doJSON(t, "GET", srv.URL+"/v1/sessions/p", nil, &st)
+	if fmt.Sprint(st.Pending) != fmt.Sprint(rest) {
+		t.Fatalf("status pending %v, want %v", st.Pending, rest)
+	}
+}
+
+// TestHandlerLabelsEndpoint: the labels long-poll returns answered pairs,
+// reports missing ones, and flags termination.
+func TestHandlerLabelsEndpoint(t *testing.T) {
+	srv, m := testServer(t)
+	pairs, truth := testWorkload(t, 900, 13)
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "lab", Spec: testSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var next nextBody
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/lab/next", nil, &next); code != http.StatusOK || len(next.IDs) < 2 {
+		t.Fatalf("next: %d %+v", code, next)
+	}
+	id0, id1 := next.IDs[0], next.IDs[1]
+	doJSON(t, "POST", srv.URL+"/v1/sessions/lab/answers",
+		map[string]any{"labels": map[string]bool{strconv.Itoa(id0): truth[id0]}}, nil)
+
+	var lb labelsBody
+	url := fmt.Sprintf("%s/v1/sessions/lab/labels?ids=%d,%d&wait=0s", srv.URL, id0, id1)
+	if code := doJSON(t, "GET", url, nil, &lb); code != http.StatusOK {
+		t.Fatalf("labels: %d", code)
+	}
+	if v, ok := lb.Labels[strconv.Itoa(id0)]; !ok || v != truth[id0] {
+		t.Fatalf("labels body %+v lacks answered pair %d", lb, id0)
+	}
+	if len(lb.Missing) != 1 || lb.Missing[0] != id1 || lb.Done {
+		t.Fatalf("labels body %+v, want missing=[%d]", lb, id1)
+	}
+
+	// Cancel the session: the same poll now reports done+error so waiting
+	// clients stop.
+	s, err := m.Get("lab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Session().Cancel()
+	if code := doJSON(t, "GET", url, nil, &lb); code != http.StatusOK || !lb.Done || !strings.Contains(lb.Error, "canceled") {
+		t.Fatalf("labels after cancel: %d %+v", code, lb)
+	}
+
+	// Malformed ids are 400.
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/lab/labels?ids=1,x", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad ids: %d", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/lab/labels", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("no ids: %d", code)
+	}
+}
+
+// TestHandlerErrorPaths: the 400/404/409 contract of the API.
+func TestHandlerErrorPaths(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, truth := testWorkload(t, 600, 14)
+	spec := testSpec(pairs)
+
+	// 400: malformed JSON, unknown fields, bad method, bad wait.
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/sessions", strings.NewReader("{not json"))
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed create: %d", res.StatusCode)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", map[string]any{"surprise": 1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", code)
+	}
+	bad := spec
+	bad.Method = "quantum"
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Spec: bad}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad method: %d", code)
+	}
+	// A missing or invalid requirement is the client's mistake: 400, not a
+	// 500 from deep inside the session constructor.
+	noReq := spec
+	noReq.Alpha, noReq.Beta, noReq.Theta = 0, 0, 0
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Spec: noReq}, nil); code != http.StatusBadRequest {
+		t.Fatalf("absent requirement: %d", code)
+	}
+	badReq := spec
+	badReq.Alpha = 1.5
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Spec: badReq}, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid alpha: %d", code)
+	}
+
+	// 404: every per-session route on an unknown id.
+	for _, c := range []struct{ method, path string }{
+		{"GET", "/v1/sessions/ghost"},
+		{"GET", "/v1/sessions/ghost/next"},
+		{"GET", "/v1/sessions/ghost/labels?ids=1"},
+		{"POST", "/v1/sessions/ghost/answers"},
+		{"DELETE", "/v1/sessions/ghost"},
+	} {
+		if code := doJSON(t, c.method, srv.URL+c.path, map[string]any{"labels": map[string]bool{"1": true}}, nil); code != http.StatusNotFound {
+			t.Errorf("%s %s: %d, want 404", c.method, c.path, code)
+		}
+	}
+
+	// 409: duplicate create, then answers after termination.
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dup", Spec: spec}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dup", Spec: spec}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", code)
+	}
+	for {
+		var next nextBody
+		code := doJSON(t, "GET", srv.URL+"/v1/sessions/dup/next?wait=30s", nil, &next)
+		if code == http.StatusNoContent {
+			continue
+		}
+		if next.Done {
+			break
+		}
+		doJSON(t, "POST", srv.URL+"/v1/sessions/dup/answers", answersFor(next.IDs, truth), nil)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions/dup/answers",
+		map[string]any{"labels": map[string]bool{"0": true}}, nil); code != http.StatusConflict {
+		t.Fatalf("answers after done: %d", code)
+	}
+
+	// 400: answers with a non-numeric pair id or no labels at all.
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions/dup/answers",
+		map[string]any{"labels": map[string]bool{"x": true}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad pair id: %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions/dup/answers", map[string]any{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty answers: %d", code)
+	}
+}

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"humo"
+	"humo/internal/dataio"
+)
+
+// Manager errors, mapped onto HTTP statuses by the handler.
+var (
+	// ErrSessionExists reports a Create with an id already in use (409).
+	ErrSessionExists = errors.New("serve: session id already exists")
+	// ErrSessionNotFound reports an unknown session id (404).
+	ErrSessionNotFound = errors.New("serve: session not found")
+	// ErrTooManySessions reports a Create beyond the session cap (409).
+	ErrTooManySessions = errors.New("serve: session cap reached")
+)
+
+// DefaultMaxSessions bounds concurrent sessions when Config.MaxSessions is 0.
+const DefaultMaxSessions = 64
+
+// Config configures a Manager.
+type Config struct {
+	// StateDir holds the per-session spec and checkpoint files. Required;
+	// created if missing. A manager opened on a state directory recovers
+	// every session found there.
+	StateDir string
+	// DataDir anchors Spec.WorkloadFile references ("." when empty).
+	DataDir string
+	// MaxSessions caps concurrently live sessions (<= 0 selects
+	// DefaultMaxSessions). Recovery is exempt: sessions already on disk are
+	// always restored, and the cap applies to new Creates.
+	MaxSessions int
+}
+
+// Manager owns many named sessions concurrently. Every mutation of a
+// session's label log is journaled through Session.Checkpoint to an atomic
+// per-session file, so a manager (or the process around it) can die at any
+// point and Open recovers every live session bit-identically.
+type Manager struct {
+	stateDir string
+	dataDir  string
+	max      int
+
+	mu       sync.Mutex
+	sessions map[string]*ManagedSession // reserved ids map to nil while a Create is in flight
+}
+
+// Open creates the state directory if needed, recovers every session
+// journaled there (spec + checkpoint), and returns the manager. A spec or
+// checkpoint that fails to restore aborts Open with an error naming the
+// session: a server must not silently drop resolutions it was trusted with.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	m := &Manager{
+		stateDir: cfg.StateDir,
+		dataDir:  cfg.DataDir,
+		max:      cfg.MaxSessions,
+		sessions: make(map[string]*ManagedSession),
+	}
+	if m.dataDir == "" {
+		m.dataDir = "."
+	}
+	if m.max <= 0 {
+		m.max = DefaultMaxSessions
+	}
+	specs, err := filepath.Glob(filepath.Join(cfg.StateDir, "*"+specSuffix))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(specs)
+	for _, path := range specs {
+		id := strings.TrimSuffix(filepath.Base(path), specSuffix)
+		s, err := m.recoverSession(id)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("serve: recovering session %s: %w", id, err)
+		}
+		m.sessions[id] = s
+	}
+	return m, nil
+}
+
+const (
+	specSuffix       = ".spec.json"
+	checkpointSuffix = ".checkpoint.json"
+)
+
+func (m *Manager) specPath(id string) string {
+	return filepath.Join(m.stateDir, id+specSuffix)
+}
+
+func (m *Manager) checkpointPath(id string) string {
+	return filepath.Join(m.stateDir, id+checkpointSuffix)
+}
+
+// Create builds, persists and starts a new session. An empty id asks the
+// manager to generate one. The spec file and an initial checkpoint hit the
+// disk before the session becomes visible, so there is no window in which a
+// crash loses a session that a client saw created.
+func (m *Manager) Create(id string, spec Spec) (*ManagedSession, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if id != "" && !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("%w: session id %q", ErrBadSpec, id)
+	}
+	// Reserve the id under the lock; build the session outside it so slow
+	// workload construction never serializes the whole server.
+	m.mu.Lock()
+	if id == "" {
+		for {
+			id = generateID()
+			if _, taken := m.sessions[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := m.sessions[id]; taken {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
+	if len(m.sessions) >= m.max {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.max)
+	}
+	m.sessions[id] = nil // reserved
+	m.mu.Unlock()
+
+	s, err := m.startSession(id, spec)
+	m.mu.Lock()
+	if err != nil {
+		delete(m.sessions, id)
+	} else {
+		m.sessions[id] = s
+	}
+	m.mu.Unlock()
+	return s, err
+}
+
+// startSession materializes the workload, starts the humo.Session, and
+// persists spec + initial checkpoint.
+func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
+	w, err := spec.workload(m.dataDir)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := humo.NewSession(w, spec.requirement(), spec.sessionConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &ManagedSession{
+		id:      id,
+		spec:    spec,
+		w:       w,
+		sess:    sess,
+		cpPath:  m.checkpointPath(id),
+		changed: make(chan struct{}),
+	}
+	if err := dataio.WriteFileAtomic(m.specPath(id), func(f io.Writer) error {
+		return writeJSON(f, spec)
+	}); err != nil {
+		sess.Cancel()
+		return nil, err
+	}
+	if err := s.journal(); err != nil {
+		sess.Cancel()
+		os.Remove(m.specPath(id))
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverSession rebuilds one session from its journaled spec + checkpoint.
+func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
+	data, err := os.ReadFile(m.specPath(id))
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := unmarshalJSONStrict(data, &spec); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := spec.workload(m.dataDir)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := os.Open(m.checkpointPath(id))
+	if os.IsNotExist(err) {
+		// The process died between the spec write and the initial
+		// checkpoint write: no answer was ever journaled (Create had not
+		// returned), so starting the session fresh IS the faithful
+		// recovery — and it must not brick the server.
+		return m.startSession(id, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer cp.Close()
+	sess, err := humo.RestoreSession(w, spec.requirement(), spec.sessionConfig(), cp)
+	if err != nil {
+		return nil, err
+	}
+	return &ManagedSession{
+		id:      id,
+		spec:    spec,
+		w:       w,
+		sess:    sess,
+		cpPath:  m.checkpointPath(id),
+		changed: make(chan struct{}),
+	}, nil
+}
+
+// Get returns the named session.
+func (m *Manager) Get(id string) (*ManagedSession, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns every live session, sorted by id.
+func (m *Manager) List() []*ManagedSession {
+	m.mu.Lock()
+	out := make([]*ManagedSession, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Delete cancels the named session and removes its journal files: the
+// resolution is abandoned for good. Deleting a completed session is the
+// normal way to retire it. The session leaves the map only after its files
+// are gone, so a failed Delete is retryable and a deleted session can
+// never be resurrected by the next Open.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok || s == nil {
+		return fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	s.sess.Cancel()
+	s.bump() // wake label waiters so they observe termination
+	if err := os.Remove(m.specPath(id)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Remove(s.cpPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	return nil
+}
+
+// Close checkpoints and cancels every session, keeping all journal files so
+// a later Open resumes them. It is the graceful-shutdown path of cmd/humod.
+func (m *Manager) Close() error {
+	var firstErr error
+	for _, s := range m.List() {
+		s.mu.Lock()
+		if err := s.journalLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.mu.Unlock()
+		s.sess.Cancel()
+		s.bump()
+	}
+	return firstErr
+}
+
+// generateID returns a random 16-hex-char session id.
+func generateID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: reading random bytes: %v", err))
+	}
+	return "s" + hex.EncodeToString(b[:])
+}
+
+// ManagedSession is one resolution owned by a Manager: a humo.Session plus
+// its journal. The answer path is serialized by a per-session mutex so the
+// checkpoint on disk always reflects a prefix of the applied answers.
+type ManagedSession struct {
+	id     string
+	spec   Spec
+	w      *humo.Workload
+	sess   *humo.Session
+	cpPath string
+
+	mu      sync.Mutex
+	changed chan struct{} // closed and replaced whenever the label log grows
+}
+
+// ID returns the session's name.
+func (s *ManagedSession) ID() string { return s.id }
+
+// Spec returns the creation spec.
+func (s *ManagedSession) Spec() Spec { return s.spec }
+
+// Session exposes the underlying humo.Session (for Next long-polls and the
+// read-only accessors; mutations must go through Answer so they are
+// journaled).
+func (s *ManagedSession) Session() *humo.Session { return s.sess }
+
+// Next delegates to Session.Next: it blocks until the session needs labels
+// or terminates, honoring ctx.
+func (s *ManagedSession) Next(ctx context.Context) (humo.Batch, error) {
+	return s.sess.Next(ctx)
+}
+
+// Answer feeds labels into the session and journals the grown label log to
+// the checkpoint file before returning. Partial answers are allowed, as in
+// Session.Answer. The journal write is atomic (temp + rename): a crash
+// between any two answers loses nothing that was acknowledged.
+func (s *ManagedSession) Answer(labels map[int]bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sess.Answer(labels); err != nil {
+		return err
+	}
+	if err := s.journalLocked(); err != nil {
+		return err
+	}
+	s.bumpLocked()
+	return nil
+}
+
+// journal checkpoints the session to its per-session file atomically.
+func (s *ManagedSession) journal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalLocked()
+}
+
+func (s *ManagedSession) journalLocked() error {
+	return dataio.WriteFileAtomic(s.cpPath, s.sess.Checkpoint)
+}
+
+// bump wakes everyone blocked in WaitLabels.
+func (s *ManagedSession) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+}
+
+func (s *ManagedSession) bumpLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// WaitLabels returns the session's answers for the requested ids, blocking
+// until every id is answered, the session terminates, or ctx expires. The
+// second return lists the ids still unanswered (empty on full coverage);
+// done reports whether the session was observed terminated CONSISTENTLY
+// with that snapshot (missing ids can never be answered once done is
+// true); err is non-nil only for ctx expiry.
+func (s *ManagedSession) WaitLabels(ctx context.Context, ids []int) (got map[int]bool, missing []int, done bool, err error) {
+	for {
+		s.mu.Lock()
+		ch := s.changed
+		s.mu.Unlock()
+		// Order matters: observe termination BEFORE snapshotting the log. A
+		// terminated session's log is frozen (late Answers are refused), so
+		// a post-observation snapshot is complete — whereas the reverse
+		// order could report an id as missing that was answered between the
+		// snapshot and the termination check.
+		done = s.sess.Done()
+		answered := s.sess.Answered()
+		got = make(map[int]bool, len(ids))
+		missing = nil
+		for _, id := range ids {
+			if v, ok := answered[id]; ok {
+				got[id] = v
+			} else {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) == 0 || done {
+			return got, missing, done, nil
+		}
+		select {
+		case <-ch:
+		case <-s.sess.DoneChan():
+		case <-ctx.Done():
+			return got, missing, false, ctx.Err()
+		}
+	}
+}
+
+// SolutionStatus is the JSON shape of a finished division.
+type SolutionStatus struct {
+	Method       string `json:"method"`
+	Lo           int    `json:"lo"`
+	Hi           int    `json:"hi"`
+	Empty        bool   `json:"empty"`
+	HumanPairs   int    `json:"human_pairs"`
+	SampledPairs int    `json:"sampled_pairs"`
+}
+
+// Status is a point-in-time snapshot of a session, the JSON body of
+// GET /v1/sessions/{id}.
+type Status struct {
+	ID            string `json:"id"`
+	Method        string `json:"method"`
+	Seed          int64  `json:"seed"`
+	WorkloadPairs int    `json:"workload_pairs"`
+	Answered      int    `json:"answered"`
+	Cost          int    `json:"cost"`
+	Pending       []int  `json:"pending,omitempty"`
+	Done          bool   `json:"done"`
+	Error         string `json:"error,omitempty"`
+
+	// Solution is set once the session terminated successfully.
+	Solution *SolutionStatus `json:"solution,omitempty"`
+	// Matches counts matching pairs of the full resolution (Resolve specs
+	// only, once done).
+	Matches *int `json:"matches,omitempty"`
+}
+
+// Status snapshots the session without blocking.
+func (s *ManagedSession) Status() Status {
+	st := Status{
+		ID:            s.id,
+		Method:        s.spec.Method,
+		Seed:          s.spec.Seed,
+		WorkloadPairs: s.w.Len(),
+		Answered:      len(s.sess.Answered()),
+		Cost:          s.sess.Cost(),
+		Done:          s.sess.Done(),
+		Pending:       s.sess.Pending(),
+	}
+	if !st.Done {
+		return st
+	}
+	if err := s.sess.Err(); err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	sol := s.sess.Solution()
+	st.Solution = &SolutionStatus{
+		Method:       sol.Method,
+		Lo:           sol.Lo,
+		Hi:           sol.Hi,
+		Empty:        sol.Empty(),
+		HumanPairs:   sol.HumanPairs(s.w),
+		SampledPairs: sol.SampledPairs,
+	}
+	if labels := s.sess.Labels(); labels != nil {
+		n := 0
+		for _, v := range labels {
+			if v {
+				n++
+			}
+		}
+		st.Matches = &n
+	}
+	return st
+}

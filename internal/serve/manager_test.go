@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"humo"
+	"humo/internal/dataio"
+)
+
+// testWorkload generates a small logistic workload and returns its spec
+// pairs plus the hidden truth.
+func testWorkload(t *testing.T, n int, seed int64) ([]SpecPair, map[int]bool) {
+	t.Helper()
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: n, Tau: 14, Sigma: 0.1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	sp := make([]SpecPair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = SpecPair{ID: p.ID, Sim: p.Sim}
+	}
+	return sp, truth
+}
+
+// testSpec returns a hybrid spec over an inline workload.
+func testSpec(pairs []SpecPair) Spec {
+	return Spec{
+		Method: "hybrid", Seed: 7,
+		Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+		SubsetSize: 100,
+		Pairs:      pairs,
+	}
+}
+
+// drive answers every batch of a managed session from truth until it
+// terminates.
+func drive(t *testing.T, s *ManagedSession, truth map[int]bool) {
+	t.Helper()
+	ctx := context.Background()
+	for {
+		b, err := s.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if b.Empty() {
+			return
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatalf("Answer: %v", err)
+		}
+	}
+}
+
+// oneShotSolution runs the equivalent uninterrupted session for a spec.
+func oneShotSolution(t *testing.T, spec Spec, truth map[int]bool) (humo.Solution, int) {
+	t.Helper()
+	w, err := spec.workload(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := humo.NewSession(w, spec.requirement(), spec.sessionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sess.Run(context.Background(), humo.OracleLabeler(humo.NewSimulatedOracle(truth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, sess.Cost()
+}
+
+// TestManagerLifecycle: create, get, list, answer-journal, finish, status,
+// delete — the basic single-session round trip, with journal files coming
+// and going on disk.
+func TestManagerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, truth := testWorkload(t, 2000, 3)
+	spec := testSpec(pairs)
+
+	s, err := m.Create("orders", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != "orders" {
+		t.Fatalf("ID = %q", s.ID())
+	}
+	for _, f := range []string{"orders.spec.json", "orders.checkpoint.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("journal file %s missing after create: %v", f, err)
+		}
+	}
+	if _, err := m.Get("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("Get unknown: %v", err)
+	}
+	if got := m.List(); len(got) != 1 || got[0].ID() != "orders" {
+		t.Fatalf("List = %v", got)
+	}
+
+	st := s.Status()
+	if st.Done || st.Solution != nil {
+		t.Fatalf("fresh session reports done: %+v", st)
+	}
+	drive(t, s, truth)
+	<-s.Session().DoneChan()
+	st = s.Status()
+	if !st.Done || st.Error != "" || st.Solution == nil {
+		t.Fatalf("finished status %+v", st)
+	}
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if st.Cost != wantCost {
+		t.Errorf("cost %d, want %d", st.Cost, wantCost)
+	}
+	if st.Solution.Lo != wantSol.Lo || st.Solution.Hi != wantSol.Hi {
+		t.Errorf("solution %+v, want %+v", st.Solution, wantSol)
+	}
+
+	if err := m.Delete("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+	if err := m.Delete("orders"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	for _, f := range []string{"orders.spec.json", "orders.checkpoint.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Fatalf("journal file %s survived delete: %v", f, err)
+		}
+	}
+}
+
+// TestManagerCreateErrors: duplicate ids, bad ids, bad specs and the
+// session cap are refused with the sentinel errors the HTTP layer maps.
+func TestManagerCreateErrors(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir(), MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, _ := testWorkload(t, 600, 4)
+	spec := testSpec(pairs)
+
+	if _, err := m.Create("a", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", spec); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate id: %v", err)
+	}
+	if _, err := m.Create("no/slashes", spec); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bad id: %v", err)
+	}
+	if _, err := m.Create("", Spec{Method: "quantum", Pairs: pairs}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bad method: %v", err)
+	}
+	if _, err := m.Create("", Spec{Method: "hybrid", Alpha: 0.9, Beta: 0.9, Theta: 0.9}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("no workload: %v", err)
+	}
+	both := spec
+	both.WorkloadFile = "w.csv"
+	if _, err := m.Create("", both); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("pairs+file: %v", err)
+	}
+	escape := Spec{Method: "hybrid", Alpha: 0.9, Beta: 0.9, Theta: 0.9, WorkloadFile: "../w.csv"}
+	if _, err := m.Create("", escape); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("path escape: %v", err)
+	}
+	budgetless := spec
+	budgetless.Method = "budgeted"
+	if _, err := m.Create("", budgetless); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("budgeted without budget: %v", err)
+	}
+	badReq := spec
+	badReq.Alpha = 2
+	if _, err := m.Create("bad", badReq); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("alpha=2: %v, want ErrBadSpec", err)
+	}
+	// A NaN similarity passes Spec.Validate but fails workload
+	// construction; the failed create must not leak journal files or a
+	// reserved id.
+	badSim := spec
+	badSim.Pairs = []SpecPair{{ID: 0, Sim: math.NaN()}}
+	if _, err := m.Create("bad", badSim); err == nil {
+		t.Fatal("NaN similarity accepted")
+	}
+	if _, err := m.Get("bad"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatal("failed create left the id registered")
+	}
+
+	s2, err := m.Create("", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ID() == "" || s2.ID() == "a" {
+		t.Fatalf("generated id %q", s2.ID())
+	}
+	if _, err := m.Create("c", spec); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("cap: %v", err)
+	}
+	if err := m.Delete(s2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("c", spec); err != nil {
+		t.Fatalf("create after delete under cap: %v", err)
+	}
+}
+
+// TestManagerWorkloadFile: a workload_file spec reads its pairs CSV from
+// the data directory and the resulting resolution matches the inline twin.
+func TestManagerWorkloadFile(t *testing.T) {
+	state, data := t.TempDir(), t.TempDir()
+	pairs, truth := testWorkload(t, 1500, 5)
+	cp := make([]humo.Pair, len(pairs))
+	for i, p := range pairs {
+		cp[i] = humo.Pair{ID: p.ID, Sim: p.Sim}
+	}
+	f, err := os.Create(filepath.Join(data, "pairs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WritePairs(f, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Open(Config{StateDir: state, DataDir: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	spec := testSpec(nil)
+	spec.WorkloadFile = "pairs.csv"
+	s, err := m.Create("file", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s, truth)
+	<-s.Session().DoneChan()
+	wantSol, wantCost := oneShotSolution(t, testSpec(pairs), truth)
+	if got := s.Session().Solution(); got != wantSol {
+		t.Errorf("solution %+v, want %+v", got, wantSol)
+	}
+	if got := s.Session().Cost(); got != wantCost {
+		t.Errorf("cost %d, want %d", got, wantCost)
+	}
+
+	missing := spec
+	missing.WorkloadFile = "absent.csv"
+	if _, err := m.Create("missing", missing); err == nil {
+		t.Fatal("missing workload file accepted")
+	}
+}
+
+// TestManagerRecovery is the heart of the journaling story: kill a manager
+// mid-resolution (drop it without Close), reopen the state directory, and
+// the restored session finishes with the bit-identical solution and cost
+// of an uninterrupted run.
+func TestManagerRecovery(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 2500, 6)
+	spec := testSpec(pairs)
+
+	m1, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m1.Create("resume-me", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m1.Create("done-too", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, done, truth)
+	<-done.Session().DoneChan()
+	doneSol := done.Session().Solution()
+
+	// Answer three batches on the survivor, then "crash": cancel the
+	// sessions (as a dead process would) but skip Close's checkpointing —
+	// recovery must work from the per-answer journal alone.
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		b, err := s1.Next(ctx)
+		if err != nil || b.Empty() {
+			t.Fatalf("batch %d: %v %v", i, b, err)
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s1.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	answered := len(s1.Session().Answered())
+	s1.Session().Cancel()
+	done.Session().Cancel()
+
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 2 {
+		t.Fatalf("recovered %d sessions, want 2", m2.Len())
+	}
+	s2, err := m2.Get("resume-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Session().Answered()); got != answered {
+		t.Fatalf("recovered %d answers, journal had %d", got, answered)
+	}
+	drive(t, s2, truth)
+	<-s2.Session().DoneChan()
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if got := s2.Session().Solution(); got != wantSol {
+		t.Errorf("recovered solution %+v, want %+v", got, wantSol)
+	}
+	if got := s2.Session().Cost(); got != wantCost {
+		t.Errorf("recovered cost %d, want %d", got, wantCost)
+	}
+
+	// The finished session recovered too, and replays straight to its
+	// terminal state without surfacing a batch.
+	d2, err := m2.Get("done-too")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d2.Next(ctx)
+	if err != nil || !b.Empty() {
+		t.Fatalf("finished session surfaced %v, err %v", b, err)
+	}
+	if got := d2.Session().Solution(); got != doneSol {
+		t.Errorf("finished session recovered to %+v, want %+v", got, doneSol)
+	}
+}
+
+// TestManagerRecoveryRejectsCorruptJournal: a truncated checkpoint fails
+// Open loudly instead of silently dropping or mangling the session.
+func TestManagerRecoveryRejectsCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 800, 7)
+	spec := testSpec(pairs)
+	m1, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m1.Create("hurt", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+	ans := make(map[int]bool, len(b.IDs))
+	for _, id := range b.IDs {
+		ans[id] = truth[id]
+	}
+	if err := s.Answer(ans); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	cpPath := filepath.Join(dir, "hurt.checkpoint.json")
+	data, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cpPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{StateDir: dir}); err == nil {
+		t.Fatal("Open accepted a truncated checkpoint")
+	}
+}
+
+// TestManagerRecoveryOrphanSpec: a crash between the spec write and the
+// initial checkpoint write must not brick the server — the orphan spec
+// recovers as a fresh session (no answer was ever acknowledged).
+func TestManagerRecoveryOrphanSpec(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 800, 9)
+	spec := testSpec(pairs)
+	m1, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Create("orphan", spec); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	if err := os.Remove(filepath.Join(dir, "orphan.checkpoint.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatalf("orphan spec bricked Open: %v", err)
+	}
+	defer m2.Close()
+	s, err := m2.Get("orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orphan.checkpoint.json")); err != nil {
+		t.Fatalf("recovery did not re-journal the fresh session: %v", err)
+	}
+	drive(t, s, truth)
+	<-s.Session().DoneChan()
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if got := s.Session().Solution(); got != wantSol {
+		t.Errorf("orphan-recovered solution %+v, want %+v", got, wantSol)
+	}
+	if got := s.Session().Cost(); got != wantCost {
+		t.Errorf("orphan-recovered cost %d, want %d", got, wantCost)
+	}
+}
+
+// TestWaitLabels covers the label long-poll primitive: immediate hits,
+// blocking until an answer lands, and waking on termination.
+func TestWaitLabels(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, truth := testWorkload(t, 800, 8)
+	s, err := m.Create("w", testSpec(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b, err := s.Next(ctx)
+	if err != nil || len(b.IDs) < 2 {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+	id0, id1 := b.IDs[0], b.IDs[1]
+
+	// Unanswered yet: a zero-wait context returns the miss list.
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	got, missing, done, err := s.WaitLabels(expired, []int{id0})
+	if !errors.Is(err, context.Canceled) || len(got) != 0 || len(missing) != 1 || done {
+		t.Fatalf("snapshot: got=%v missing=%v done=%v err=%v", got, missing, done, err)
+	}
+
+	// A waiter parked on id0 wakes when the answer arrives.
+	type result struct {
+		got     map[int]bool
+		missing []int
+		done    bool
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		g, miss, done, err := s.WaitLabels(ctx, []int{id0})
+		ch <- result{g, miss, done, err}
+	}()
+	if err := s.Answer(map[int]bool{id0: truth[id0]}); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil || len(r.missing) != 0 || r.got[id0] != truth[id0] {
+		t.Fatalf("wait result %+v (want label %v)", r, truth[id0])
+	}
+
+	// A waiter on a pair that never gets answered wakes on termination and
+	// reports done consistently with its snapshot.
+	go func() {
+		g, miss, done, err := s.WaitLabels(ctx, []int{id1})
+		ch <- result{g, miss, done, err}
+	}()
+	s.Session().Cancel()
+	m.Close()
+	r = <-ch
+	if r.err != nil || len(r.missing) != 1 || !r.done {
+		t.Fatalf("termination wake: %+v", r)
+	}
+}

@@ -1,0 +1,182 @@
+// Package serve turns the single-resolution humo.Session into a served,
+// multi-tenant subsystem: a Manager owns many named sessions concurrently,
+// journals every answered batch to an atomic per-session checkpoint file,
+// and recovers all live sessions on startup — bit-identical to a run that
+// was never interrupted. NewHandler exposes the manager over the HTTP JSON
+// API served by cmd/humod.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"humo"
+	"humo/internal/dataio"
+)
+
+// ErrBadSpec reports a session specification that cannot produce a session.
+var ErrBadSpec = errors.New("serve: bad session spec")
+
+// SpecPair is one instance pair of an inline workload.
+type SpecPair struct {
+	ID  int     `json:"id"`
+	Sim float64 `json:"sim"`
+}
+
+// Spec is everything needed to (re)build a session from scratch: the
+// workload source, the quality requirement, and the search configuration.
+// It is persisted verbatim next to the session's checkpoint, so a restarted
+// manager rebuilds the exact workload the checkpoint was written for.
+//
+// Exactly one of Pairs and WorkloadFile must be set. WorkloadFile names a
+// `pair_id,similarity` CSV (dataio.ReadPairs) resolved inside the manager's
+// data directory; absolute paths and paths escaping the directory are
+// refused.
+type Spec struct {
+	Method string  `json:"method"`
+	Seed   int64   `json:"seed"`
+	Alpha  float64 `json:"alpha"`
+	Beta   float64 `json:"beta"`
+	Theta  float64 `json:"theta"`
+
+	// BudgetPairs is the manual-inspection budget of method "budgeted";
+	// alpha/beta/theta are ignored by that method.
+	BudgetPairs int `json:"budget_pairs,omitempty"`
+	// Resolve carries the session through the final DH labeling.
+	Resolve bool `json:"resolve,omitempty"`
+	// SubsetSize overrides the default unit-subset size (0 = default 200).
+	SubsetSize int `json:"subset_size,omitempty"`
+	// PairsPerSubset is the per-subset sample size of the sampling-based
+	// methods (0 = their default).
+	PairsPerSubset int `json:"pairs_per_subset,omitempty"`
+
+	Pairs        []SpecPair `json:"pairs,omitempty"`
+	WorkloadFile string     `json:"workload_file,omitempty"`
+}
+
+// Validate checks everything a session build would refuse — the workload
+// source, the method name, and (for the requirement-driven methods) the
+// quality requirement — so a bad create request is a 400, never a 500.
+func (sp Spec) Validate() error {
+	if _, err := humo.ParseMethod(sp.Method); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if sp.Method != string(humo.MethodBudgeted) {
+		if err := sp.requirement().Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	if len(sp.Pairs) == 0 && sp.WorkloadFile == "" {
+		return fmt.Errorf("%w: one of pairs or workload_file is required", ErrBadSpec)
+	}
+	if len(sp.Pairs) > 0 && sp.WorkloadFile != "" {
+		return fmt.Errorf("%w: pairs and workload_file are mutually exclusive", ErrBadSpec)
+	}
+	if sp.WorkloadFile != "" {
+		if filepath.IsAbs(sp.WorkloadFile) || strings.Contains(sp.WorkloadFile, "..") {
+			return fmt.Errorf("%w: workload_file must be a relative path inside the data directory", ErrBadSpec)
+		}
+	}
+	if sp.SubsetSize < 0 || sp.PairsPerSubset < 0 || sp.BudgetPairs < 0 {
+		return fmt.Errorf("%w: subset_size, pairs_per_subset and budget_pairs must be >= 0", ErrBadSpec)
+	}
+	if sp.Method == string(humo.MethodBudgeted) && sp.BudgetPairs == 0 {
+		return fmt.Errorf("%w: method budgeted needs a positive budget_pairs", ErrBadSpec)
+	}
+	return nil
+}
+
+// workload materializes the spec's workload, reading WorkloadFile relative
+// to dataDir when the pairs are not inline.
+func (sp Spec) workload(dataDir string) (*humo.Workload, error) {
+	var pairs []humo.Pair
+	if len(sp.Pairs) > 0 {
+		pairs = make([]humo.Pair, len(sp.Pairs))
+		for i, p := range sp.Pairs {
+			pairs[i] = humo.Pair{ID: p.ID, Sim: p.Sim}
+		}
+	} else {
+		f, err := os.Open(filepath.Join(dataDir, filepath.Clean(sp.WorkloadFile)))
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening workload file: %w", err)
+		}
+		defer f.Close()
+		pairs, err = dataio.ReadPairs(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return humo.NewWorkload(pairs, sp.SubsetSize)
+}
+
+// requirement returns the quality requirement encoded in the spec.
+func (sp Spec) requirement() humo.Requirement {
+	return humo.Requirement{Alpha: sp.Alpha, Beta: sp.Beta, Theta: sp.Theta}
+}
+
+// sessionConfig returns the humo.SessionConfig the spec describes.
+func (sp Spec) sessionConfig() humo.SessionConfig {
+	cfg := humo.SessionConfig{
+		Method:      humo.Method(sp.Method),
+		Base:        humo.BaseConfig{StartSubset: -1},
+		BudgetPairs: sp.BudgetPairs,
+		Seed:        sp.Seed,
+		Resolve:     sp.Resolve,
+	}
+	cfg.Sampling.PairsPerSubset = sp.PairsPerSubset
+	cfg.Hybrid.Sampling.PairsPerSubset = sp.PairsPerSubset
+	return cfg
+}
+
+// writeJSON encodes v as indented JSON (the on-disk spec format).
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// unmarshalJSONStrict decodes JSON refusing unknown fields, so a spec file
+// touched by a newer (or foreign) writer fails recovery loudly instead of
+// silently dropping configuration.
+func unmarshalJSONStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// CreateRequest is the body of POST /v1/sessions: an optional client-chosen
+// session id plus the spec.
+type CreateRequest struct {
+	ID string `json:"id,omitempty"`
+	Spec
+}
+
+// idPattern constrains session ids to names that are safe as file stems and
+// URL path segments.
+var idPattern = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// DecodeCreateRequest parses and validates a POST /v1/sessions body. Any
+// input yields either a spec that can build a session or an error — never a
+// panic; the fuzz target FuzzDecodeCreateRequest holds it to that.
+func DecodeCreateRequest(data []byte) (CreateRequest, error) {
+	var req CreateRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return CreateRequest{}, fmt.Errorf("%w: decoding request: %v", ErrBadSpec, err)
+	}
+	if req.ID != "" && !idPattern.MatchString(req.ID) {
+		return CreateRequest{}, fmt.Errorf("%w: session id %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", ErrBadSpec, req.ID)
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return CreateRequest{}, err
+	}
+	return req, nil
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"humo"
+)
+
+// TestManagerConcurrentStress drives 16 sessions on one manager from 16
+// goroutines — mixed methods, concurrent creates, answers (each journaled
+// to disk), status reads and deletes — and requires every resolution to
+// match its one-shot counterpart bit for bit. Run under -race in CI, this
+// is the concurrency gate of the serving layer.
+func TestManagerConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir, MaxSessions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, truth := testWorkload(t, 1600, 42)
+
+	specFor := func(i int) Spec {
+		spec := Spec{
+			Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+			SubsetSize: 100,
+			Seed:       int64(100 + i),
+			Pairs:      pairs,
+		}
+		switch i % 5 {
+		case 0:
+			spec.Method = "base"
+		case 1:
+			spec.Method = "allsampling"
+			spec.PairsPerSubset = 20
+		case 2:
+			spec.Method = "sampling"
+		case 3:
+			spec.Method = "hybrid"
+		case 4:
+			spec.Method = "budgeted"
+			spec.BudgetPairs = 400
+		}
+		return spec
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("worker %d: "+format, append([]any{i}, args...)...)
+			}
+			spec := specFor(i)
+			id := fmt.Sprintf("stress-%02d", i)
+			s, err := m.Create(id, spec)
+			if err != nil {
+				fail("create: %v", err)
+				return
+			}
+			ctx := context.Background()
+			for {
+				b, err := s.Next(ctx)
+				if err != nil {
+					fail("next: %v", err)
+					return
+				}
+				if b.Empty() {
+					break
+				}
+				ans := make(map[int]bool, len(b.IDs))
+				for _, id := range b.IDs {
+					ans[id] = truth[id]
+				}
+				if err := s.Answer(ans); err != nil {
+					fail("answer: %v", err)
+					return
+				}
+				// Exercise the read paths concurrently with the writes.
+				_ = s.Status()
+				_, _ = m.Get(id)
+			}
+			<-s.Session().DoneChan()
+			if err := s.Session().Err(); err != nil {
+				fail("session error: %v", err)
+				return
+			}
+
+			// Parity with the uninterrupted one-shot twin.
+			w, err := spec.workload(".")
+			if err != nil {
+				fail("workload: %v", err)
+				return
+			}
+			ref, err := humo.NewSession(w, spec.requirement(), spec.sessionConfig())
+			if err != nil {
+				fail("ref session: %v", err)
+				return
+			}
+			refSol, err := ref.Run(ctx, humo.OracleLabeler(humo.NewSimulatedOracle(truth)))
+			if err != nil {
+				fail("ref run: %v", err)
+				return
+			}
+			if got := s.Session().Solution(); got != refSol {
+				fail("solution diverged under load: %+v, want %+v", got, refSol)
+				return
+			}
+			if got, want := s.Session().Cost(), ref.Cost(); got != want {
+				fail("cost diverged under load: %d, want %d", got, want)
+				return
+			}
+			if err := m.Delete(id); err != nil {
+				fail("delete: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := m.List(); len(got) != 0 {
+		t.Fatalf("manager still lists %d sessions after all deletes", len(got))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("journal file %s survived the deletes", e.Name())
+	}
+}

@@ -25,6 +25,9 @@ type BatchOracle = core.BatchOracle
 //
 // LabelBatch must answer every requested id (extra ids are ignored) or
 // return an error. Implementations should honor ctx cancellation.
+//
+// HTTPLabeler is the package's ready-made remote implementation: it labels
+// through the workforce of a humod server (cmd/humod) over its HTTP API.
 type Labeler interface {
 	LabelBatch(ctx context.Context, ids []int) (map[int]bool, error)
 }

@@ -282,31 +282,50 @@ func (s *Session) Next(ctx context.Context) (Batch, error) {
 		if done {
 			return Batch{}, err
 		}
+		// A batch the search has already produced wins over a canceled ctx:
+		// the non-blocking receive keeps zero-wait snapshot polls (e.g.
+		// humod's ?wait=0) deterministic instead of racing the ready reqCh
+		// against ctx.Done in one select.
 		select {
 		case ids := <-s.reqCh:
-			s.mu.Lock()
-			// Answers may have arrived through Answer (or a restore merge)
-			// while the search was computing; only surface what is still
-			// unanswered.
-			var remaining []int
-			for _, id := range ids {
-				if _, ok := s.answered[id]; !ok {
-					remaining = append(remaining, id)
-				}
+			if b, ok := s.acceptBatch(ids); ok {
+				return b, nil
 			}
-			s.pending = remaining
-			s.mu.Unlock()
-			if len(remaining) == 0 {
-				s.release()
-				continue
+			continue
+		default:
+		}
+		select {
+		case ids := <-s.reqCh:
+			if b, ok := s.acceptBatch(ids); ok {
+				return b, nil
 			}
-			return Batch{IDs: append([]int(nil), remaining...)}, nil
 		case <-s.doneCh:
 			// Loop: re-read the terminal state under the lock.
 		case <-ctx.Done():
 			return Batch{}, ctx.Err()
 		}
 	}
+}
+
+// acceptBatch turns a batch received from the search into the surfaced
+// pending set. Answers may have arrived through Answer (or a restore merge)
+// while the search was computing; only what is still unanswered surfaces,
+// and a fully-covered batch releases the search immediately (ok false).
+func (s *Session) acceptBatch(ids []int) (Batch, bool) {
+	s.mu.Lock()
+	var remaining []int
+	for _, id := range ids {
+		if _, ok := s.answered[id]; !ok {
+			remaining = append(remaining, id)
+		}
+	}
+	s.pending = remaining
+	s.mu.Unlock()
+	if len(remaining) == 0 {
+		s.release()
+		return Batch{}, false
+	}
+	return Batch{IDs: append([]int(nil), remaining...)}, true
 }
 
 // release unparks the search goroutine after its batch is fully answered.
@@ -388,6 +407,11 @@ func (s *Session) Cancel() {
 	<-s.doneCh
 }
 
+// DoneChan returns a channel that is closed when the session terminates,
+// so callers can wait for termination in a select alongside other events
+// (the accessor counterpart of Done).
+func (s *Session) DoneChan() <-chan struct{} { return s.doneCh }
+
 // Done reports whether the session has terminated.
 func (s *Session) Done() bool {
 	s.mu.Lock()
@@ -420,6 +444,34 @@ func (s *Session) Labels() []bool {
 		return nil
 	}
 	return append([]bool(nil), s.labels...)
+}
+
+// Pending returns a copy of the currently surfaced batch's unanswered
+// remainder, without consuming or waiting: pairs that some Next call has
+// already handed out and that Answer has not yet covered. It is nil when
+// nothing is surfaced — including the window where the search has computed
+// a batch that no Next call has picked up yet.
+func (s *Session) Pending() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	return append([]int(nil), s.pending...)
+}
+
+// Answered returns a copy of the answered-label log: every Known answer
+// plus everything fed through Answer, whether or not the search asked for
+// it. Serving layers use it to publish per-pair answers (e.g. the humod
+// labels endpoint) without waiting for the session to terminate.
+func (s *Session) Answered() map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]bool, len(s.answered))
+	for id, v := range s.answered {
+		out[id] = v
+	}
+	return out
 }
 
 // Cost returns the human cost so far: the number of distinct pairs the

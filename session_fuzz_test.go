@@ -1,0 +1,118 @@
+package humo_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"humo"
+)
+
+// fuzzFixture builds the small fixed workload and session configuration
+// every FuzzRestoreSession input is restored against.
+func fuzzFixture(tb testing.TB) (*humo.Workload, humo.Requirement, humo.SessionConfig, map[int]bool) {
+	tb.Helper()
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: 600, Tau: 14, Sigma: 0.1, Seed: 5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	w, err := humo.NewWorkload(pairs, 100)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodHybrid, Seed: 5}
+	return w, req, cfg, truth
+}
+
+// checkpointMirror decodes the checkpoint wire format independently of the
+// package, so the fuzz target can cross-check what a successful restore
+// actually loaded.
+type checkpointMirror struct {
+	Version int `json:"version"`
+	Labels  []struct {
+		ID    int  `json:"id"`
+		Match bool `json:"match"`
+	} `json:"labels"`
+}
+
+// FuzzRestoreSession feeds arbitrary bytes to RestoreSession: every input
+// must yield ErrCheckpointMismatch or another error, or a session whose
+// label log equals exactly what the checkpoint declared — never a panic
+// and never a silently-wrong session. Seeds: a valid mid-resolution
+// checkpoint, a truncated one, and a version-bumped one.
+func FuzzRestoreSession(f *testing.F) {
+	w, req, cfg, truth := fuzzFixture(f)
+
+	// Seed 1: a genuine checkpoint taken after one answered batch.
+	s, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		f.Fatalf("fixture batch: %v %v", b, err)
+	}
+	ans := make(map[int]bool, len(b.IDs))
+	for _, id := range b.IDs {
+		ans[id] = truth[id]
+	}
+	if err := s.Answer(ans); err != nil {
+		f.Fatal(err)
+	}
+	var cp bytes.Buffer
+	if err := s.Checkpoint(&cp); err != nil {
+		f.Fatal(err)
+	}
+	s.Cancel()
+	valid := cp.Bytes()
+	f.Add(valid)
+
+	// Seed 2: the same checkpoint truncated mid-JSON.
+	f.Add(valid[:len(valid)/2])
+
+	// Seed 3: a version bump, which must be refused even though the rest
+	// matches.
+	bumped := bytes.Replace(valid, []byte(`"version": 1`), []byte(`"version": 2`), 1)
+	if bytes.Equal(bumped, valid) {
+		f.Fatal("version field not found in checkpoint fixture")
+	}
+	f.Add(bumped)
+
+	// Seed 4: structurally valid JSON that matches nothing.
+	f.Add([]byte(`{"version":1,"method":"base","seed":0,"labels":[{"id":1,"match":true}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := humo.RestoreSession(w, req, cfg, bytes.NewReader(data))
+		if err != nil {
+			return // refused: the only other acceptable outcome
+		}
+		defer restored.Cancel()
+		// The restore was accepted, so the input had to be a genuine
+		// checkpoint for this exact workload and configuration. Guard
+		// against the silent-corruption case: the session's label log must
+		// be exactly the checkpoint's label list (last entry wins on
+		// duplicate ids, as JSON order defines).
+		// Decode exactly as RestoreSession does (first JSON value of the
+		// stream; trailing bytes ignored).
+		var mirror checkpointMirror
+		if err := json.NewDecoder(bytes.NewReader(data)).Decode(&mirror); err != nil {
+			t.Fatalf("restore accepted bytes that do not even decode: %v", err)
+		}
+		want := make(map[int]bool, len(mirror.Labels))
+		for _, e := range mirror.Labels {
+			want[e.ID] = e.Match
+		}
+		got := restored.Answered()
+		if len(got) != len(want) {
+			t.Fatalf("restored log has %d entries, checkpoint declared %d", len(got), len(want))
+		}
+		for id, v := range want {
+			if gv, ok := got[id]; !ok || gv != v {
+				t.Fatalf("restored label for pair %d = %v,%v; checkpoint said %v", id, gv, ok, v)
+			}
+		}
+	})
+}

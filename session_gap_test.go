@@ -1,0 +1,115 @@
+package humo_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"humo"
+)
+
+// TestRestoreSessionForeignIDs pins the current contract for a checkpoint
+// whose answered log carries pair ids that do not exist in the workload:
+// the restore is accepted (labels are an opaque log; ids the search never
+// asks for are inert), the session completes with the solution and cost of
+// an uninterrupted run, and the foreign ids never count toward cost.
+func TestRestoreSessionForeignIDs(t *testing.T) {
+	w, truth := sessionFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodHybrid, Seed: 23}
+
+	ref, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, ref, truth)
+	if err := ref.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		t.Fatalf("initial batch: %v %v", b, err)
+	}
+	ans := make(map[int]bool, len(b.IDs))
+	for _, id := range b.IDs {
+		ans[id] = truth[id]
+	}
+	// Slip foreign ids into the log alongside real answers: ids far outside
+	// the workload's id space.
+	ans[1<<30] = true
+	ans[-7] = false
+	if err := s.Answer(ans); err != nil {
+		t.Fatal(err)
+	}
+	var cp bytes.Buffer
+	if err := s.Checkpoint(&cp); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+
+	restored, err := humo.RestoreSession(w, req, cfg, bytes.NewReader(cp.Bytes()))
+	if err != nil {
+		t.Fatalf("foreign ids in the log refused the restore: %v", err)
+	}
+	if got := restored.Answered(); !got[1<<30] || got[-7] {
+		t.Fatalf("foreign log entries lost on restore: %v %v", got[1<<30], got[-7])
+	}
+	driveFromTruth(t, restored, truth)
+	if err := restored.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Solution(), ref.Solution(); got != want {
+		t.Errorf("solution with foreign log entries %+v, want %+v", got, want)
+	}
+	if got, want := restored.Cost(), ref.Cost(); got != want {
+		t.Errorf("cost with foreign log entries %d, want %d (foreign ids must not be charged)", got, want)
+	}
+}
+
+// TestSessionAnswerAfterCancel pins the full post-Cancel surface: Answer
+// (both for the interrupted batch and for fresh ids) fails with
+// ErrSessionDone, the log stops growing, and Checkpoint still serializes
+// the answers that were accepted before the cancellation.
+func TestSessionAnswerAfterCancel(t *testing.T) {
+	w, truth := sessionFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	s, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodAllSampling,
+		Sampling: humo.SamplingConfig{PairsPerSubset: 30}, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b, err := s.Next(ctx)
+	if err != nil || len(b.IDs) < 2 {
+		t.Fatalf("initial batch: %v %v", b, err)
+	}
+	first := map[int]bool{b.IDs[0]: truth[b.IDs[0]]}
+	if err := s.Answer(first); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+
+	if err := s.Answer(map[int]bool{b.IDs[1]: truth[b.IDs[1]]}); !errors.Is(err, humo.ErrSessionDone) {
+		t.Fatalf("Answer(batch id) after Cancel: %v, want ErrSessionDone", err)
+	}
+	if err := s.Answer(map[int]bool{1 << 20: true}); !errors.Is(err, humo.ErrSessionDone) {
+		t.Fatalf("Answer(fresh id) after Cancel: %v, want ErrSessionDone", err)
+	}
+	got := s.Answered()
+	if len(got) != 1 || got[b.IDs[0]] != truth[b.IDs[0]] {
+		t.Fatalf("log mutated by refused answers: %v", got)
+	}
+	var cp bytes.Buffer
+	if err := s.Checkpoint(&cp); err != nil {
+		t.Fatalf("Checkpoint after Cancel: %v", err)
+	}
+	if !bytes.Contains(cp.Bytes(), []byte(`"labels"`)) {
+		t.Fatalf("post-Cancel checkpoint lost the label log: %s", cp.String())
+	}
+}
