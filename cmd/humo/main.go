@@ -1,9 +1,12 @@
 // Command humo resolves two CSV tables end to end with quality guarantees,
 // driving the human-in-the-loop through a resumable resolution session.
 //
-// The pipeline blocks and scores candidate pairs, then starts the requested
-// optimization as a humo.Session. Whenever the optimizer needs human
-// answers, the session surfaces a batch of pair ids:
+// The pipeline blocks and scores candidate pairs (humo.GenerateWorkload:
+// -block cross/token/sorted, fanned out over -workers goroutines with
+// deterministic output; or -candidates to load a humogen-generated
+// candidates CSV instead), then starts the requested optimization as a
+// humo.Session. Whenever the optimizer needs human answers, the session
+// surfaces a batch of pair ids:
 //
 //   - By default, the batch is written to the -pending CSV (with both
 //     records side by side) and humo exits with status 3. Review the file,
@@ -81,9 +84,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		aPath       = fs.String("a", "", "CSV file of the first table (header row = attributes)")
 		bPath       = fs.String("b", "", "CSV file of the second table")
 		spec        = fs.String("spec", "", "attribute specs: name:kind[,name:kind...]; kinds: jaccard, jarowinkler, levenshtein, cosine")
-		blockMode   = fs.String("block", "cross", "candidate generation: cross or token")
-		blockAttr   = fs.String("block-attr", "", "token blocking attribute (default: first spec attribute)")
+		blockMode   = fs.String("block", "cross", "candidate generation: cross, token or sorted")
+		blockAttr   = fs.String("block-attr", "", "token/sorted blocking attribute (default: first spec attribute)")
 		minShared   = fs.Int("min-shared", 1, "token blocking: minimum shared tokens")
+		window      = fs.Int("window", 10, "sorted blocking: window size")
+		workers     = fs.Int("workers", 0, "candidate generation worker goroutines (<= 0 = all cores; results are identical at any count)")
+		candsPath   = fs.String("candidates", "", "pre-generated candidates CSV (humogen -cands output); skips blocking and scoring")
 		threshold   = fs.Float64("threshold", 0.1, "keep candidate pairs with aggregated similarity >= threshold (in [0,1))")
 		alpha       = fs.Float64("alpha", 0.9, "required precision, in (0,1]")
 		beta        = fs.Float64("beta", 0.9, "required recall, in (0,1]")
@@ -117,7 +123,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	for _, c := range []struct {
 		name string
 		v    int
-	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}} {
+	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}, {"-window", *window}} {
 		if err := cliutil.ValidateNonNegative(c.name, c.v); err != nil {
 			return usageErr(stderr, err)
 		}
@@ -130,6 +136,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return usageErr(stderr, errors.New("-method budgeted needs a positive -budget"))
 	}
 
+	mode, err := humo.ParseBlockingMode(*blockMode)
+	if err != nil {
+		return usageErr(stderr, err)
+	}
 	ta, err := readTable(*aPath, "a")
 	if err != nil {
 		return fail(stderr, err)
@@ -138,47 +148,45 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	specs, err := parseSpecs(*spec)
+	specs, err := cliutil.ParseAttributeSpecs(*spec)
 	if err != nil {
 		return usageErr(stderr, err)
 	}
-	specs, err = blocking.DistinctValueSpecs(ta, tb, specs)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	scorer, err := blocking.NewScorer(ta, tb, specs)
-	if err != nil {
-		return fail(stderr, err)
-	}
 
-	var cands []blocking.Pair
-	switch *blockMode {
-	case "cross":
-		cands = blocking.CrossProduct(scorer, *threshold)
-	case "token":
-		attr := *blockAttr
-		if attr == "" {
-			attr = specs[0].Attribute
+	var (
+		cands []humo.Candidate
+		w     *humo.Workload
+	)
+	if *candsPath != "" {
+		// Pre-generated candidates (humogen -cands): skip blocking and
+		// scoring entirely; the blocking flags are ignored.
+		if cands, err = readCandidates(*candsPath, ta, tb); err != nil {
+			return fail(stderr, err)
 		}
-		cands, err = blocking.TokenBlocked(scorer, attr, *minShared, *threshold)
+		pairs := make([]humo.Pair, len(cands))
+		for i, c := range cands {
+			pairs[i] = humo.Pair{ID: i, Sim: c.Sim}
+		}
+		if w, err = humo.NewWorkload(pairs, *subsetSize); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "candidates: %d pre-generated pairs from %s\n", len(cands), *candsPath)
+	} else {
+		g, err := humo.GenerateWorkload(context.Background(), ta, tb, humo.GenConfig{
+			Specs:          specs,
+			Block:          mode,
+			BlockAttribute: *blockAttr,
+			MinShared:      *minShared,
+			Window:         *window,
+			Threshold:      *threshold,
+			Workers:        *workers,
+			SubsetSize:     *subsetSize,
+		})
 		if err != nil {
 			return fail(stderr, err)
 		}
-	default:
-		return usageErr(stderr, fmt.Errorf("unknown -block %q (want cross or token)", *blockMode))
-	}
-	if len(cands) == 0 {
-		return fail(stderr, errors.New("no candidate pairs above the threshold"))
-	}
-	fmt.Fprintf(stdout, "candidates: %d pairs above similarity %.2f\n", len(cands), *threshold)
-
-	pairs := make([]humo.Pair, len(cands))
-	for i, c := range cands {
-		pairs[i] = humo.Pair{ID: i, Sim: c.Sim}
-	}
-	w, err := humo.NewWorkload(pairs, *subsetSize)
-	if err != nil {
-		return fail(stderr, err)
+		cands, w = g.Candidates, g.Workload
+		fmt.Fprintf(stdout, "candidates: %d pairs above similarity %.2f\n", len(cands), *threshold)
 	}
 
 	known := dataio.Labels{}
@@ -491,29 +499,25 @@ func humanRange(w *humo.Workload, sol humo.Solution) (int, int) {
 	return start, end
 }
 
-func parseSpecs(s string) ([]blocking.AttributeSpec, error) {
-	var out []blocking.AttributeSpec
-	for _, part := range strings.Split(s, ",") {
-		fields := strings.Split(strings.TrimSpace(part), ":")
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("bad spec %q (want name:kind)", part)
-		}
-		var kind blocking.Kind
-		switch fields[1] {
-		case "jaccard":
-			kind = blocking.KindJaccard
-		case "jarowinkler":
-			kind = blocking.KindJaroWinkler
-		case "levenshtein":
-			kind = blocking.KindLevenshtein
-		case "cosine":
-			kind = blocking.KindCosine
-		default:
-			return nil, fmt.Errorf("unknown similarity kind %q", fields[1])
-		}
-		out = append(out, blocking.AttributeSpec{Attribute: fields[0], Kind: kind})
+// readCandidates loads a pre-generated candidates CSV and validates its
+// record references against the loaded tables.
+func readCandidates(path string, ta, tb *records.Table) ([]humo.Candidate, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	defer f.Close()
+	cands, err := dataio.ReadCandidates(f)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cands {
+		if c.A >= ta.Len() || c.B >= tb.Len() {
+			return nil, fmt.Errorf("candidates file %s: pair %d references records (%d,%d) outside tables (%d,%d records) — were these candidates generated from the same -a/-b files?",
+				path, i, c.A, c.B, ta.Len(), tb.Len())
+		}
+	}
+	return cands, nil
 }
 
 func readTable(path, name string) (*records.Table, error) {

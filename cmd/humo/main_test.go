@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"math/rand"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"humo"
 	"humo/internal/dataio"
 )
 
@@ -376,4 +378,121 @@ func tail(s string, n int) string {
 		return s
 	}
 	return "..." + s[len(s)-n:]
+}
+
+// TestRunPregeneratedCandidates: a humogen-style candidates file drives the
+// same resolution as in-process generation — the -candidates path skips
+// blocking but produces the identical workload, so the first pending queue
+// is identical too.
+func TestRunPregeneratedCandidates(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+
+	// First: normal generation, capture the pending queue of round one.
+	var out, errb bytes.Buffer
+	if code := run(baseArgs(dir, aPath, bPath), strings.NewReader(""), &out, &errb); code != exitReview {
+		t.Fatalf("generation run exit %d, stderr: %s", code, errb.String())
+	}
+	wantPending := readPendingAnswers(t, filepath.Join(dir, "pending.csv"))
+
+	// Reproduce the candidates file the generation produced, using the
+	// public pipeline with the CLI's exact config.
+	ta := readTableT(t, aPath, "a")
+	tb := readTableT(t, bPath, "b")
+	g, err := humo.GenerateWorkload(context.Background(), ta, tb, humo.GenConfig{
+		Specs:     []humo.AttributeSpec{{Attribute: "name", Kind: humo.KindJaccard}},
+		Block:     humo.BlockCross,
+		Threshold: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candsPath := filepath.Join(dir, "cands.csv")
+	f, err := os.Create(candsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteCandidates(f, g.Candidates); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second: resolution from the pre-generated file, in a fresh directory
+	// so label/pending state does not carry over.
+	dir2 := t.TempDir()
+	args := baseArgs(dir2, aPath, bPath, "-candidates", candsPath)
+	out.Reset()
+	errb.Reset()
+	if code := run(args, strings.NewReader(""), &out, &errb); code != exitReview {
+		t.Fatalf("candidates run exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "pre-generated") {
+		t.Errorf("stdout does not mention pre-generated candidates: %s", out.String())
+	}
+	gotPending := readPendingAnswers(t, filepath.Join(dir2, "pending.csv"))
+	if len(gotPending) != len(wantPending) {
+		t.Fatalf("pending queue %d pairs via -candidates, %d via generation", len(gotPending), len(wantPending))
+	}
+	for id := range wantPending {
+		if _, ok := gotPending[id]; !ok {
+			t.Fatalf("pair %d missing from -candidates pending queue", id)
+		}
+	}
+}
+
+func readTableT(t *testing.T, path, name string) *humo.Table {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := dataio.ReadTable(f, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestRunCandidatesValidation: a candidates file referencing records beyond
+// the loaded tables is refused.
+func TestRunCandidatesValidation(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	candsPath := filepath.Join(dir, "cands.csv")
+	if err := os.WriteFile(candsPath, []byte("pair_id,record_a,record_b,similarity\n0,999,0,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run(baseArgs(dir, aPath, bPath, "-candidates", candsPath), strings.NewReader(""), &out, &errb); code != exitError {
+		t.Fatalf("out-of-range candidates exit %d, want %d; stderr: %s", code, exitError, errb.String())
+	}
+	if !strings.Contains(errb.String(), "outside tables") {
+		t.Errorf("stderr does not explain the range error: %s", errb.String())
+	}
+}
+
+// TestRunBlockModesAndWorkers: token and sorted blocking plus explicit
+// -workers complete review rounds like cross does, and unknown modes are a
+// usage error.
+func TestRunBlockModesAndWorkers(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	for _, extra := range [][]string{
+		{"-block", "token", "-min-shared", "1", "-workers", "3"},
+		{"-block", "sorted", "-window", "8"},
+	} {
+		dirN := t.TempDir()
+		var out, errb bytes.Buffer
+		code := run(baseArgs(dirN, aPath, bPath, extra...), strings.NewReader(""), &out, &errb)
+		if code != exitReview && code != exitOK {
+			t.Fatalf("%v: exit %d, stderr: %s", extra, code, errb.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run(baseArgs(dir, aPath, bPath, "-block", "nope"), strings.NewReader(""), &out, &errb); code != exitUsage {
+		t.Fatalf("unknown -block exit %d, want %d", code, exitUsage)
+	}
 }

@@ -17,6 +17,9 @@
 //	POST   /v1/sessions/{id}/answers  submit (partial) answers
 //	GET    /v1/sessions/{id}/labels   long-poll answered labels
 //	DELETE /v1/sessions/{id}          cancel and forget
+//	POST   /v1/workloads              build a workload server-side from
+//	                                  uploaded tables; persisted under -data
+//	                                  so sessions reference it by file name
 //
 // Example:
 //

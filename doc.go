@@ -117,6 +117,54 @@
 // the local search asks for are then exactly the pairs the remote session
 // surfaces to its workforce, and both runs land on the same division.
 //
+// # Generating workloads: GenerateWorkload
+//
+// Everything above consumes a Workload of pre-scored pairs; GenerateWorkload
+// is the high-throughput front end that produces one from two record
+// tables:
+//
+//	g, err := humo.GenerateWorkload(ctx, tableA, tableB, humo.GenConfig{
+//		Specs: []humo.AttributeSpec{
+//			{Attribute: "name", Kind: humo.KindJaccard},
+//			{Attribute: "description", Kind: humo.KindCosine},
+//		},
+//		Block:     humo.BlockToken, // size- and prefix-filtered inverted index
+//		MinShared: 2,
+//		Threshold: 0.3,
+//		Workers:   0, // all cores
+//	})
+//	// g.Workload is ready to resolve; g.Candidates[i] holds the record
+//	// pair behind workload pair id i; g.Fingerprint pins the output.
+//
+// The engine (internal/blocking) preprocesses every record exactly once —
+// tokens interned into a shared int-id dictionary, sorted token-id sets for
+// linear-merge Jaccard, term-frequency vectors with precomputed norms for
+// cosine, decoded rune slices and reusable DP buffers for the edit-distance
+// measures — so the per-pair hot path neither tokenizes nor allocates.
+// BlockToken replaces the quadratic scan with an inverted-index join: with
+// a minimum shared-token count k, records with fewer than k tokens are
+// dropped outright (size filter), and only each record's df-rarest
+// len-k+1 tokens are indexed and probed (prefix filter); surviving
+// candidates are verified by merging the full sorted token lists before
+// scoring. Scoring fans out over internal/parallel in contiguous record
+// shards merged in order.
+//
+// Determinism contract: for fixed tables and GenConfig, GenerateWorkload
+// returns the same candidate pairs with bit-identical similarities — and
+// therefore the same workload fingerprint — at any Workers value; the
+// worker count changes wall-clock time, never output. All-zero spec
+// weights select the paper's distinct-value weighting rule (§VIII-A).
+// The equivalence tests in internal/blocking hold the whole rebuilt path
+// bit-identical to the straightforward map-based reference implementation.
+//
+// GenerateWorkload is wired into the binaries three ways: cmd/humogen
+// (generate mode: -a/-b/-spec/-block/-workers, writing the workload CSV +
+// fingerprint sidecar and optionally the full candidates CSV), cmd/humod
+// (POST /v1/workloads builds a workload server-side from uploaded tables
+// and persists it under -data for sessions to reference by file name), and
+// cmd/humo (in-process generation, or -candidates to consume a humogen
+// candidates file directly).
+//
 // Package-level generators (Logistic, DSLike, ABLike) reproduce the paper's
 // evaluation workloads for benchmarking; cmd/humoexp regenerates every table
 // and figure of the paper's evaluation section.

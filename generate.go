@@ -1,0 +1,173 @@
+package humo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"humo/internal/blocking"
+	"humo/internal/records"
+)
+
+// Candidate generation: the front half of the pipeline, turning two record
+// tables into the scored instance pairs every optimizer consumes. See
+// internal/blocking for the engine; these aliases and GenerateWorkload form
+// the stable public surface.
+
+type (
+	// Table is a named collection of records over a fixed attribute schema.
+	Table = records.Table
+	// Record is one relational record of a Table.
+	Record = records.Record
+	// AttributeSpec maps one attribute of both tables to a similarity
+	// measure and an aggregation weight.
+	AttributeSpec = blocking.AttributeSpec
+	// SimilarityKind selects a per-attribute similarity measure.
+	SimilarityKind = blocking.Kind
+	// BlockingMode selects a candidate-generation strategy.
+	BlockingMode = blocking.Mode
+	// Candidate is one scored candidate pair: record positions in the two
+	// tables plus the aggregated weighted similarity.
+	Candidate = blocking.Pair
+)
+
+// Per-attribute similarity measures.
+const (
+	KindJaccard     = blocking.KindJaccard
+	KindJaroWinkler = blocking.KindJaroWinkler
+	KindLevenshtein = blocking.KindLevenshtein
+	KindCosine      = blocking.KindCosine
+)
+
+// Candidate-generation strategies.
+const (
+	// BlockCross scores every record pair (exact, O(|A|·|B|)).
+	BlockCross = blocking.ModeCross
+	// BlockToken joins the tables through a size- and prefix-filtered
+	// inverted token index — the scalable default.
+	BlockToken = blocking.ModeToken
+	// BlockSorted is classical sorted-neighborhood blocking.
+	BlockSorted = blocking.ModeSorted
+)
+
+// ParseSimilarityKind parses a similarity kind name (jaccard, jarowinkler,
+// levenshtein, cosine).
+func ParseSimilarityKind(s string) (SimilarityKind, error) { return blocking.ParseKind(s) }
+
+// ParseBlockingMode parses a blocking mode name (cross, token, sorted).
+func ParseBlockingMode(s string) (BlockingMode, error) { return blocking.ParseMode(s) }
+
+// ErrNoCandidates reports a generation run whose threshold left no
+// candidate pairs to resolve.
+var ErrNoCandidates = errors.New("humo: no candidate pairs at or above the threshold")
+
+// GenConfig configures GenerateWorkload.
+type GenConfig struct {
+	// Specs maps attributes to similarity measures. With every Weight zero,
+	// weights are derived by the paper's distinct-value rule (§VIII-A);
+	// otherwise the given weights are normalized as-is.
+	Specs []AttributeSpec
+	// Block selects the strategy (default BlockToken).
+	Block BlockingMode
+	// BlockAttribute is the blocking key of BlockToken and BlockSorted
+	// (default: the first spec's attribute).
+	BlockAttribute string
+	// MinShared is BlockToken's minimum shared-token count (default 1).
+	MinShared int
+	// Window is BlockSorted's window size (default 10).
+	Window int
+	// Threshold keeps candidates with aggregated similarity >= Threshold.
+	Threshold float64
+	// Workers bounds the generation fan-out (<= 0 selects GOMAXPROCS).
+	// Results are identical at any worker count.
+	Workers int
+	// SubsetSize is the unit-subset size of the built Workload (0 selects
+	// DefaultSubsetSize).
+	SubsetSize int
+}
+
+// GeneratedWorkload is the product of GenerateWorkload: the scored
+// candidate pairs (Workload pair id i refers to Candidates[i]) and the
+// ready-to-resolve Workload with its fingerprint.
+type GeneratedWorkload struct {
+	Candidates  []Candidate
+	Workload    *Workload
+	Fingerprint string
+}
+
+// CorePairs returns the machine-visible instance pairs (id = candidate
+// index), the form dataio.WritePairs persists.
+func (g *GeneratedWorkload) CorePairs() []Pair {
+	out := make([]Pair, len(g.Candidates))
+	for i, c := range g.Candidates {
+		out[i] = Pair{ID: i, Sim: c.Sim}
+	}
+	return out
+}
+
+// GenerateWorkload blocks and scores the candidate pairs of two record
+// tables and builds the resulting Workload — the high-throughput front end
+// of the resolution pipeline. Records are preprocessed once (tokens
+// interned, norms precomputed), candidates come from the configured
+// blocking strategy, and scoring fans out over cfg.Workers goroutines.
+//
+// Determinism guarantee: for fixed tables and config, GenerateWorkload
+// returns the same candidates with bit-identical similarities — and hence
+// the same workload fingerprint — at any Workers value. ctx cancels a long
+// generation.
+func GenerateWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*GeneratedWorkload, error) {
+	specs := cfg.Specs
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("humo: GenConfig.Specs is required")
+	}
+	allZero := true
+	for _, sp := range specs {
+		if sp.Weight != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		var err error
+		if specs, err = blocking.DistinctValueSpecs(ta, tb, specs); err != nil {
+			return nil, err
+		}
+	}
+	scorer, err := blocking.NewScorer(ta, tb, specs)
+	if err != nil {
+		return nil, err
+	}
+	opt := blocking.Options{
+		Mode:      cfg.Block,
+		Attribute: cfg.BlockAttribute,
+		MinShared: cfg.MinShared,
+		Window:    cfg.Window,
+		Threshold: cfg.Threshold,
+		Workers:   cfg.Workers,
+	}
+	if opt.Mode == "" {
+		opt.Mode = BlockToken
+	}
+	if opt.Attribute == "" {
+		opt.Attribute = specs[0].Attribute
+	}
+	if opt.MinShared == 0 {
+		opt.MinShared = 1
+	}
+	if opt.Window == 0 {
+		opt.Window = 10
+	}
+	cands, err := blocking.Generate(ctx, scorer, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	g := &GeneratedWorkload{Candidates: cands}
+	if g.Workload, err = NewWorkload(g.CorePairs(), cfg.SubsetSize); err != nil {
+		return nil, err
+	}
+	g.Fingerprint = WorkloadFingerprint(g.Workload)
+	return g, nil
+}

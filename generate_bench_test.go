@@ -1,0 +1,47 @@
+package humo_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"humo"
+)
+
+// BenchmarkGenerateWorkload is the CI bench gate's anchor: the public
+// candidate-generation path (interned kernels, prefix-filtered inverted
+// index, sharded scoring) at three scales. The gate fails a PR that
+// regresses it by more than 20% against the main baseline; see the bench
+// job in .github/workflows/ci.yml.
+func BenchmarkGenerateWorkload(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		ta, tb := genTables(n, n, 42)
+		cfg := genConfig()
+		b.Run(fmt.Sprintf("%dk", n/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(g.Candidates) == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateWorkloadCross is the exhaustive-scan strategy at 1k — the
+// quadratic reference point for the token join above.
+func BenchmarkGenerateWorkloadCross(b *testing.B) {
+	ta, tb := genTables(1000, 1000, 42)
+	cfg := genConfig()
+	cfg.Block = humo.BlockCross
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"humo/internal/records"
+)
+
+// Seed-vs-rebuilt benchmarks. The "Seed" variants run the reference
+// implementation from reference_test.go — the exact code the repository
+// shipped with (map token sets, per-pair re-tokenization, unfiltered index)
+// — so the speedup of the interned, prefix-filtered, sharded path is
+// measured, not asserted. The humo-level BenchmarkGenerateWorkload (CI
+// bench gate) covers the public entry point at 1k/10k/50k records.
+
+// benchSynthTables is synthTables with a vocabulary that scales with n the
+// way real catalogs do (the fixed 400-word vocabulary of the equivalence
+// tests makes every posting list huge at 10k records, which stresses the
+// dedup paths but is not a realistic workload shape).
+func benchSynthTables(n int, seed int64) (*records.Table, *records.Table) {
+	rng := rand.New(rand.NewSource(seed))
+	vocabN := n
+	if vocabN < 500 {
+		vocabN = 500
+	}
+	vocab := make([]string, vocabN)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("tok%05d", i)
+	}
+	word := func(r *rand.Rand) string {
+		if r.Float64() < 0.2 {
+			return vocab[r.Intn(50)]
+		}
+		return vocab[r.Intn(len(vocab))]
+	}
+	brands := []string{"acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell", "hooli"}
+	title := func(r *rand.Rand) []string {
+		k := 4 + r.Intn(4)
+		out := make([]string, k)
+		out[0] = brands[r.Intn(len(brands))]
+		for i := 1; i < k; i++ {
+			out[i] = word(r)
+		}
+		return out
+	}
+	corrupt := func(r *rand.Rand, words []string) []string {
+		out := append([]string(nil), words...)
+		if r.Float64() < 0.6 {
+			out[1+r.Intn(len(out)-1)] = word(r)
+		}
+		return out
+	}
+	attrs := []string{"name", "description", "brand"}
+	rec := func(id, entity int, words []string, r *rand.Rand) records.Record {
+		return records.Record{
+			ID:       id,
+			EntityID: entity,
+			Values: []string{
+				strings.Join(words, " "),
+				strings.Join(append(append([]string{}, words...), word(r), word(r)), " "),
+				words[0],
+			},
+		}
+	}
+	ta := &records.Table{Name: "a", Attributes: attrs}
+	tb := &records.Table{Name: "b", Attributes: attrs}
+	shared := n / 2
+	for i := 0; i < n; i++ {
+		words := title(rng)
+		ta.Records = append(ta.Records, rec(i, i, words, rng))
+		if i < shared {
+			tb.Records = append(tb.Records, rec(len(tb.Records), i, corrupt(rng, words), rng))
+		}
+	}
+	for len(tb.Records) < n {
+		tb.Records = append(tb.Records, rec(len(tb.Records), n+len(tb.Records), title(rng), rng))
+	}
+	return ta, tb
+}
+
+func BenchmarkTokenBlocked(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		ta, tb := benchSynthTables(n, 42)
+		s, err := NewScorer(ta, tb, synthSpecs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pairs, err := TokenBlocked(s, "name", 2, 0.2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pairs) == 0 {
+					b.Fatal("no pairs")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTokenBlockedSeed(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		ta, tb := benchSynthTables(n, 42)
+		ref := newRefScorer(b, ta, tb, synthSpecs())
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pairs := refTokenBlocked(b, ref, "name", 2, 0.2)
+				if len(pairs) == 0 {
+					b.Fatal("no pairs")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCrossProduct(b *testing.B) {
+	ta, tb := benchSynthTables(1000, 42)
+	s, err := NewScorer(ta, tb, synthSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pairs := CrossProduct(s, 0.2); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+func BenchmarkCrossProductSeed(b *testing.B) {
+	ta, tb := benchSynthTables(1000, 42)
+	ref := newRefScorer(b, ta, tb, synthSpecs())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pairs := refCrossProduct(ref, 0.2); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+func BenchmarkScorePair(b *testing.B) {
+	ta, tb := benchSynthTables(100, 42)
+	s, err := NewScorer(ta, tb, synthSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := s.NewScratch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ScoreWith(sc, i%100, (i*7)%100)
+	}
+}
+
+func BenchmarkScorePairSeed(b *testing.B) {
+	ta, tb := benchSynthTables(100, 42)
+	ref := newRefScorer(b, ta, tb, synthSpecs())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref.score(i%100, (i*7)%100)
+	}
+}

@@ -4,16 +4,23 @@
 // instance pairs unlikely to match", keeping pairs whose aggregated
 // similarity exceeds a dataset-specific threshold.
 //
-// Two candidate generators are provided: an exhaustive cross product for
-// small tables, and a token-index generator (pairs sharing at least k tokens
-// of a key attribute) for larger ones. A sorted-neighbourhood generator is
-// included for completeness.
+// The subsystem is built for throughput: NewScorer interns every token into
+// a shared dictionary and preprocesses each record once — sorted token-id
+// sets for linear-merge Jaccard, term-frequency vectors with precomputed
+// norms for Cosine, rune slices for the edit-distance measures — so scoring
+// a pair allocates nothing and never re-tokenizes. Generate fans candidate
+// generation out over internal/parallel with a deterministic order-stable
+// merge: the same pairs with the same similarity bits come back at any
+// worker count. Three strategies are provided: an exhaustive cross product,
+// an inverted-index token join with size and prefix filtering (the scalable
+// path), and a classical sorted-neighborhood pass.
 package blocking
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 
 	"humo/internal/records"
 	"humo/internal/similarity"
@@ -27,7 +34,7 @@ type Kind int
 
 // Supported attribute similarity kinds.
 const (
-	KindJaccard Kind = iota // token-set Jaccard (pre-tokenized, fast path)
+	KindJaccard Kind = iota // token-set Jaccard (interned, linear-merge fast path)
 	KindJaroWinkler
 	KindLevenshtein
 	KindCosine
@@ -48,6 +55,22 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind parses a similarity kind name, the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "jaccard":
+		return KindJaccard, nil
+	case "jarowinkler":
+		return KindJaroWinkler, nil
+	case "levenshtein":
+		return KindLevenshtein, nil
+	case "cosine":
+		return KindCosine, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown similarity kind %q (want jaccard, jarowinkler, levenshtein or cosine)", ErrBadSpec, s)
+	}
+}
+
 // AttributeSpec maps one attribute of both tables to a similarity measure
 // and an aggregation weight.
 type AttributeSpec struct {
@@ -63,21 +86,33 @@ type Pair struct {
 	Sim  float64 // aggregated weighted similarity
 }
 
+// colRep holds the preprocessed representation of one table column under
+// one spec: exactly one of the fields is populated, per the spec's kind.
+type colRep struct {
+	tokens [][]int32          // KindJaccard: sorted distinct token ids per record
+	tf     []similarity.TFVec // KindCosine: term-frequency vector per record
+	runes  [][]rune           // KindJaroWinkler, KindLevenshtein: decoded runes
+}
+
 // Scorer computes aggregated similarities between records of two fixed
-// tables. Token sets of Jaccard attributes are precomputed once so scoring
-// millions of candidates stays cheap.
+// tables. Every record is preprocessed once at construction — tokens
+// interned into a shared dictionary, rune decoding done, norms precomputed
+// — so the per-pair hot path is allocation-free (give each goroutine its
+// own Scratch) and scoring millions of candidates stays cheap.
 type Scorer struct {
 	ta, tb  *records.Table
 	specs   []AttributeSpec
 	weights []float64 // normalized
 	colA    []int     // attribute index in table A per spec
 	colB    []int
-	tokA    []map[int]map[string]struct{} // per spec (Jaccard/Cosine): record -> token set
-	tokB    []map[int]map[string]struct{}
+	dict    *similarity.Interner
+	repA    []colRep // per spec
+	repB    []colRep
 }
 
-// NewScorer validates the specs against both tables and precomputes token
-// sets. Weights must be non-negative with positive sum; they are normalized.
+// NewScorer validates the specs against both tables and preprocesses every
+// record. Weights must be non-negative with positive sum; they are
+// normalized.
 func NewScorer(ta, tb *records.Table, specs []AttributeSpec) (*Scorer, error) {
 	if err := ta.Validate(); err != nil {
 		return nil, err
@@ -93,8 +128,9 @@ func NewScorer(ta, tb *records.Table, specs []AttributeSpec) (*Scorer, error) {
 		weights: make([]float64, len(specs)),
 		colA:    make([]int, len(specs)),
 		colB:    make([]int, len(specs)),
-		tokA:    make([]map[int]map[string]struct{}, len(specs)),
-		tokB:    make([]map[int]map[string]struct{}, len(specs)),
+		dict:    similarity.NewInterner(),
+		repA:    make([]colRep, len(specs)),
+		repB:    make([]colRep, len(specs)),
 	}
 	var sum float64
 	for i, spec := range specs {
@@ -115,194 +151,131 @@ func NewScorer(ta, tb *records.Table, specs []AttributeSpec) (*Scorer, error) {
 	}
 	for i, spec := range specs {
 		s.weights[i] = spec.Weight / sum
-		if spec.Kind == KindJaccard {
-			s.tokA[i] = tokenizeColumn(ta, s.colA[i])
-			s.tokB[i] = tokenizeColumn(tb, s.colB[i])
-		}
+		s.repA[i] = s.buildRep(ta, s.colA[i], spec.Kind)
+		s.repB[i] = s.buildRep(tb, s.colB[i], spec.Kind)
 	}
 	return s, nil
 }
 
-func tokenizeColumn(t *records.Table, col int) map[int]map[string]struct{} {
-	out := make(map[int]map[string]struct{}, len(t.Records))
-	for i, r := range t.Records {
-		out[i] = similarity.TokenSet(r.Values[col])
+func (s *Scorer) buildRep(t *records.Table, col int, kind Kind) colRep {
+	var rep colRep
+	switch kind {
+	case KindJaccard:
+		rep.tokens = make([][]int32, len(t.Records))
+		for i, r := range t.Records {
+			rep.tokens[i] = s.dict.InternTokens(r.Values[col])
+		}
+	case KindCosine:
+		rep.tf = make([]similarity.TFVec, len(t.Records))
+		for i, r := range t.Records {
+			rep.tf[i] = s.dict.InternTermFreq(r.Values[col])
+		}
+	case KindJaroWinkler, KindLevenshtein:
+		rep.runes = make([][]rune, len(t.Records))
+		for i, r := range t.Records {
+			rep.runes[i] = []rune(r.Values[col])
+		}
 	}
-	return out
+	return rep
 }
 
 // Tables returns the scored tables.
 func (s *Scorer) Tables() (a, b *records.Table) { return s.ta, s.tb }
 
+// Dict returns the shared token dictionary the scorer interned both tables
+// into.
+func (s *Scorer) Dict() *similarity.Interner { return s.dict }
+
+// Scratch holds the per-goroutine reusable buffers of the scoring hot path
+// (Levenshtein DP rows, Jaro matched flags). A Scratch must not be shared
+// across goroutines; hand each worker its own via NewScratch.
+type Scratch struct {
+	prev, cur []int
+	jaro      similarity.JaroScratch
+}
+
+// NewScratch returns scoring scratch space for one goroutine.
+func (s *Scorer) NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the scratch-less convenience methods Score and
+// Features, so casual callers stay allocation-light without threading a
+// Scratch through.
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
 // Score returns the aggregated weighted similarity of record i of table A
-// against record j of table B.
+// against record j of table B. Safe for concurrent use.
 func (s *Scorer) Score(i, j int) float64 {
+	sc := scratchPool.Get().(*Scratch)
+	sim := s.ScoreWith(sc, i, j)
+	scratchPool.Put(sc)
+	return sim
+}
+
+// ScoreWith is Score with caller-owned scratch: the allocation-free form
+// for tight loops. The scratch must be exclusive to the calling goroutine.
+func (s *Scorer) ScoreWith(sc *Scratch, i, j int) float64 {
 	var sum float64
 	for k := range s.specs {
-		sum += s.weights[k] * s.attrSim(k, i, j)
+		sum += s.weights[k] * s.attrSim(sc, k, i, j)
 	}
 	return sum
 }
 
 // Features returns the per-attribute similarity vector, the SVM feature
-// representation of the pair.
+// representation of the pair. Safe for concurrent use.
 func (s *Scorer) Features(i, j int) []float64 {
 	out := make([]float64, len(s.specs))
+	sc := scratchPool.Get().(*Scratch)
 	for k := range s.specs {
-		out[k] = s.attrSim(k, i, j)
+		out[k] = s.attrSim(sc, k, i, j)
 	}
+	scratchPool.Put(sc)
 	return out
 }
 
-func (s *Scorer) attrSim(k, i, j int) float64 {
+func (s *Scorer) attrSim(sc *Scratch, k, i, j int) float64 {
 	switch s.specs[k].Kind {
 	case KindJaccard:
-		return similarity.JaccardSets(s.tokA[k][i], s.tokB[k][j])
+		return similarity.JaccardIDs(s.repA[k].tokens[i], s.repB[k].tokens[j])
 	case KindJaroWinkler:
-		return similarity.JaroWinkler(s.ta.Records[i].Values[s.colA[k]], s.tb.Records[j].Values[s.colB[k]])
+		return similarity.JaroWinklerRunes(s.repA[k].runes[i], s.repB[k].runes[j], &sc.jaro)
 	case KindLevenshtein:
-		return similarity.LevenshteinSim(s.ta.Records[i].Values[s.colA[k]], s.tb.Records[j].Values[s.colB[k]])
+		sim, prev, cur := similarity.LevenshteinSimRunes(s.repA[k].runes[i], s.repB[k].runes[j], sc.prev, sc.cur)
+		sc.prev, sc.cur = prev, cur
+		return sim
 	case KindCosine:
-		return similarity.Cosine(s.ta.Records[i].Values[s.colA[k]], s.tb.Records[j].Values[s.colB[k]])
+		return similarity.CosineTF(s.repA[k].tf[i], s.repB[k].tf[j])
 	default:
 		panic(fmt.Sprintf("blocking: unknown kind %v", s.specs[k].Kind))
 	}
 }
 
 // CrossProduct scores every record pair and keeps those with aggregated
-// similarity >= threshold. Suitable for tables up to a few thousand records
-// each.
+// similarity >= threshold. Equivalent to Generate with ModeCross; kept as
+// the simple sequential-looking entry point (it shards internally).
 func CrossProduct(s *Scorer, threshold float64) []Pair {
-	var out []Pair
-	for i := range s.ta.Records {
-		for j := range s.tb.Records {
-			if sim := s.Score(i, j); sim >= threshold {
-				out = append(out, Pair{A: i, B: j, Sim: sim})
-			}
-		}
-	}
-	return out
+	pairs, _ := Generate(context.Background(), s, Options{Mode: ModeCross, Threshold: threshold})
+	return pairs
 }
 
 // TokenBlocked generates candidates via an inverted token index on the named
 // attribute: pairs sharing at least minShared tokens are scored, and those
 // at or above the similarity threshold are kept. It never produces
-// duplicates.
+// duplicates. Equivalent to Generate with ModeToken.
 func TokenBlocked(s *Scorer, attribute string, minShared int, threshold float64) ([]Pair, error) {
-	if minShared < 1 {
-		return nil, fmt.Errorf("%w: minShared=%d must be >= 1", ErrBadSpec, minShared)
-	}
-	colA, err := s.ta.AttributeIndex(attribute)
-	if err != nil {
-		return nil, err
-	}
-	colB, err := s.tb.AttributeIndex(attribute)
-	if err != nil {
-		return nil, err
-	}
-	// Inverted index over table B tokens.
-	index := make(map[string][]int)
-	for j, r := range s.tb.Records {
-		for tok := range similarity.TokenSet(r.Values[colB]) {
-			index[tok] = append(index[tok], j)
-		}
-	}
-	var out []Pair
-	shared := make(map[int]int)
-	for i, r := range s.ta.Records {
-		clear(shared)
-		for tok := range similarity.TokenSet(r.Values[colA]) {
-			for _, j := range index[tok] {
-				shared[j]++
-			}
-		}
-		for j, cnt := range shared {
-			if cnt < minShared {
-				continue
-			}
-			if sim := s.Score(i, j); sim >= threshold {
-				out = append(out, Pair{A: i, B: j, Sim: sim})
-			}
-		}
-	}
-	sort.Slice(out, func(x, y int) bool {
-		if out[x].A != out[y].A {
-			return out[x].A < out[y].A
-		}
-		return out[x].B < out[y].B
+	return Generate(context.Background(), s, Options{
+		Mode: ModeToken, Attribute: attribute, MinShared: minShared, Threshold: threshold,
 	})
-	return out, nil
 }
 
 // SortedNeighborhood slides a window of the given size over the union of
 // both tables sorted by the named attribute and scores pairs that fall into
-// a common window, keeping those at or above the threshold. A classical
-// alternative to token blocking, provided for workloads with sortable keys.
+// a common window, keeping those at or above the threshold. Equivalent to
+// Generate with ModeSorted.
 func SortedNeighborhood(s *Scorer, attribute string, window int, threshold float64) ([]Pair, error) {
-	if window < 2 {
-		return nil, fmt.Errorf("%w: window=%d must be >= 2", ErrBadSpec, window)
-	}
-	colA, err := s.ta.AttributeIndex(attribute)
-	if err != nil {
-		return nil, err
-	}
-	colB, err := s.tb.AttributeIndex(attribute)
-	if err != nil {
-		return nil, err
-	}
-	type entry struct {
-		key   string
-		table int // 0 = A, 1 = B
-		idx   int
-	}
-	entries := make([]entry, 0, len(s.ta.Records)+len(s.tb.Records))
-	for i, r := range s.ta.Records {
-		entries = append(entries, entry{key: r.Values[colA], table: 0, idx: i})
-	}
-	for j, r := range s.tb.Records {
-		entries = append(entries, entry{key: r.Values[colB], table: 1, idx: j})
-	}
-	sort.Slice(entries, func(x, y int) bool {
-		if entries[x].key != entries[y].key {
-			return entries[x].key < entries[y].key
-		}
-		if entries[x].table != entries[y].table {
-			return entries[x].table < entries[y].table
-		}
-		return entries[x].idx < entries[y].idx
+	return Generate(context.Background(), s, Options{
+		Mode: ModeSorted, Attribute: attribute, Window: window, Threshold: threshold,
 	})
-	seen := make(map[[2]int]struct{})
-	var out []Pair
-	for x := range entries {
-		hi := x + window
-		if hi > len(entries) {
-			hi = len(entries)
-		}
-		for y := x + 1; y < hi; y++ {
-			a, b := entries[x], entries[y]
-			if a.table == b.table {
-				continue
-			}
-			if a.table == 1 {
-				a, b = b, a
-			}
-			key := [2]int{a.idx, b.idx}
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-			if sim := s.Score(a.idx, b.idx); sim >= threshold {
-				out = append(out, Pair{A: a.idx, B: b.idx, Sim: sim})
-			}
-		}
-	}
-	sort.Slice(out, func(x, y int) bool {
-		if out[x].A != out[y].A {
-			return out[x].A < out[y].A
-		}
-		return out[x].B < out[y].B
-	})
-	return out, nil
 }
 
 // DistinctValueSpecs fills in the Weight of each spec from the number of

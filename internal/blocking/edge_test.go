@@ -1,0 +1,196 @@
+package blocking
+
+import (
+	"errors"
+	"testing"
+
+	"humo/internal/records"
+)
+
+// Edge cases of candidate generation, each asserted identically against the
+// seed reference implementation (reference_test.go) and the rebuilt path.
+
+func emptyTable(name string) *records.Table {
+	return &records.Table{Name: name, Attributes: []string{"name", "description", "brand"}}
+}
+
+func oneRecordTable(name, title string) *records.Table {
+	return &records.Table{
+		Name:       name,
+		Attributes: []string{"name", "description", "brand"},
+		Records: []records.Record{
+			{ID: 0, EntityID: 0, Values: []string{title, title + " extra words", "acme"}},
+		},
+	}
+}
+
+// assertAllModesAgree runs every generator over the tables and holds new ==
+// reference for each.
+func assertAllModesAgree(t *testing.T, ta, tb *records.Table) {
+	t.Helper()
+	specs := synthSpecs()
+	s, err := NewScorer(ta, tb, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefScorer(t, ta, tb, specs)
+
+	requirePairsEqual(t, "cross", CrossProduct(s, 0.1), refCrossProduct(ref, 0.1))
+
+	got, err := TokenBlocked(s, "name", 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePairsEqual(t, "token", got, refTokenBlocked(t, ref, "name", 1, 0.1))
+
+	got, err = SortedNeighborhood(s, "name", 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePairsEqual(t, "sorted", got, refSortedNeighborhood(t, ref, "name", 4, 0.1))
+}
+
+func TestEdgeEmptyTables(t *testing.T) {
+	ta, _ := synthTables(5, 5, 10)
+	t.Run("both empty", func(t *testing.T) { assertAllModesAgree(t, emptyTable("a"), emptyTable("b")) })
+	t.Run("a empty", func(t *testing.T) { assertAllModesAgree(t, emptyTable("a"), ta) })
+	t.Run("b empty", func(t *testing.T) { assertAllModesAgree(t, ta, emptyTable("b")) })
+}
+
+func TestEdgeSingleRecordTables(t *testing.T) {
+	t.Run("identical", func(t *testing.T) {
+		assertAllModesAgree(t, oneRecordTable("a", "acme turbo widget"), oneRecordTable("b", "acme turbo widget"))
+	})
+	t.Run("disjoint", func(t *testing.T) {
+		assertAllModesAgree(t, oneRecordTable("a", "acme turbo widget"), oneRecordTable("b", "globex quiet gadget"))
+	})
+	t.Run("one against many", func(t *testing.T) {
+		_, tb := synthTables(5, 20, 11)
+		assertAllModesAgree(t, oneRecordTable("a", "acme turbo widget"), tb)
+	})
+}
+
+// TestEdgeAttributeMissingFromOneTable: schemas that disagree fail scorer
+// construction, and blocking on an attribute absent from one table fails
+// generation with the table's error — identically on old and new paths.
+func TestEdgeAttributeMissingFromOneTable(t *testing.T) {
+	ta := &records.Table{
+		Name:       "a",
+		Attributes: []string{"name", "description", "brand"},
+		Records:    []records.Record{{ID: 0, Values: []string{"x y", "x y z", "x"}}},
+	}
+	tbNoBrand := &records.Table{
+		Name:       "b",
+		Attributes: []string{"name", "description"},
+		Records:    []records.Record{{ID: 0, Values: []string{"x y", "x y w"}}},
+	}
+	if _, err := NewScorer(ta, tbNoBrand, synthSpecs()); !errors.Is(err, records.ErrBadTable) {
+		t.Fatalf("scorer over mismatched schemas: err = %v, want ErrBadTable", err)
+	}
+	// A scorer over the shared attributes builds, but blocking on the
+	// missing attribute is refused.
+	shared := []AttributeSpec{
+		{Attribute: "name", Kind: KindJaccard, Weight: 1},
+		{Attribute: "description", Kind: KindCosine, Weight: 1},
+	}
+	s, err := NewScorer(ta, tbNoBrand, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TokenBlocked(s, "brand", 1, 0); !errors.Is(err, records.ErrBadTable) {
+		t.Errorf("token blocking on missing attribute: err = %v, want ErrBadTable", err)
+	}
+	if _, err := SortedNeighborhood(s, "brand", 3, 0); !errors.Is(err, records.ErrBadTable) {
+		t.Errorf("sorted blocking on missing attribute: err = %v, want ErrBadTable", err)
+	}
+}
+
+// TestEdgeWindowLargerThanTables: a sorted-neighborhood window wider than
+// the union of both tables degenerates to the full cross product.
+func TestEdgeWindowLargerThanTables(t *testing.T) {
+	ta, tb := synthTables(6, 7, 12)
+	specs := synthSpecs()
+	s, err := NewScorer(ta, tb, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefScorer(t, ta, tb, specs)
+	window := len(ta.Records) + len(tb.Records) + 5
+	got, err := SortedNeighborhood(s, "name", window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePairsEqual(t, "giant window vs ref", got, refSortedNeighborhood(t, ref, "name", window, 0))
+	requirePairsEqual(t, "giant window vs cross", got, refCrossProduct(ref, 0))
+}
+
+// TestEdgeThresholdBoundary: a pair whose similarity equals the threshold
+// exactly is kept (>=, not >) by every generator, old and new.
+func TestEdgeThresholdBoundary(t *testing.T) {
+	// Two single-attribute records with token sets {x,y,z} and {x,y,w}:
+	// Jaccard = 2/4 = 0.5 exactly in float64.
+	ta := &records.Table{
+		Name:       "a",
+		Attributes: []string{"name"},
+		Records: []records.Record{
+			{ID: 0, Values: []string{"x y z"}},
+			{ID: 1, Values: []string{"p q r"}},
+		},
+	}
+	tb := &records.Table{
+		Name:       "b",
+		Attributes: []string{"name"},
+		Records:    []records.Record{{ID: 0, Values: []string{"x y w"}}},
+	}
+	specs := []AttributeSpec{{Attribute: "name", Kind: KindJaccard, Weight: 1}}
+	s, err := NewScorer(ta, tb, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefScorer(t, ta, tb, specs)
+	if sim := s.Score(0, 0); sim != 0.5 {
+		t.Fatalf("boundary pair scores %v, want exactly 0.5", sim)
+	}
+
+	cross := CrossProduct(s, 0.5)
+	requirePairsEqual(t, "boundary cross", cross, refCrossProduct(ref, 0.5))
+	if len(cross) != 1 || cross[0] != (Pair{A: 0, B: 0, Sim: 0.5}) {
+		t.Fatalf("threshold-equal pair not kept: %+v", cross)
+	}
+
+	tok, err := TokenBlocked(s, "name", 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePairsEqual(t, "boundary token", tok, refTokenBlocked(t, ref, "name", 2, 0.5))
+	if len(tok) != 1 {
+		t.Fatalf("token blocking dropped the threshold-equal pair: %+v", tok)
+	}
+
+	// Nudging the threshold one ulp above 0.5 drops the pair.
+	above := CrossProduct(s, 0.5000000000000001)
+	if len(above) != 0 {
+		t.Fatalf("pair above threshold kept: %+v", above)
+	}
+}
+
+// TestEdgeMinSharedExceedsTokens: records with fewer tokens than MinShared
+// can never pair (the size filter), matching the reference.
+func TestEdgeMinSharedExceedsTokens(t *testing.T) {
+	ta := oneRecordTable("a", "only two")
+	tb := oneRecordTable("b", "only two")
+	specs := synthSpecs()
+	s, err := NewScorer(ta, tb, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefScorer(t, ta, tb, specs)
+	got, err := TokenBlocked(s, "name", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePairsEqual(t, "minShared > tokens", got, refTokenBlocked(t, ref, "name", 3, 0))
+	if len(got) != 0 {
+		t.Fatalf("pairs found despite minShared exceeding token counts: %+v", got)
+	}
+}

@@ -1,0 +1,359 @@
+package blocking
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"humo/internal/parallel"
+	"humo/internal/similarity"
+)
+
+// Mode selects a candidate-generation strategy.
+type Mode string
+
+// Candidate-generation strategies.
+const (
+	// ModeCross scores every record pair: O(|A|·|B|), exact, for small
+	// tables or as the equivalence reference.
+	ModeCross Mode = "cross"
+	// ModeToken joins the tables through an inverted token index on
+	// Options.Attribute with size and prefix filtering: only pairs that can
+	// share at least MinShared tokens are ever verified. The scalable path.
+	ModeToken Mode = "token"
+	// ModeSorted slides a window over the union of both tables sorted by
+	// Options.Attribute (classical sorted-neighborhood blocking).
+	ModeSorted Mode = "sorted"
+)
+
+// ParseMode parses a generation-strategy name.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeCross, ModeToken, ModeSorted:
+		return Mode(s), nil
+	default:
+		return "", fmt.Errorf("%w: unknown blocking mode %q (want cross, token or sorted)", ErrBadSpec, s)
+	}
+}
+
+// Options configures Generate.
+type Options struct {
+	// Mode selects the strategy (default ModeCross).
+	Mode Mode
+	// Attribute is the blocking key of ModeToken and ModeSorted.
+	Attribute string
+	// MinShared is ModeToken's minimum number of shared tokens (>= 1).
+	MinShared int
+	// Window is ModeSorted's window size (>= 2).
+	Window int
+	// Threshold keeps candidates with aggregated similarity >= Threshold.
+	Threshold float64
+	// Workers bounds the scoring fan-out (<= 0 selects GOMAXPROCS). The
+	// result is identical at any worker count.
+	Workers int
+}
+
+// Generate produces the scored candidate pairs of the scorer's two tables
+// under the given options, sorted by (A, B) with no duplicates.
+//
+// Determinism guarantee: for a fixed scorer and options, Generate returns
+// the same pairs with bit-identical similarities at any Workers value —
+// candidate shards cover contiguous record ranges and are merged in range
+// order, and every similarity is a pure function of the preprocessed
+// record representations. ctx cancels a long generation (the partial work
+// is discarded and ctx's error returned).
+//
+// Generate may be called from multiple goroutines only with options whose
+// blocking attribute is already covered by a Jaccard spec; otherwise it
+// extends the scorer's token dictionary first, which is a write.
+func Generate(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
+	if opt.Mode == "" {
+		opt.Mode = ModeCross
+	}
+	switch opt.Mode {
+	case ModeCross:
+		return generateCross(ctx, s, opt)
+	case ModeToken:
+		return generateToken(ctx, s, opt)
+	case ModeSorted:
+		return generateSorted(ctx, s, opt)
+	default:
+		return nil, fmt.Errorf("%w: unknown blocking mode %q (want cross, token or sorted)", ErrBadSpec, opt.Mode)
+	}
+}
+
+// chunkRanges splits [0, n) into at most chunks contiguous ranges of
+// near-equal size. Results depend only on n and chunks.
+func chunkRanges(n, chunks int) [][2]int {
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([][2]int, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// fanOut runs gen over contiguous record ranges on at most opt.Workers
+// goroutines and concatenates the per-range pair slices in range order —
+// the order-stable merge every generator shares. gen receives its own
+// scratch and must return pairs already ordered within its range.
+func fanOut(ctx context.Context, s *Scorer, workers, n int, gen func(sc *Scratch, lo, hi int) ([]Pair, error)) ([]Pair, error) {
+	workers = parallel.Workers(workers)
+	ranges := chunkRanges(n, workers*4)
+	shards, err := parallel.Map(workers, len(ranges), func(c int) ([]Pair, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc := s.NewScratch()
+		return gen(sc, ranges[c][0], ranges[c][1])
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	out := make([]Pair, 0, total)
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	return out, nil
+}
+
+// ctxStride bounds how many records a shard processes between context
+// checks.
+const ctxStride = 256
+
+func generateCross(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
+	nb := len(s.tb.Records)
+	return fanOut(ctx, s, opt.Workers, len(s.ta.Records), func(sc *Scratch, lo, hi int) ([]Pair, error) {
+		var out []Pair
+		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			for j := 0; j < nb; j++ {
+				if sim := s.ScoreWith(sc, i, j); sim >= opt.Threshold {
+					out = append(out, Pair{A: i, B: j, Sim: sim})
+				}
+			}
+		}
+		return out, nil
+	})
+}
+
+// blockTokens returns the sorted distinct token-id lists of the named
+// attribute for both tables, reusing the representations a Jaccard spec on
+// the same attribute already interned.
+func (s *Scorer) blockTokens(attribute string) (tokA, tokB [][]int32, err error) {
+	colA, err := s.ta.AttributeIndex(attribute)
+	if err != nil {
+		return nil, nil, err
+	}
+	colB, err := s.tb.AttributeIndex(attribute)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, spec := range s.specs {
+		if spec.Kind == KindJaccard && s.colA[k] == colA && s.colB[k] == colB {
+			return s.repA[k].tokens, s.repB[k].tokens, nil
+		}
+	}
+	tokA = make([][]int32, len(s.ta.Records))
+	for i, r := range s.ta.Records {
+		tokA[i] = s.dict.InternTokens(r.Values[colA])
+	}
+	tokB = make([][]int32, len(s.tb.Records))
+	for j, r := range s.tb.Records {
+		tokB[j] = s.dict.InternTokens(r.Values[colB])
+	}
+	return tokA, tokB, nil
+}
+
+// generateToken is the inverted-index join. For a shared-token requirement
+// of k, two classical filters prune the candidate space:
+//
+//   - size filter: a record with fewer than k tokens cannot reach overlap k
+//     and is dropped outright;
+//   - prefix filter: order every token list by ascending document frequency
+//     (rarest first, ties by token id). If |a ∩ b| >= k, the first
+//     |a|-k+1 tokens of a and the first |b|-k+1 tokens of b must share at
+//     least one token — so only the prefixes are indexed and probed, and
+//     the full (id-sorted) lists are linear-merged to verify the overlap
+//     of the survivors.
+func generateToken(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
+	if opt.MinShared < 1 {
+		return nil, fmt.Errorf("%w: minShared=%d must be >= 1", ErrBadSpec, opt.MinShared)
+	}
+	tokA, tokB, err := s.blockTokens(opt.Attribute)
+	if err != nil {
+		return nil, err
+	}
+	k := opt.MinShared
+
+	// Document frequency over both tables, on distinct tokens per record.
+	df := make([]int32, s.dict.Len())
+	for _, toks := range tokA {
+		for _, t := range toks {
+			df[t]++
+		}
+	}
+	for _, toks := range tokB {
+		for _, t := range toks {
+			df[t]++
+		}
+	}
+	rarerFirst := func(a, b int32) bool {
+		if df[a] != df[b] {
+			return df[a] < df[b]
+		}
+		return a < b
+	}
+	prefix := func(toks []int32) []int32 {
+		if len(toks) < k { // size filter
+			return nil
+		}
+		p := append([]int32(nil), toks...)
+		sort.Slice(p, func(x, y int) bool { return rarerFirst(p[x], p[y]) })
+		return p[:len(p)-k+1]
+	}
+	prefA := make([][]int32, len(tokA))
+	for i, toks := range tokA {
+		prefA[i] = prefix(toks)
+	}
+
+	// Inverted index over table B prefixes: postings are built in record
+	// order, so each list is ascending.
+	post := make([][]int32, s.dict.Len())
+	for j, toks := range tokB {
+		for _, t := range prefix(toks) {
+			post[t] = append(post[t], int32(j))
+		}
+	}
+
+	nb := len(s.tb.Records)
+	return fanOut(ctx, s, opt.Workers, len(s.ta.Records), func(sc *Scratch, lo, hi int) ([]Pair, error) {
+		seen := make([]bool, nb)
+		touched := make([]int32, 0, 64)
+		var out []Pair
+		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			touched = touched[:0]
+			for _, t := range prefA[i] {
+				for _, j := range post[t] {
+					if !seen[j] {
+						seen[j] = true
+						touched = append(touched, j)
+					}
+				}
+			}
+			sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+			for _, j := range touched {
+				seen[j] = false
+				if similarity.IntersectCount(tokA[i], tokB[j]) < k {
+					continue
+				}
+				if sim := s.ScoreWith(sc, i, int(j)); sim >= opt.Threshold {
+					out = append(out, Pair{A: i, B: int(j), Sim: sim})
+				}
+			}
+		}
+		return out, nil
+	})
+}
+
+func generateSorted(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
+	if opt.Window < 2 {
+		return nil, fmt.Errorf("%w: window=%d must be >= 2", ErrBadSpec, opt.Window)
+	}
+	colA, err := s.ta.AttributeIndex(opt.Attribute)
+	if err != nil {
+		return nil, err
+	}
+	colB, err := s.tb.AttributeIndex(opt.Attribute)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		key   string
+		table int // 0 = A, 1 = B
+		idx   int
+	}
+	entries := make([]entry, 0, len(s.ta.Records)+len(s.tb.Records))
+	for i, r := range s.ta.Records {
+		entries = append(entries, entry{key: r.Values[colA], table: 0, idx: i})
+	}
+	for j, r := range s.tb.Records {
+		entries = append(entries, entry{key: r.Values[colB], table: 1, idx: j})
+	}
+	sort.Slice(entries, func(x, y int) bool {
+		if entries[x].key != entries[y].key {
+			return entries[x].key < entries[y].key
+		}
+		if entries[x].table != entries[y].table {
+			return entries[x].table < entries[y].table
+		}
+		return entries[x].idx < entries[y].idx
+	})
+	// Enumerate the distinct cross-table pairs of common windows, then
+	// score the deduplicated list in parallel shards.
+	seen := make(map[[2]int]struct{})
+	var cands [][2]int
+	for x := range entries {
+		hi := x + opt.Window
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for y := x + 1; y < hi; y++ {
+			a, b := entries[x], entries[y]
+			if a.table == b.table {
+				continue
+			}
+			if a.table == 1 {
+				a, b = b, a
+			}
+			key := [2]int{a.idx, b.idx}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			cands = append(cands, key)
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		if cands[x][0] != cands[y][0] {
+			return cands[x][0] < cands[y][0]
+		}
+		return cands[x][1] < cands[y][1]
+	})
+	return fanOut(ctx, s, opt.Workers, len(cands), func(sc *Scratch, lo, hi int) ([]Pair, error) {
+		var out []Pair
+		for c := lo; c < hi; c++ {
+			if (c-lo)%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			a, b := cands[c][0], cands[c][1]
+			if sim := s.ScoreWith(sc, a, b); sim >= opt.Threshold {
+				out = append(out, Pair{A: a, B: b, Sim: sim})
+			}
+		}
+		return out, nil
+	})
+}

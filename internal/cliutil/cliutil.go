@@ -4,7 +4,12 @@
 // search (possibly after minutes of blocking and scoring).
 package cliutil
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"humo/internal/blocking"
+)
 
 // ValidateRequirement checks the quality-requirement flags: -alpha and
 // -beta must lie in (0,1], -theta in (0,1). The messages name the flag the
@@ -41,4 +46,24 @@ func ValidateNonNegative(flag string, v int) error {
 		return fmt.Errorf("%s %d out of range: must be >= 0", flag, v)
 	}
 	return nil
+}
+
+// ParseAttributeSpecs parses the -spec flag shared by humo and humogen:
+// comma-separated name:kind entries, where kind is one of jaccard,
+// jarowinkler, levenshtein or cosine. Weights are left zero, selecting the
+// distinct-value weighting rule downstream.
+func ParseAttributeSpecs(s string) ([]blocking.AttributeSpec, error) {
+	var out []blocking.AttributeSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 2 || fields[0] == "" {
+			return nil, fmt.Errorf("bad spec %q (want name:kind)", part)
+		}
+		kind, err := blocking.ParseKind(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("spec %q: unknown similarity kind %q", part, fields[1])
+		}
+		out = append(out, blocking.AttributeSpec{Attribute: fields[0], Kind: kind})
+	}
+	return out, nil
 }

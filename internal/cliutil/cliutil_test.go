@@ -3,6 +3,8 @@ package cliutil
 import (
 	"strings"
 	"testing"
+
+	"humo/internal/blocking"
 )
 
 func TestValidateRequirement(t *testing.T) {
@@ -57,5 +59,34 @@ func TestValidateNonNegative(t *testing.T) {
 		t.Error("-1 accepted")
 	} else if !strings.Contains(err.Error(), "-runs") {
 		t.Errorf("message %q does not name the flag", err)
+	}
+}
+
+func TestParseAttributeSpecs(t *testing.T) {
+	specs, err := ParseAttributeSpecs("title:jaccard, authors:cosine,venue:jarowinkler,isbn:levenshtein")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("%d specs, want 4", len(specs))
+	}
+	want := []struct {
+		attr string
+		kind blocking.Kind
+	}{
+		{"title", blocking.KindJaccard},
+		{"authors", blocking.KindCosine},
+		{"venue", blocking.KindJaroWinkler},
+		{"isbn", blocking.KindLevenshtein},
+	}
+	for i, w := range want {
+		if specs[i].Attribute != w.attr || specs[i].Kind != w.kind || specs[i].Weight != 0 {
+			t.Errorf("spec %d = %+v, want %s:%v weight 0", i, specs[i], w.attr, w.kind)
+		}
+	}
+	for _, bad := range []string{"", "title", "title:nope", ":jaccard", "a:jaccard,"} {
+		if _, err := ParseAttributeSpecs(bad); err == nil {
+			t.Errorf("ParseAttributeSpecs(%q) succeeded, want error", bad)
+		}
 	}
 }

@@ -262,6 +262,77 @@ func WritePairs(w io.Writer, pairs []core.Pair) error {
 	return cw.Error()
 }
 
+// WriteCandidates writes scored candidate pairs as CSV
+// (`pair_id,record_a,record_b,similarity`): the full output of candidate
+// generation, with record positions preserved so a resolution run can show
+// both records of a pair without regenerating candidates. Similarities are
+// formatted to round-trip bit-exactly.
+func WriteCandidates(w io.Writer, cands []blocking.Pair) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair_id", "record_a", "record_b", "similarity"}); err != nil {
+		return err
+	}
+	for i, c := range cands {
+		if err := cw.Write([]string{
+			strconv.Itoa(i),
+			strconv.Itoa(c.A),
+			strconv.Itoa(c.B),
+			strconv.FormatFloat(c.Sim, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCandidates parses a candidates CSV, the inverse of WriteCandidates.
+// Pair ids are positional (candidate i has id i); a file whose pair_id
+// column disagrees with row positions is refused, because label files and
+// checkpoints key on those positions.
+func ReadCandidates(r io.Reader) ([]blocking.Pair, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if len(header) < 4 || header[0] != "pair_id" {
+		return nil, fmt.Errorf("%w: candidates header needs pair_id,record_a,record_b,similarity (got %v)", ErrBadFormat, header)
+	}
+	var out []blocking.Pair
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		if len(row) < 4 {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want >= 4", ErrBadFormat, i+2, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil || id != i {
+			return nil, fmt.Errorf("%w: row %d: pair id %q, want positional id %d", ErrBadFormat, i+2, row[0], i)
+		}
+		a, err := strconv.Atoi(row[1])
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("%w: row %d: record_a %q", ErrBadFormat, i+2, row[1])
+		}
+		b, err := strconv.Atoi(row[2])
+		if err != nil || b < 0 {
+			return nil, fmt.Errorf("%w: row %d: record_b %q", ErrBadFormat, i+2, row[2])
+		}
+		sim, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: similarity %q", ErrBadFormat, i+2, row[3])
+		}
+		out = append(out, blocking.Pair{A: a, B: b, Sim: sim})
+	}
+	return out, nil
+}
+
 // WritePending writes the review queue for the human: one row per pair that
 // needs a label, with both records' attribute values side by side so the
 // reviewer can decide without opening the source tables.

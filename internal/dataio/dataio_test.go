@@ -195,3 +195,42 @@ func TestReadPairsErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestCandidatesRoundTrip(t *testing.T) {
+	cands := []blocking.Pair{
+		{A: 0, B: 4, Sim: 0.123456789012345},
+		{A: 2, B: 1, Sim: 1.0 / 3.0},
+		{A: 7, B: 7, Sim: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteCandidates(&buf, cands); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCandidates(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cands) {
+		t.Fatalf("%d candidates, want %d", len(got), len(cands))
+	}
+	for i := range got {
+		if got[i] != cands[i] {
+			t.Errorf("candidate %d = %+v, want %+v (similarity must round-trip bit-exactly)", i, got[i], cands[i])
+		}
+	}
+}
+
+func TestReadCandidatesErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":        "a,b,c,d\n0,0,0,0.5\n",
+		"non-positional id": "pair_id,record_a,record_b,similarity\n1,0,0,0.5\n",
+		"negative record":   "pair_id,record_a,record_b,similarity\n0,-1,0,0.5\n",
+		"bad similarity":    "pair_id,record_a,record_b,similarity\n0,0,0,huh\n",
+		"short row":         "pair_id,record_a,record_b,similarity\n0,0\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCandidates(strings.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}

@@ -34,10 +34,11 @@ const maxBodyBytes = 64 << 20
 //	POST   /v1/sessions/{id}/answers  submit (partial) answers
 //	GET    /v1/sessions/{id}/labels   long-poll answered labels (?ids=1,2&wait=30s)
 //	DELETE /v1/sessions/{id}          cancel the session and drop its journal
+//	POST   /v1/workloads              build a workload server-side (WorkloadRequest body)
 //
 // Errors are JSON {"error": "..."} with 400 for malformed requests, 404 for
 // unknown sessions, 409 for conflicts (duplicate id, session cap, answers
-// after termination), and 500 otherwise.
+// after termination, existing workload file), and 500 otherwise.
 func NewHandler(m *Manager) http.Handler {
 	h := &handler{m: m}
 	mux := http.NewServeMux()
@@ -48,6 +49,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/answers", h.answers)
 	mux.HandleFunc("GET /v1/sessions/{id}/labels", h.labels)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", h.delete)
+	mux.HandleFunc("POST /v1/workloads", h.createWorkload)
 	return mux
 }
 
@@ -74,7 +76,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrSessionNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrTooManySessions), errors.Is(err, humo.ErrSessionDone):
+	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrTooManySessions),
+		errors.Is(err, ErrWorkloadExists), errors.Is(err, humo.ErrSessionDone):
 		status = http.StatusConflict
 	}
 	writeJSONResponse(w, status, errorBody{Error: err.Error()})
@@ -284,6 +287,28 @@ func (h *handler) labels(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSONResponse(w, http.StatusOK, body)
+}
+
+// createWorkload runs candidate generation server-side: the uploaded
+// tables are blocked, scored and persisted under the data directory, and
+// the response names the workload_file sessions can reference.
+func (h *handler) createWorkload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		return
+	}
+	req, err := DecodeWorkloadRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := h.m.BuildWorkload(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONResponse(w, http.StatusCreated, info)
 }
 
 func (h *handler) delete(w http.ResponseWriter, r *http.Request) {

@@ -53,8 +53,9 @@ type Manager struct {
 	dataDir  string
 	max      int
 
-	mu       sync.Mutex
-	sessions map[string]*ManagedSession // reserved ids map to nil while a Create is in flight
+	mu        sync.Mutex
+	sessions  map[string]*ManagedSession // reserved ids map to nil while a Create is in flight
+	workloads map[string]struct{}        // workload names with a build in flight (BuildWorkload)
 }
 
 // Open creates the state directory if needed, recovers every session
@@ -69,10 +70,11 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("serve: creating state dir: %w", err)
 	}
 	m := &Manager{
-		stateDir: cfg.StateDir,
-		dataDir:  cfg.DataDir,
-		max:      cfg.MaxSessions,
-		sessions: make(map[string]*ManagedSession),
+		stateDir:  cfg.StateDir,
+		dataDir:   cfg.DataDir,
+		max:       cfg.MaxSessions,
+		sessions:  make(map[string]*ManagedSession),
+		workloads: make(map[string]struct{}),
 	}
 	if m.dataDir == "" {
 		m.dataDir = "."

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"humo"
+	"humo/internal/dataio"
+	"humo/internal/records"
+)
+
+// ErrWorkloadExists reports a workload build with a name already on disk
+// (409).
+var ErrWorkloadExists = errors.New("serve: workload file already exists")
+
+// TableSpec is one inline record table of a workload-build request.
+type TableSpec struct {
+	// Attributes is the schema; every row must have one value per
+	// attribute.
+	Attributes []string   `json:"attributes"`
+	Rows       [][]string `json:"rows"`
+}
+
+// table materializes the spec as a record table (ids are row positions;
+// entity ids are unknown for uploaded data and never read server-side).
+func (ts TableSpec) table(name string) (*records.Table, error) {
+	t := &records.Table{Name: name, Attributes: append([]string(nil), ts.Attributes...)}
+	for i, row := range ts.Rows {
+		t.Records = append(t.Records, records.Record{
+			ID:       i,
+			EntityID: i,
+			Values:   append([]string(nil), row...),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: table %s: %v", ErrBadSpec, name, err)
+	}
+	return t, nil
+}
+
+// WorkloadAttr is one attribute spec of a workload-build request.
+type WorkloadAttr struct {
+	Attribute string  `json:"attribute"`
+	Kind      string  `json:"kind"`
+	Weight    float64 `json:"weight,omitempty"`
+}
+
+// WorkloadRequest is the body of POST /v1/workloads: two inline tables plus
+// the candidate-generation configuration. The built workload is persisted
+// under the manager's data directory as <name>.csv (with a <name>.csv.fp
+// fingerprint sidecar), so sessions can reference it via
+// Spec.WorkloadFile = "<name>.csv".
+type WorkloadRequest struct {
+	Name           string         `json:"name"`
+	TableA         TableSpec      `json:"table_a"`
+	TableB         TableSpec      `json:"table_b"`
+	Specs          []WorkloadAttr `json:"specs"`
+	Block          string         `json:"block,omitempty"`
+	BlockAttribute string         `json:"block_attribute,omitempty"`
+	MinShared      int            `json:"min_shared,omitempty"`
+	Window         int            `json:"window,omitempty"`
+	Threshold      float64        `json:"threshold,omitempty"`
+	Workers        int            `json:"workers,omitempty"`
+}
+
+// WorkloadInfo is the response of a successful workload build.
+type WorkloadInfo struct {
+	Name string `json:"name"`
+	// File is the workload_file value sessions pass to use this workload.
+	File        string `json:"file"`
+	Pairs       int    `json:"pairs"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// DecodeWorkloadRequest parses and statically validates a POST
+// /v1/workloads body.
+func DecodeWorkloadRequest(data []byte) (WorkloadRequest, error) {
+	var req WorkloadRequest
+	if err := unmarshalJSONStrict(data, &req); err != nil {
+		return WorkloadRequest{}, fmt.Errorf("%w: decoding request: %v", ErrBadSpec, err)
+	}
+	if !idPattern.MatchString(req.Name) {
+		return WorkloadRequest{}, fmt.Errorf("%w: workload name %q (want 1-64 chars of [a-zA-Z0-9._-], starting alphanumeric)", ErrBadSpec, req.Name)
+	}
+	if len(req.Specs) == 0 {
+		return WorkloadRequest{}, fmt.Errorf("%w: specs are required", ErrBadSpec)
+	}
+	for _, sp := range req.Specs {
+		if _, err := humo.ParseSimilarityKind(sp.Kind); err != nil {
+			return WorkloadRequest{}, fmt.Errorf("%w: attribute %q: %v", ErrBadSpec, sp.Attribute, err)
+		}
+		if sp.Weight < 0 {
+			return WorkloadRequest{}, fmt.Errorf("%w: attribute %q has negative weight", ErrBadSpec, sp.Attribute)
+		}
+	}
+	if req.Block != "" {
+		if _, err := humo.ParseBlockingMode(req.Block); err != nil {
+			return WorkloadRequest{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	if req.Threshold < 0 || req.Threshold >= 1 {
+		return WorkloadRequest{}, fmt.Errorf("%w: threshold %v must be in [0,1)", ErrBadSpec, req.Threshold)
+	}
+	if req.MinShared < 0 || req.Window < 0 {
+		return WorkloadRequest{}, fmt.Errorf("%w: min_shared and window must be >= 0", ErrBadSpec)
+	}
+	return req, nil
+}
+
+// reserveWorkload atomically claims a workload name: it fails if a build
+// of the same name is in flight or its file already exists.
+func (m *Manager) reserveWorkload(name, path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, busy := m.workloads[name]; busy {
+		return fmt.Errorf("%w: %s (build in progress)", ErrWorkloadExists, name)
+	}
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("%w: %s", ErrWorkloadExists, filepath.Base(path))
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	m.workloads[name] = struct{}{}
+	return nil
+}
+
+func (m *Manager) releaseWorkload(name string) {
+	m.mu.Lock()
+	delete(m.workloads, name)
+	m.mu.Unlock()
+}
+
+// BuildWorkload runs candidate generation server-side and persists the
+// resulting workload under the data directory. The write is atomic and the
+// fingerprint sidecar lands before the workload file, so a file that
+// exists is always complete and attributable.
+func (m *Manager) BuildWorkload(ctx context.Context, req WorkloadRequest) (WorkloadInfo, error) {
+	ta, err := req.TableA.table("a")
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	tb, err := req.TableB.table("b")
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	specs := make([]humo.AttributeSpec, len(req.Specs))
+	for i, sp := range req.Specs {
+		kind, err := humo.ParseSimilarityKind(sp.Kind)
+		if err != nil {
+			return WorkloadInfo{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		specs[i] = humo.AttributeSpec{Attribute: sp.Attribute, Kind: kind, Weight: sp.Weight}
+	}
+	file := req.Name + ".csv"
+	path := filepath.Join(m.dataDir, file)
+	// Reserve the name before the (possibly long) generation: the
+	// existence check and the in-flight set are consulted under the
+	// manager mutex, so two concurrent builds of the same name cannot both
+	// pass the 409 guard, and the mutex is not held while generating.
+	if err := m.reserveWorkload(req.Name, path); err != nil {
+		return WorkloadInfo{}, err
+	}
+	defer m.releaseWorkload(req.Name)
+	// Clamp the client-supplied worker count to the server's cores: the
+	// output is identical at any worker count (the determinism contract),
+	// so the clamp only bounds resource use — without it a request could
+	// demand one goroutine per uploaded record.
+	workers := req.Workers
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g, err := humo.GenerateWorkload(ctx, ta, tb, humo.GenConfig{
+		Specs:          specs,
+		Block:          humo.BlockingMode(req.Block),
+		BlockAttribute: req.BlockAttribute,
+		MinShared:      req.MinShared,
+		Window:         req.Window,
+		Threshold:      req.Threshold,
+		Workers:        workers,
+	})
+	if err != nil {
+		// Generation is pure computation over the request: every failure
+		// (bad specs, unknown attributes, empty result, client-canceled
+		// context) is input-derived, a 400.
+		return WorkloadInfo{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if err := dataio.WriteFileAtomic(path+".fp", func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, g.Fingerprint)
+		return err
+	}); err != nil {
+		return WorkloadInfo{}, err
+	}
+	if err := dataio.WriteFileAtomic(path, func(w io.Writer) error {
+		return dataio.WritePairs(w, g.CorePairs())
+	}); err != nil {
+		return WorkloadInfo{}, err
+	}
+	return WorkloadInfo{
+		Name:        req.Name,
+		File:        file,
+		Pairs:       len(g.Candidates),
+		Fingerprint: g.Fingerprint,
+	}, nil
+}

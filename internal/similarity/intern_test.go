@@ -1,0 +1,240 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestInternerBasics(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Fatal("distinct tokens share an id")
+	}
+	if got := in.Intern("alpha"); got != a {
+		t.Fatalf("re-interning alpha gave %d, want %d", got, a)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if in.Token(a) != "alpha" || in.Token(b) != "beta" {
+		t.Error("Token does not invert Intern")
+	}
+	if id, ok := in.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Error("Lookup of unseen token succeeded")
+	}
+}
+
+func TestInternTokensMatchesTokenSet(t *testing.T) {
+	in := NewInterner()
+	for _, s := range []string{
+		"", "one", "one one one", "The Quick  brown-fox", "a b c a b c",
+		"Müller Straße 42", "東京 大学 2024", "naïve café naïve",
+	} {
+		ids := in.InternTokens(s)
+		// Sorted, distinct.
+		if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+			t.Errorf("%q: ids not sorted: %v", s, ids)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] == ids[i-1] {
+				t.Errorf("%q: duplicate id %d", s, ids[i])
+			}
+		}
+		// Same token set as the map form.
+		want := TokenSet(s)
+		if len(ids) != len(want) {
+			t.Fatalf("%q: %d ids, want %d tokens", s, len(ids), len(want))
+		}
+		for _, id := range ids {
+			if _, ok := want[in.Token(id)]; !ok {
+				t.Errorf("%q: id %d = %q not in TokenSet", s, id, in.Token(id))
+			}
+		}
+	}
+}
+
+// TestJaccardIDsBitIdentical holds the interned Jaccard to the map-based
+// one, bit for bit, over random token multisets.
+func TestJaccardIDsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := NewInterner()
+	randText := func() string {
+		n := rng.Intn(10)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = fmt.Sprintf("w%d", rng.Intn(12))
+		}
+		return strings.Join(words, " ")
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randText(), randText()
+		want := JaccardSets(TokenSet(a), TokenSet(b))
+		got := JaccardIDs(in.InternTokens(a), in.InternTokens(b))
+		if got != want {
+			t.Fatalf("JaccardIDs(%q, %q) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestCosineTFBitIdentical holds the interned cosine to the string one, bit
+// for bit — the dot products and norms are exact integer sums, so iteration
+// order cannot matter.
+func TestCosineTFBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	in := NewInterner()
+	randText := func() string {
+		n := rng.Intn(12)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = fmt.Sprintf("w%d", rng.Intn(8))
+		}
+		return strings.Join(words, " ")
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randText(), randText()
+		want := Cosine(a, b)
+		got := CosineTF(in.InternTermFreq(a), in.InternTermFreq(b))
+		if got != want {
+			t.Fatalf("CosineTF(%q, %q) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestInternTermFreqNorm(t *testing.T) {
+	in := NewInterner()
+	v := in.InternTermFreq("a a a b b c")
+	if len(v.IDs) != 3 {
+		t.Fatalf("%d distinct terms, want 3", len(v.IDs))
+	}
+	want := math.Sqrt(9 + 4 + 1)
+	if v.Norm != want {
+		t.Errorf("Norm = %v, want %v", v.Norm, want)
+	}
+	empty := in.InternTermFreq("")
+	if len(empty.IDs) != 0 || empty.Norm != 0 {
+		t.Errorf("empty vector = %+v", empty)
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int32{1, 2, 3}, nil, 0},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 2},
+		{[]int32{1, 5, 9}, []int32{2, 6, 10}, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 3},
+	}
+	for _, c := range cases {
+		if got := IntersectCount(c.a, c.b); got != c.want {
+			t.Errorf("IntersectCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestLevenshteinRunesBitIdentical holds the buffered kernel to the string
+// one across reused buffers.
+func TestLevenshteinRunesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	alphabet := []rune("abcdeé東")
+	randWord := func() string {
+		n := rng.Intn(12)
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(out)
+	}
+	var prev, cur []int
+	for trial := 0; trial < 500; trial++ {
+		a, b := randWord(), randWord()
+		wantD := Levenshtein(a, b)
+		var gotD int
+		gotD, prev, cur = LevenshteinRunes([]rune(a), []rune(b), prev, cur)
+		if gotD != wantD {
+			t.Fatalf("LevenshteinRunes(%q, %q) = %d, want %d", a, b, gotD, wantD)
+		}
+		wantS := LevenshteinSim(a, b)
+		var gotS float64
+		gotS, prev, cur = LevenshteinSimRunes([]rune(a), []rune(b), prev, cur)
+		if gotS != wantS {
+			t.Fatalf("LevenshteinSimRunes(%q, %q) = %v, want %v", a, b, gotS, wantS)
+		}
+	}
+}
+
+// TestJaroRunesBitIdentical holds the scratch-buffered Jaro and
+// Jaro-Winkler kernels to the string forms across reused scratch.
+func TestJaroRunesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	alphabet := []rune("martha jones dwayneü")
+	randWord := func() string {
+		n := rng.Intn(10)
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(out)
+	}
+	var sc JaroScratch
+	for trial := 0; trial < 500; trial++ {
+		a, b := randWord(), randWord()
+		if got, want := JaroRunes([]rune(a), []rune(b), &sc), Jaro(a, b); got != want {
+			t.Fatalf("JaroRunes(%q, %q) = %v, want %v", a, b, got, want)
+		}
+		if got, want := JaroWinklerRunes([]rune(a), []rune(b), &sc), JaroWinkler(a, b); got != want {
+			t.Fatalf("JaroWinklerRunes(%q, %q) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestTokenizeMultibyte pins Unicode correctness: multibyte letters and
+// digits are token characters, lowered per Unicode rules; everything else
+// separates.
+func TestTokenizeMultibyte(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Müller Straße", []string{"müller", "straße"}},
+		{"ÉCOLE—PRIMAIRE", []string{"école", "primaire"}},
+		{"東京大学 2024年", []string{"東京大学", "2024年"}},
+		{"naïve,café", []string{"naïve", "café"}},
+		{"١٢٣", []string{"١٢٣"}},         // Arabic-Indic digits
+		{"Ⅻ", nil},                       // Nl (letter-number) runes are separators, not letters/digits
+		{"a b", []string{"a", "b"}},      // non-breaking space separates
+		{"ΣΙΣΥΦΟΣ", []string{"σισυφοσ"}}, // ToLower, not special-case final sigma
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCosineSqrtIsMathSqrt pins the satellite fix: cosine norms come from
+// math.Sqrt. A single-term self-similarity is exactly 1 (the norm product
+// is an exact square); multi-term ones are 1 up to one rounding of the
+// norm product.
+func TestCosineSqrtIsMathSqrt(t *testing.T) {
+	if got := Cosine("a a a", "a a a"); got != 1 {
+		t.Errorf("single-term self cosine = %v, want exactly 1", got)
+	}
+	for _, s := range []string{"a b c", "x x y z z z"} {
+		if got := Cosine(s, s); math.Abs(got-1) > 1e-15 {
+			t.Errorf("Cosine(%q, %q) = %v, want 1 within 1e-15", s, s, got)
+		}
+	}
+}

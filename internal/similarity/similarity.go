@@ -9,6 +9,7 @@ package similarity
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"unicode"
 )
@@ -211,7 +212,7 @@ func Cosine(a, b string) float64 {
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return dot / (sqrt(na) * sqrt(nb))
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
 func termFreq(s string) map[string]int {
@@ -220,19 +221,6 @@ func termFreq(s string) map[string]int {
 		freq[tok]++
 	}
 	return freq
-}
-
-func sqrt(v float64) float64 {
-	// Tiny local helper so the hot path avoids importing math broadly; kept
-	// trivial for inlining.
-	if v <= 0 {
-		return 0
-	}
-	x := v
-	for i := 0; i < 32; i++ {
-		x = 0.5 * (x + v/x)
-	}
-	return x
 }
 
 // Measure is a named pairwise string-similarity function in [0,1].
@@ -325,18 +313,4 @@ func DistinctValueWeights(columns [][]string) []float64 {
 		out[i] = float64(len(seen))
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_gate.sh BASE.txt HEAD.txt NAME_REGEX MAX_RATIO
+#
+# Compares two `go test -bench` outputs and fails (exit 1) if any benchmark
+# whose name matches NAME_REGEX regressed: mean ns/op in HEAD exceeds
+# MAX_RATIO times the mean ns/op in BASE. Benchmarks present in only one
+# file are reported but do not gate (a new benchmark has no baseline; a
+# removed one has no head). Multiple -count runs of the same benchmark are
+# averaged.
+set -eu
+
+if [ $# -ne 4 ]; then
+    echo "usage: $0 base.txt head.txt name_regex max_ratio" >&2
+    exit 2
+fi
+base=$1
+head=$2
+pattern=$3
+ratio=$4
+
+awk -v pattern="$pattern" -v maxratio="$ratio" '
+    # Benchmark result lines: "BenchmarkName-8  120  9876 ns/op  ..."
+    FNR == 1 { file++ }
+    $1 ~ /^Benchmark/ && / ns\/op/ && $1 ~ pattern {
+        name = $1
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op") { ns = $(i-1); break }
+        }
+        if (file == 1) { bsum[name] += ns; bcnt[name]++ }
+        else           { hsum[name] += ns; hcnt[name]++ }
+        seen[name] = 1
+    }
+    END {
+        fail = 0
+        matched = 0
+        for (name in seen) {
+            matched++
+            if (!(name in bcnt)) {
+                printf "SKIP %s: no baseline (new benchmark)\n", name
+                continue
+            }
+            if (!(name in hcnt)) {
+                printf "SKIP %s: missing from head (removed benchmark)\n", name
+                continue
+            }
+            bmean = bsum[name] / bcnt[name]
+            hmean = hsum[name] / hcnt[name]
+            r = (bmean > 0) ? hmean / bmean : 1
+            verdict = (r > maxratio) ? "FAIL" : "ok"
+            if (r > maxratio) fail = 1
+            printf "%s %s: base %.0f ns/op, head %.0f ns/op, ratio %.3f (limit %.2f)\n", \
+                verdict, name, bmean, hmean, r, maxratio
+        }
+        if (matched == 0) printf "no benchmarks matching %s in either file\n", pattern
+        exit fail
+    }
+' "$base" "$head"

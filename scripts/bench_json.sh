@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench_json.sh BENCH.txt > BENCH_<sha>.json
+#
+# Converts `go test -bench -benchmem` text output into a JSON array, one
+# object per benchmark with means over the -count runs:
+#   [{"name": "...", "runs": 6, "iterations": 12, "ns_per_op": 123.4,
+#     "bytes_per_op": 456.0, "allocs_per_op": 7.0}, ...]
+# The CI bench job uploads this as the machine-readable benchmark artifact.
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 bench.txt" >&2
+    exit 2
+fi
+
+awk '
+    $1 ~ /^Benchmark/ && / ns\/op/ {
+        name = $1
+        iters = $2
+        ns = b = a = ""
+        for (i = 3; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i-1)
+            if ($(i) == "B/op")      b = $(i-1)
+            if ($(i) == "allocs/op") a = $(i-1)
+        }
+        cnt[name]++
+        itsum[name] += iters
+        nssum[name] += ns
+        if (b != "") { bsum[name] += b; bseen[name] = 1 }
+        if (a != "") { asum[name] += a; aseen[name] = 1 }
+        if (!(name in order)) { order[name] = ++n; names[n] = name }
+    }
+    END {
+        printf "[\n"
+        for (i = 1; i <= n; i++) {
+            name = names[i]
+            printf "  {\"name\": \"%s\", \"runs\": %d, \"iterations\": %d, \"ns_per_op\": %.2f", \
+                name, cnt[name], itsum[name], nssum[name] / cnt[name]
+            if (name in bseen) printf ", \"bytes_per_op\": %.2f", bsum[name] / cnt[name]
+            if (name in aseen) printf ", \"allocs_per_op\": %.2f", asum[name] / cnt[name]
+            printf "}%s\n", (i < n) ? "," : ""
+        }
+        printf "]\n"
+    }
+' "$1"
