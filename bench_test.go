@@ -139,6 +139,24 @@ func BenchmarkHybrid100k(b *testing.B) {
 	}
 }
 
+// BenchmarkRiskSchedule is the CI-gated hot path of the risk-aware search:
+// the full r-HUMO loop — GP fit, rarest-risk-first batch scheduling, the
+// per-batch posterior re-estimation and certified-bound rescans — on a
+// 100k-pair workload. scripts/bench_gate.sh fails a PR when its mean ns/op
+// regresses by more than 20% against the base commit.
+func BenchmarkRiskSchedule(b *testing.B) {
+	w, truth := benchWorkload(b, 100000)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := humo.NewSimulatedOracle(truth)
+		cfg := humo.RiskConfig{Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(int64(i)))}}
+		if _, err := humo.RiskAware(w, req, o, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWorkloadConstruction(b *testing.B) {
 	labeled, err := humo.Logistic(humo.LogisticConfig{N: 100000, Tau: 14, Seed: 9})
 	if err != nil {

@@ -94,7 +94,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		alpha       = fs.Float64("alpha", 0.9, "required precision, in (0,1]")
 		beta        = fs.Float64("beta", 0.9, "required recall, in (0,1]")
 		theta       = fs.Float64("theta", 0.9, "confidence level, in (0,1)")
-		method      = fs.String("method", "hybrid", "optimizer: base, allsampling, sampling, hybrid or budgeted")
+		method      = fs.String("method", "hybrid", "optimizer: base, allsampling, sampling, hybrid, budgeted or risk")
 		budget      = fs.Int("budget", 0, "manual-inspection budget (pairs) for -method budgeted")
 		subsetSize  = fs.Int("subset", 0, "unit-subset size (0 = default 200)")
 		labelsIn    = fs.String("labels", "", "CSV of human answers collected so far (pair_id,label); rewritten with new answers in -interactive mode")
@@ -102,12 +102,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		outPath     = fs.String("out", "results.csv", "where to write the final resolution")
 		seed        = fs.Int64("seed", 1, "seed for all sampling decisions (keep fixed across review rounds)")
 		interactive = fs.Bool("interactive", false, "label pending pairs live on stdin instead of exiting for a file review round")
+		anytime     = fs.Int("anytime", 0, "-method risk: stop the risk schedule after at most this many labels (0 = run to convergence)")
+		version     = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return exitOK
 		}
 		return exitUsage
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("humo"))
+		return exitOK
 	}
 	if *aPath == "" || *bPath == "" || *spec == "" {
 		return usageErr(stderr, errors.New("-a, -b and -spec are required; see -help"))
@@ -123,7 +129,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	for _, c := range []struct {
 		name string
 		v    int
-	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}, {"-window", *window}} {
+	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}, {"-window", *window}, {"-anytime", *anytime}} {
 		if err := cliutil.ValidateNonNegative(c.name, c.v); err != nil {
 			return usageErr(stderr, err)
 		}
@@ -134,6 +140,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if m == humo.MethodBudgeted && *budget == 0 {
 		return usageErr(stderr, errors.New("-method budgeted needs a positive -budget"))
+	}
+	if *anytime > 0 && m != humo.MethodRisk {
+		return usageErr(stderr, errors.New("-anytime applies to -method risk only"))
 	}
 
 	mode, err := humo.ParseBlockingMode(*blockMode)
@@ -219,6 +228,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Resolve:     true,
 		Known:       known,
 	}
+	cfg.Risk.BudgetPairs = *anytime
 	sess, err := humo.NewSession(w, req, cfg)
 	if err != nil {
 		return fail(stderr, err)
@@ -486,6 +496,14 @@ func (e *cliEnv) writeResults() int {
 	cost := e.sess.Cost()
 	fmt.Fprintf(e.stdout, "resolution complete: %d matches, %d pairs human-verified (%.2f%%), written to %s\n",
 		matches, cost, 100*float64(cost)/float64(e.w.Len()), e.outPath)
+	if p, ok := e.sess.RiskProgress(); ok {
+		state := "converged"
+		if p.BudgetExhausted {
+			state = "stopped on the -anytime budget"
+		}
+		fmt.Fprintf(e.stdout, "risk schedule %s after %d batches (%d scheduled labels)\n",
+			state, p.Batches, p.Answered)
+	}
 	return exitOK
 }
 

@@ -496,3 +496,80 @@ func TestRunBlockModesAndWorkers(t *testing.T) {
 		t.Fatalf("unknown -block exit %d, want %d", code, exitUsage)
 	}
 }
+
+// TestRunVersionFlag: -version prints one identifying line and exits 0,
+// before any input file is touched.
+func TestRunVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-version"}, strings.NewReader(""), &out, &errb)
+	if code != exitOK {
+		t.Fatalf("-version: exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "humo ") {
+		t.Errorf("-version output %q does not lead with the command name", out.String())
+	}
+}
+
+// TestRunAnytimeValidation: -anytime is risk-only and must be non-negative.
+func TestRunAnytimeValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-a", "x.csv", "-b", "y.csv", "-spec", "name:jaccard", "-anytime", "10"},
+		strings.NewReader(""), &out, &errb)
+	if code != exitUsage || !strings.Contains(errb.String(), "-anytime") {
+		t.Errorf("-anytime without -method risk: exit %d, stderr %q", code, errb.String())
+	}
+	errb.Reset()
+	code = run([]string{"-a", "x.csv", "-b", "y.csv", "-spec", "name:jaccard", "-method", "risk", "-anytime", "-2"},
+		strings.NewReader(""), &out, &errb)
+	if code != exitUsage || !strings.Contains(errb.String(), "-anytime") {
+		t.Errorf("negative -anytime: exit %d, stderr %q", code, errb.String())
+	}
+}
+
+// TestRunRiskMethod resolves the fixture end to end with -method risk over
+// review rounds, and checks the risk schedule summary lands in the output.
+func TestRunRiskMethod(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	args := baseArgs(dir, aPath, bPath, "-method", "risk")
+	var lastOut string
+	for round := 0; round < 60; round++ {
+		var out, errb bytes.Buffer
+		code := run(args, strings.NewReader(""), &out, &errb)
+		lastOut = out.String()
+		switch code {
+		case exitReview:
+			ans := readPendingAnswers(t, filepath.Join(dir, "pending.csv"))
+			known := dataio.Labels{}
+			if f, err := os.Open(filepath.Join(dir, "labels.csv")); err == nil {
+				known, err = dataio.ReadLabels(f)
+				f.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for id, v := range ans {
+				known[id] = v
+			}
+			f, err := os.Create(filepath.Join(dir, "labels.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dataio.WriteLabels(f, known); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		case exitOK:
+			if !strings.Contains(lastOut, "risk schedule") {
+				t.Errorf("final output lacks the risk schedule summary: %q", lastOut)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "results.csv")); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			t.Fatalf("round %d: exit %d, stderr %q", round, code, errb.String())
+		}
+	}
+	t.Fatalf("risk resolution did not converge; last output %q", lastOut)
+}

@@ -68,12 +68,17 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		dataDir     = fs.String("data", ".", "directory workload_file session references are resolved in")
 		maxSessions = fs.Int("max-sessions", serve.DefaultMaxSessions, "cap on concurrently live sessions")
 		drain       = fs.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests")
+		version     = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return exitOK
 		}
 		return exitUsage
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("humod"))
+		return exitOK
 	}
 	if err := cliutil.ValidateNonNegative("-max-sessions", *maxSessions); err != nil {
 		fmt.Fprintln(stderr, "humod:", err)

@@ -438,3 +438,16 @@ func TestHumodFlagValidation(t *testing.T) {
 		t.Errorf("unknown flag exit %d, want %d", code, exitUsage)
 	}
 }
+
+// TestHumodVersionFlag: -version prints one identifying line and exits 0
+// without opening state or binding a listener.
+func TestHumodVersionFlag(t *testing.T) {
+	var out, errb syncBuffer
+	sig := make(chan os.Signal)
+	if code := run([]string{"-version"}, &out, &errb, sig); code != exitOK {
+		t.Fatalf("-version exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "humod ") {
+		t.Errorf("-version output %q does not lead with the command name", out.String())
+	}
+}

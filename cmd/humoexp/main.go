@@ -39,8 +39,14 @@ func main() {
 		seedFlag     = flag.Int64("seed", 20180402, "experiment seed")
 		parallelFlag = flag.Int("parallel", 0, "worker pool size for experiments and repetitions (0 = GOMAXPROCS)")
 		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
+		versionFlag  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *versionFlag {
+		fmt.Println(cliutil.VersionString("humoexp"))
+		return
+	}
 
 	// Fail malformed counts at flag-parse time with a message naming the
 	// flag, before any dataset is generated.

@@ -63,12 +63,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "generate mode: worker goroutines (<= 0 = all cores; output is identical at any count)")
 		outPath   = fs.String("out", "", "generate mode: where to write the pair_id,similarity workload CSV (required)")
 		candsPath = fs.String("cands", "", "generate mode: also write the full candidates CSV here (optional)")
+		version   = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("humogen"))
+		return 0
 	}
 	if *aPath != "" || *bPath != "" {
 		return runGenerate(stdout, stderr, genArgs{

@@ -155,3 +155,14 @@ func TestRunDatasetLogistic(t *testing.T) {
 		t.Errorf("unknown dataset exit %d, want 2", code)
 	}
 }
+
+// TestRunVersionFlag: -version prints one identifying line and exits 0.
+func TestRunVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("-version exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "humogen ") {
+		t.Errorf("-version output %q does not lead with the command name", out.String())
+	}
+}

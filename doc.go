@@ -29,6 +29,33 @@
 //     boundaries using the better of the monotonicity-based and the
 //     sampling-based estimates at every step.
 //
+// # Risk-aware resolution (r-HUMO)
+//
+// RiskAware (Method "risk") implements the r-HUMO refinement of the
+// follow-up work (Hou et al. 2018): after the partial-sampling fit, the
+// human zone is not labeled wholesale but scheduled rarest-risk-first — a
+// pair's risk is the (optionally tail-weighted, RiskScheduleConfig.TailProb)
+// posterior probability that its machine label would be wrong, exactly the
+// pairs whose mislabeling endangers the precision/recall guarantee. After
+// every answered batch the per-subset Beta posteriors are re-estimated and
+// the certified division recomputed from the combined evidence (stratified
+// counts where humans have answered, the Gaussian process elsewhere, hulled
+// with the monotonicity envelope of the observed rates); the schedule stops
+// the moment the requirement is provably met. RiskConfig.BudgetPairs makes
+// the search anytime: the schedule stops at the label budget and settles
+// for the currently certified division, which still carries the guarantee
+// once its DH is human-labeled. Session surfaces the schedule's state via
+// RiskProgress, and humod serves it in the session status.
+//
+// Risk determinism contract: for a fixed workload, requirement and
+// configuration, the same seed plus the same answers yield the same
+// schedule — every batch's pair ids in order, and therefore the same
+// Solution and human cost — across runs and across ALL worker counts
+// (RiskScheduleConfig.Workers and SamplingConfig.Workers trade wall-clock
+// time only; risk scores are reduced in ascending subset index order).
+// Checkpoint/RestoreSession therefore replay risk sessions bit-identically,
+// like every other method.
+//
 // # Quick example
 //
 //	pairs := []humo.Pair{ /* id + machine metric per instance pair */ }

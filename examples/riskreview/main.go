@@ -1,0 +1,102 @@
+// Risk review: resolve one workload twice under the same quality
+// requirement — once with the hybrid search (the paper's best performer)
+// and once as a risk-aware session (the r-HUMO schedule) — and compare the
+// human labels each one consumed.
+//
+// The risk session surfaces its batches rarest-risk-first: pairs whose
+// machine label would most endanger the precision/recall guarantee come
+// up for review first, and after every answered batch the per-subset
+// posteriors are re-estimated. The moment the requirement is provably met
+// the session early-stops, which is where the saved labels come from. The
+// schedule's progress (the certified human zone shrinking as answers
+// arrive) is polled via Session.RiskProgress, the same snapshot humod
+// serves in its status endpoint.
+//
+//	go run ./examples/riskreview
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"humo"
+)
+
+func main() {
+	// The simulated DBLP-Scholar workload at a laptop-light scale: matches
+	// concentrate at high similarity, the regime where risk scheduling's
+	// early stop saves the most reviewer time.
+	cfg := humo.DefaultDSConfig()
+	cfg.Entities = 600
+	cfg.Filler = 6000
+	ds, err := humo.DSLike(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, truth := humo.Split(ds.Pairs)
+	w, err := humo.NewWorkload(pairs, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	const seed = 7
+
+	// Reference: the one-shot hybrid search on the same workload and seed.
+	hOracle := humo.NewSimulatedOracle(truth)
+	hSol, err := humo.Hybrid(w, req, hOracle, humo.HybridConfig{
+		Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(seed))},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hSol.Resolve(w, hOracle)
+	hybridCost := hOracle.Cost()
+	fmt.Printf("hybrid:  %v, human cost %d pairs\n", hSol, hybridCost)
+
+	// The risk-aware session over the same workload. A review UI would
+	// label each surfaced batch; here the hidden ground truth answers.
+	s, err := humo.NewSession(w, req, humo.SessionConfig{
+		Method:  humo.MethodRisk,
+		Seed:    seed,
+		Resolve: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	batches := 0
+	for {
+		b, err := s.Next(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b.Empty() {
+			break
+		}
+		batches++
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			log.Fatal(err)
+		}
+		if p, ok := s.RiskProgress(); ok && batches%5 == 0 {
+			fmt.Printf("  ... schedule round %d: certified human zone [%d,%d], %d pairs of it unanswered\n",
+				p.Batches, p.Lo, p.Hi, p.Remaining)
+		}
+	}
+	if err := s.Err(); err != nil {
+		log.Fatal(err)
+	}
+	riskCost := s.Cost()
+	p, _ := s.RiskProgress()
+	fmt.Printf("risk:    %v, human cost %d pairs (early-stopped after %d batches, certified=%v)\n",
+		s.Solution(), riskCost, p.Batches, p.Certified)
+
+	saved := hybridCost - riskCost
+	fmt.Printf("labels saved vs -method hybrid: %d of %d (%.1f%%), same quality requirement met\n",
+		saved, hybridCost, 100*float64(saved)/float64(hybridCost))
+}

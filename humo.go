@@ -6,6 +6,7 @@ import (
 	"humo/internal/metrics"
 	"humo/internal/oracle"
 	"humo/internal/parallel"
+	"humo/internal/risk"
 )
 
 // Core workload model. See package core for full documentation of the
@@ -31,6 +32,18 @@ type (
 	SamplingConfig = core.SamplingConfig
 	// HybridConfig configures the hybrid search.
 	HybridConfig = core.HybridConfig
+	// RiskConfig configures the risk-aware search (r-HUMO): the sampling
+	// configuration of its initial fit, the schedule knobs, the anytime
+	// label budget and an optional progress hook.
+	RiskConfig = core.RiskConfig
+	// RiskScheduleConfig tunes the risk scheduler itself: review-batch
+	// size, posterior prior strength, the CVaR-style tail knob and the
+	// scoring worker bound.
+	RiskScheduleConfig = risk.Config
+	// RiskProgress is a point-in-time snapshot of a running risk schedule:
+	// the currently certified DH bounds, the unanswered pairs inside them,
+	// and the early-stop state.
+	RiskProgress = core.RiskProgress
 )
 
 // DefaultSubsetSize is the unit-subset size used when NewWorkload receives 0
@@ -88,6 +101,19 @@ func Hybrid(w *Workload, req Requirement, o Oracle, cfg HybridConfig) (Solution,
 // guarantee is attached to the result.
 func Budgeted(w *Workload, budgetPairs int, o Oracle, cfg SamplingConfig) (Solution, error) {
 	return core.BudgetedSearch(w, budgetPairs, o, cfg)
+}
+
+// RiskAware runs the risk-aware optimization (the r-HUMO refinement,
+// Hou et al. 2018): the partial-sampling fit of Hybrid, then a prioritized
+// schedule that labels the human zone rarest-risk-first in small batches,
+// re-estimating per-subset posteriors from the incoming answers and
+// stopping the moment the requirement is provably met. It meets the same
+// requirement as the other searches while typically consuming fewer human
+// labels; cfg.BudgetPairs turns it into an anytime search (the schedule
+// stops at the budget, the returned division still carries the guarantee
+// once its DH is labeled).
+func RiskAware(w *Workload, req Requirement, o Oracle, cfg RiskConfig) (Solution, error) {
+	return core.RiskSearch(w, req, o, cfg)
 }
 
 // Oracles.

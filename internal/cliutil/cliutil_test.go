@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"runtime/debug"
 	"strings"
 	"testing"
 
@@ -88,5 +89,38 @@ func TestParseAttributeSpecs(t *testing.T) {
 		if _, err := ParseAttributeSpecs(bad); err == nil {
 			t.Errorf("ParseAttributeSpecs(%q) succeeded, want error", bad)
 		}
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	got := VersionString("humo")
+	if !strings.HasPrefix(got, "humo ") {
+		t.Errorf("VersionString %q does not lead with the command name", got)
+	}
+	if !strings.Contains(got, "go1") {
+		t.Errorf("VersionString %q lacks the Go toolchain version", got)
+	}
+
+	// Injected build info exercises every field, including truncation and
+	// the dirty marker.
+	info := &debug.BuildInfo{}
+	info.Main.Version = "v1.2.3"
+	info.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got = versionString("humod", info, true)
+	for _, want := range []string{"humod v1.2.3", "0123456789ab+dirty"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("versionString = %q, want it to contain %q", got, want)
+		}
+	}
+	if strings.Contains(got, "0123456789abc") {
+		t.Errorf("versionString = %q: revision not truncated to 12 chars", got)
+	}
+
+	// No build info at all still yields a usable line.
+	if got := versionString("humoexp", nil, false); !strings.HasPrefix(got, "humoexp (devel)") {
+		t.Errorf("versionString without build info = %q", got)
 	}
 }

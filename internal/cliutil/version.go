@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// VersionString renders the one-line output of the -version flag shared by
+// the humo binaries: the command name, the module version, the VCS revision
+// the binary was built from (with a +dirty marker for modified trees) and
+// the Go toolchain. Every field degrades gracefully — a test binary or a
+// non-VCS build still produces a meaningful line.
+func VersionString(cmd string) string {
+	info, ok := debug.ReadBuildInfo()
+	return versionString(cmd, info, ok)
+}
+
+// versionString is the testable core: build info is injected.
+func versionString(cmd string, info *debug.BuildInfo, ok bool) string {
+	version := "(devel)"
+	revision := ""
+	dirty := false
+	if ok && info != nil {
+		if v := info.Main.Version; v != "" {
+			version = v
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", cmd, version)
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		fmt.Fprintf(&b, " (%s)", revision)
+	}
+	fmt.Fprintf(&b, " %s", runtime.Version())
+	return b.String()
+}

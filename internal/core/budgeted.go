@@ -52,7 +52,7 @@ func BudgetedSearch(w *Workload, budgetPairs int, o Oracle, cfg SamplingConfig) 
 			return Solution{}, fmt.Errorf("%w: Rand required for budget-capped sampling", ErrBadWorkload)
 		}
 	}
-	model, err := fitPartialSampling(w, o, cfg)
+	model, err := fitPartialSampling(w, o, cfg, true)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -32,7 +32,7 @@ func HybridSearch(w *Workload, req Requirement, o Oracle, cfg HybridConfig) (Sol
 	if err != nil {
 		return Solution{}, err
 	}
-	model, err := fitPartialSampling(w, o, sCfg)
+	model, err := fitPartialSampling(w, o, sCfg, true)
 	if err != nil {
 		return Solution{}, err
 	}

@@ -83,8 +83,9 @@ func (c SamplingConfig) normalized() (SamplingConfig, error) {
 
 // sampleSubset labels `take` pairs of subset k through the oracle (all of
 // them when take <= 0 or take >= subset size) and returns the resulting
-// stratum.
-func sampleSubset(w *Workload, o Oracle, rng *rand.Rand, k, take int) stats.Stratum {
+// stratum plus the ids it labeled, in labeling order (the risk search seeds
+// its schedule with them).
+func sampleSubset(w *Workload, o Oracle, rng *rand.Rand, k, take int) (stats.Stratum, []int) {
 	start, end := w.SubsetRange(k)
 	n := end - start
 	var ids []int
@@ -107,7 +108,45 @@ func sampleSubset(w *Workload, o Oracle, rng *rand.Rand, k, take int) stats.Stra
 			matches++
 		}
 	}
-	return stats.Stratum{Size: n, Sampled: take, Matches: matches}
+	return stats.Stratum{Size: n, Sampled: take, Matches: matches}, ids
+}
+
+// recallOKAt evaluates the Eq. 13 recall condition for a DH starting at
+// subset l (D- = [0, l), covered = [l, m)) at per-quantity confidence
+// theta. It is the certification both searchBounds and riskBounds rely on.
+func recallOKAt(req Requirement, est rangeEstimator, theta float64, l int) (bool, error) {
+	found, _, err := est.suffixInterval(l, theta)
+	if err != nil {
+		return false, err
+	}
+	_, missed, err := est.prefixInterval(l, theta)
+	if err != nil {
+		return false, err
+	}
+	if found == 0 {
+		return missed == 0, nil
+	}
+	return found/(found+missed) >= req.Beta-1e-12, nil
+}
+
+// precisionOKAt evaluates the Eq. 14 precision condition for DH = [lo, h]
+// (D+ = (h, m); h may be lo-1 for an empty DH) at per-quantity confidence
+// theta.
+func precisionOKAt(w *Workload, req Requirement, est rangeEstimator, theta float64, lo, h int) (bool, error) {
+	dhLB, _, err := est.midInterval(lo, h, theta)
+	if err != nil {
+		return false, err
+	}
+	plusLB, _, err := est.suffixInterval(h+1, theta)
+	if err != nil {
+		return false, err
+	}
+	plusPairs := float64(w.RangeLen(h+1, w.Subsets()-1))
+	denom := dhLB + plusPairs
+	if denom == 0 {
+		return true, nil
+	}
+	return (dhLB+plusLB)/denom >= req.Alpha-1e-12, nil
 }
 
 // searchBounds runs the two scans shared by every sampling-based search
@@ -118,25 +157,9 @@ func sampleSubset(w *Workload, o Oracle, rng *rand.Rand, k, take int) stats.Stra
 func searchBounds(w *Workload, req Requirement, est rangeEstimator) (lo, hi int, err error) {
 	m := w.Subsets()
 	sqrtTheta := math.Sqrt(req.Theta)
-
-	recallOK := func(l int) (bool, error) {
-		// DH starts at subset l: D- = [0, l), covered = [l, m).
-		found, _, err := est.suffixInterval(l, sqrtTheta)
-		if err != nil {
-			return false, err
-		}
-		_, missed, err := est.prefixInterval(l, sqrtTheta)
-		if err != nil {
-			return false, err
-		}
-		if found == 0 {
-			return missed == 0, nil
-		}
-		return found/(found+missed) >= req.Beta-1e-12, nil
-	}
 	lo = 0
 	for lo+1 < m {
-		ok, err := recallOK(lo + 1)
+		ok, err := recallOKAt(req, est, sqrtTheta, lo+1)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -145,27 +168,9 @@ func searchBounds(w *Workload, req Requirement, est rangeEstimator) (lo, hi int,
 		}
 		lo++
 	}
-
-	precisionOK := func(h int) (bool, error) {
-		// DH = [lo, h]; D+ = (h, m). h may be lo-1 (empty DH).
-		dhLB, _, err := est.midInterval(lo, h, sqrtTheta)
-		if err != nil {
-			return false, err
-		}
-		plusLB, _, err := est.suffixInterval(h+1, sqrtTheta)
-		if err != nil {
-			return false, err
-		}
-		plusPairs := float64(w.RangeLen(h+1, m-1))
-		denom := dhLB + plusPairs
-		if denom == 0 {
-			return true, nil
-		}
-		return (dhLB+plusLB)/denom >= req.Alpha-1e-12, nil
-	}
 	hi = m - 1
 	for hi-1 >= lo-1 {
-		ok, err := precisionOK(hi - 1)
+		ok, err := precisionOKAt(w, req, est, sqrtTheta, lo, hi-1)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -200,7 +205,7 @@ func AllSamplingSearch(w *Workload, req Requirement, o Oracle, cfg SamplingConfi
 	strata := make([]stats.Stratum, m)
 	sampled := 0
 	for k := 0; k < m; k++ {
-		strata[k] = sampleSubset(w, o, cfg.Rand, k, take)
+		strata[k], _ = sampleSubset(w, o, cfg.Rand, k, take)
 		sampled += strata[k].Sampled
 	}
 	est, err := newStrataEstimator(strata)
@@ -215,18 +220,25 @@ func AllSamplingSearch(w *Workload, req Requirement, o Oracle, cfg SamplingConfi
 }
 
 // gpModel bundles the fitted Gaussian process with the sampling bookkeeping
-// the hybrid search reuses.
+// the hybrid and risk searches reuse.
 type gpModel struct {
 	est          *gpEstimator
 	strata       map[int]stats.Stratum // sampled subsets by index
+	sampledIDs   map[int][]int         // the labeled pair ids per sampled subset, in labeling order
 	sampledPairs int
+	bandVar      float64 // between-subset irregularity variance (see bandIrregularity)
 }
 
 // fitPartialSampling implements Algorithm 1: sample an equidistant seed set
 // of subsets, fit a GP to their observed match proportions, then adaptively
 // probe midpoints whose prediction error exceeds Epsilon until the queue is
-// empty or the sampling budget p_u is exhausted.
-func fitPartialSampling(w *Workload, o Oracle, cfg SamplingConfig) (*gpModel, error) {
+// empty or the sampling budget p_u is exhausted. refineVariance additionally
+// spends any remaining budget pinning the highest pair-weighted posterior
+// variance (see the loop below) — the one-shot searches need that, because
+// they get no second chance at their error margins; the risk-aware search
+// passes false and lets its schedule buy evidence exactly where the margins
+// turn out to bind.
+func fitPartialSampling(w *Workload, o Oracle, cfg SamplingConfig, refineVariance bool) (*gpModel, error) {
 	m := w.Subsets()
 	seed := int(math.Ceil(float64(m) * cfg.MinSampleFrac))
 	if seed < 5 {
@@ -246,13 +258,14 @@ func fitPartialSampling(w *Workload, o Oracle, cfg SamplingConfig) (*gpModel, er
 		budget = seed
 	}
 
-	model := &gpModel{strata: make(map[int]stats.Stratum)}
+	model := &gpModel{strata: make(map[int]stats.Stratum), sampledIDs: make(map[int][]int)}
 	sample := func(k int) stats.Stratum {
 		if s, ok := model.strata[k]; ok {
 			return s
 		}
-		s := sampleSubset(w, o, cfg.Rand, k, cfg.PairsPerSubset)
+		s, ids := sampleSubset(w, o, cfg.Rand, k, cfg.PairsPerSubset)
 		model.strata[k] = s
+		model.sampledIDs[k] = ids
 		model.sampledPairs += s.Sampled
 		return s
 	}
@@ -377,7 +390,7 @@ func fitPartialSampling(w *Workload, o Oracle, cfg SamplingConfig) (*gpModel, er
 	// Eq. 20 (each subset contributes n_i * sd_i). Spend any remaining
 	// sampling budget on the unsampled subset with the largest pair-weighted
 	// posterior standard deviation between adjacent anchors.
-	for len(model.strata) < budget {
+	for refineVariance && len(model.strata) < budget {
 		bestScore := 0.0
 		bestMid := -1
 		for i := 0; i+1 < len(anchors); i++ {
@@ -419,7 +432,8 @@ func fitPartialSampling(w *Workload, o Oracle, cfg SamplingConfig) (*gpModel, er
 		}
 	}
 
-	est, err := newGPEstimator(w, reg, cfg.CoherentAggregation, bandIrregularity(w, model, anchors), model.strata, cfg.Workers)
+	model.bandVar = bandIrregularity(w, model, anchors)
+	est, err := newGPEstimator(w, reg, cfg.CoherentAggregation, model.bandVar, model.strata, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -541,7 +555,7 @@ func PartialSamplingSearch(w *Workload, req Requirement, o Oracle, cfg SamplingC
 		// partial labeling still require a source; accept nil here.
 		cfg.Rand = rand.New(rand.NewSource(1))
 	}
-	model, err := fitPartialSampling(w, o, cfg)
+	model, err := fitPartialSampling(w, o, cfg, true)
 	if err != nil {
 		return Solution{}, err
 	}

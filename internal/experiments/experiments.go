@@ -244,6 +244,7 @@ const (
 	methodSamp    = "SAMP"
 	methodAllSamp = "ALLSAMP"
 	methodHybr    = "HYBR"
+	methodRisk    = "RISK"
 )
 
 // runMethod executes one optimization approach on the bundle with a fresh
@@ -272,6 +273,8 @@ func runMethod(b *workloadBundle, method string, req core.Requirement, seed int6
 		sol, err = core.AllSamplingSearch(b.w, req, o, sCfg)
 	case methodHybr:
 		sol, err = core.HybridSearch(b.w, req, o, core.HybridConfig{Sampling: sCfg})
+	case methodRisk:
+		sol, err = core.RiskSearch(b.w, req, o, core.RiskConfig{Sampling: sCfg})
 	default:
 		return runResult{}, fmt.Errorf("%w: method %q", ErrUnknownExperiment, method)
 	}

@@ -1,0 +1,344 @@
+// Package risk implements the risk-aware human-workload scheduler of the
+// r-HUMO line of follow-up work (Hou et al., arXiv:1803.05714; risk analysis
+// in Chen et al., arXiv:1805.12502): instead of treating every pair of the
+// human zone as equally worth asking about, pairs are ranked by *risk* — how
+// much a wrong machine label on them would endanger the precision/recall
+// guarantee — and human effort is spent rarest-risk-first, re-estimating the
+// posteriors after every answered batch so the requirement can be certified
+// (and the labeling stopped) as early as possible.
+//
+// The package is deliberately independent of the search machinery in
+// internal/core: it models one thing, a prioritized batch schedule over a
+// similarity-partitioned workload. Each unit subset carries a Beta posterior
+// over its match proportion, seeded from a prior (in HUMO, the Gaussian
+// process estimate of internal/core's partial-sampling fit) and updated
+// online as human answers arrive. core.RiskSearch owns the quality
+// requirement and drives the scheduler; internal/serve surfaces its progress.
+//
+// Determinism contract: for a fixed subset layout (sizes, id order, priors)
+// and configuration, the schedule — the exact sequence of Requests returned
+// by NextBatch interleaved with the Observe calls answering them — is
+// bit-identical across runs and across Workers values. Risk scores are
+// computed per subset independently (fanned out over internal/parallel) and
+// reduced in ascending subset order with strict-inequality argmax, so worker
+// count changes wall-clock time only, never the schedule.
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"humo/internal/parallel"
+	"humo/internal/stats"
+)
+
+// DefaultBatchSize is the review-batch size used when Config.BatchSize is 0:
+// small enough that the re-estimation after each batch can stop the schedule
+// mid-subset (the batch size bounds the labels wasted past the earliest
+// certifiable stop), large enough that a human workforce is not drip-fed
+// single pairs.
+const DefaultBatchSize = 10
+
+// DefaultPriorStrength is the pseudo-count weight of the subset prior when
+// Config.PriorStrength is 0: the prior counts as this many already-observed
+// pairs, so a handful of real answers can move the posterior but one noisy
+// answer cannot swing it.
+const DefaultPriorStrength = 8
+
+// Config tunes the scheduler.
+type Config struct {
+	// BatchSize is the number of pairs per scheduled review batch; 0 selects
+	// DefaultBatchSize. Smaller batches re-estimate more often and stop
+	// earlier at the price of more scheduling rounds.
+	BatchSize int
+	// PriorStrength is the Beta pseudo-count mass given to each subset's
+	// prior proportion; 0 selects DefaultPriorStrength.
+	PriorStrength float64
+	// TailProb selects the CVaR-style tail risk score: 0 scores a subset by
+	// its expected per-pair mislabel probability min(p, 1-p); q in (0, 0.5)
+	// scores it pessimistically, shifting the posterior mean toward the 0.5
+	// decision boundary by the one-sided z-quantile of q standard
+	// deviations — subsets whose *tail* plausibly sits near the boundary are
+	// scheduled ahead of subsets that are merely uncertain on average.
+	TailProb float64
+	// Workers bounds the goroutines of the per-subset risk scoring; <= 0
+	// selects GOMAXPROCS. Any value yields the bit-identical schedule.
+	Workers int
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchSize < 0 {
+		return c, fmt.Errorf("risk: BatchSize %d must be >= 0", c.BatchSize)
+	}
+	if c.PriorStrength == 0 {
+		c.PriorStrength = DefaultPriorStrength
+	}
+	if c.PriorStrength < 0 {
+		return c, fmt.Errorf("risk: PriorStrength %v must be >= 0", c.PriorStrength)
+	}
+	if c.TailProb < 0 || c.TailProb >= 0.5 {
+		return c, fmt.Errorf("risk: TailProb %v must be in [0, 0.5)", c.TailProb)
+	}
+	return c, nil
+}
+
+// Subset describes one unit subset of the workload to the scheduler.
+type Subset struct {
+	// IDs are the subset's pair ids in scheduling order. The caller fixes
+	// this order (core.RiskSearch uses a seeded shuffle): a prefix of it is
+	// then a simple random sample of the subset, which is what makes the
+	// partially-answered strata statistically usable.
+	IDs []int
+	// Prior is the prior match proportion of the subset (the GP posterior
+	// mean in HUMO). It is clamped inside (0, 1) so the Beta posterior never
+	// collapses to certainty on prior evidence alone.
+	Prior float64
+	// Observed pre-seeds answers already collected before scheduling
+	// starts (HUMO's GP sampling phase): the first Observed entries of IDs
+	// are taken as answered, ObservedMatches of them matching. They seed
+	// the posterior and are never scheduled again; a fully observed subset
+	// (Observed == len(IDs)) carries zero residual risk. The caller must
+	// place the pre-answered ids at the front of IDs.
+	Observed        int
+	ObservedMatches int
+}
+
+// Request is one scheduled pair: which subset it came from and its id.
+type Request struct {
+	Subset int
+	ID     int
+}
+
+// subsetState is the live posterior and progress of one subset.
+type subsetState struct {
+	ids     []int
+	a0, b0  float64 // Beta prior pseudo-counts
+	taken   int     // pairs handed out by NextBatch (prefix of ids)
+	matches int     // matching answers among the observed
+	seen    int     // answers observed (== taken between batches)
+}
+
+// Scheduler maintains per-subset match-proportion posteriors and hands out
+// the human workload rarest-risk-first. It is not safe for concurrent use:
+// the schedule is a strict alternation of NextBatch and the Observe calls
+// answering it, owned by one search loop.
+type Scheduler struct {
+	cfg     Config
+	tailZ   float64 // one-sided z for TailProb; 0 for expected risk
+	subsets []subsetState
+	scores  []float64 // scratch reused by scoring rounds
+}
+
+// NewScheduler builds a scheduler over the given subsets.
+func NewScheduler(subsets []Subset, cfg Config) (*Scheduler, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(subsets) == 0 {
+		return nil, fmt.Errorf("risk: no subsets")
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		subsets: make([]subsetState, len(subsets)),
+		scores:  make([]float64, len(subsets)),
+	}
+	if cfg.TailProb > 0 {
+		// One-sided quantile: P(Z > z) = q  <=>  P(|Z| <= z) = 1 - 2q.
+		z, err := stats.TwoSidedZ(1 - 2*cfg.TailProb)
+		if err != nil {
+			return nil, err
+		}
+		s.tailZ = z
+	}
+	for k, sub := range subsets {
+		p := sub.Prior
+		if p < 1e-6 {
+			p = 1e-6
+		}
+		if p > 1-1e-6 {
+			p = 1 - 1e-6
+		}
+		st := subsetState{
+			ids: sub.IDs,
+			a0:  p * cfg.PriorStrength,
+			b0:  (1 - p) * cfg.PriorStrength,
+		}
+		if sub.Observed < 0 || sub.Observed > len(sub.IDs) {
+			return nil, fmt.Errorf("risk: subset %d observed %d out of [0,%d]", k, sub.Observed, len(sub.IDs))
+		}
+		if sub.ObservedMatches < 0 || sub.ObservedMatches > sub.Observed {
+			return nil, fmt.Errorf("risk: subset %d observed matches %d out of [0,%d]", k, sub.ObservedMatches, sub.Observed)
+		}
+		st.taken = sub.Observed
+		st.seen = sub.Observed
+		st.matches = sub.ObservedMatches
+		s.subsets[k] = st
+	}
+	return s, nil
+}
+
+// Subsets returns the number of subsets under schedule.
+func (s *Scheduler) Subsets() int { return len(s.subsets) }
+
+// posterior returns the Beta posterior mean and standard deviation of subset
+// k's match proportion.
+func (s *Scheduler) posterior(k int) (mean, sd float64) {
+	st := &s.subsets[k]
+	a := st.a0 + float64(st.matches)
+	b := st.b0 + float64(st.seen-st.matches)
+	n := a + b
+	mean = a / n
+	sd = math.Sqrt(a * b / (n * n * (n + 1)))
+	return mean, sd
+}
+
+// Mean returns the current posterior mean match proportion of subset k.
+func (s *Scheduler) Mean(k int) float64 {
+	m, _ := s.posterior(k)
+	return m
+}
+
+// PairRisk returns the risk density of subset k: the (tail-adjusted)
+// probability that a machine label on one of its pairs would be wrong. Every
+// unanswered pair of the subset carries this per-pair risk; the subset's
+// schedule priority is the density times its unanswered pair count.
+func (s *Scheduler) PairRisk(k int) float64 {
+	mean, sd := s.posterior(k)
+	if s.tailZ > 0 {
+		// Shift the proportion toward the 0.5 decision boundary by the tail
+		// quantile, never across it: the pessimistic-in-the-tail mislabel
+		// probability, capped at the maximal 0.5.
+		if mean < 0.5 {
+			mean = math.Min(0.5, mean+s.tailZ*sd)
+		} else {
+			mean = math.Max(0.5, mean-s.tailZ*sd)
+		}
+	}
+	r := math.Min(mean, 1-mean)
+	// Floor: an unanswered pair must always remain schedulable, even when
+	// the posterior is (numerically) certain.
+	if r < 1e-9 {
+		r = 1e-9
+	}
+	return r
+}
+
+// score returns subset k's schedule priority inside the active window:
+// per-pair risk times unanswered pairs, 0 when fully scheduled.
+func (s *Scheduler) score(k int) float64 {
+	u := len(s.subsets[k].ids) - s.subsets[k].taken
+	if u <= 0 {
+		return 0
+	}
+	return float64(u) * s.PairRisk(k)
+}
+
+// Scores fills the per-subset priorities for the active window [lo, hi]
+// (inclusive; subsets outside score 0) and returns them. The slice is reused
+// across calls. Scoring fans out over Config.Workers; each entry depends
+// only on its own subset, so the result is identical at any worker count.
+func (s *Scheduler) Scores(lo, hi int) []float64 {
+	for k := range s.scores {
+		s.scores[k] = 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s.subsets) {
+		hi = len(s.subsets) - 1
+	}
+	if lo > hi {
+		return s.scores
+	}
+	n := hi - lo + 1
+	// fn never fails, so ForEach cannot return an error.
+	_ = parallel.ForEach(s.cfg.Workers, n, func(i int) error {
+		s.scores[lo+i] = s.score(lo + i)
+		return nil
+	})
+	return s.scores
+}
+
+// NextBatch schedules the next review batch inside the active window
+// [lo, hi]: up to min(BatchSize, limit) pairs (limit <= 0 means no extra
+// cap), drawn from the highest-priority subsets, ties broken toward the
+// lower subset index. Scheduled pairs are considered handed out; the caller
+// must Observe an answer for every returned Request before scheduling again.
+// An empty batch means the window holds no unanswered pairs.
+func (s *Scheduler) NextBatch(lo, hi, limit int) []Request {
+	size := s.cfg.BatchSize
+	if limit > 0 && limit < size {
+		size = limit
+	}
+	// One full scoring pass per batch; draining a subset only changes its
+	// own score, which is updated in place between picks.
+	scores := s.Scores(lo, hi)
+	var out []Request
+	for len(out) < size {
+		best, bestScore := -1, 0.0
+		for k := lo; k <= hi && k < len(s.subsets); k++ {
+			if k < 0 {
+				continue
+			}
+			if scores[k] > bestScore {
+				best, bestScore = k, scores[k]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st := &s.subsets[best]
+		for len(out) < size && st.taken < len(st.ids) {
+			out = append(out, Request{Subset: best, ID: st.ids[st.taken]})
+			st.taken++
+		}
+		scores[best] = s.score(best)
+	}
+	return out
+}
+
+// Observe feeds one human answer for a pair of subset k back into its
+// posterior. Answers must arrive in the order their Requests were scheduled.
+func (s *Scheduler) Observe(k int, match bool) {
+	st := &s.subsets[k]
+	st.seen++
+	if match {
+		st.matches++
+	}
+}
+
+// Stratum exports subset k's observed answers as a stats.Stratum: the
+// answered prefix of the (caller-shuffled) id order is a simple random
+// sample of the subset, so stratified estimators apply directly.
+func (s *Scheduler) Stratum(k int) stats.Stratum {
+	st := &s.subsets[k]
+	return stats.Stratum{Size: len(st.ids), Sampled: st.seen, Matches: st.matches}
+}
+
+// Remaining returns the number of unanswered pairs in subsets [lo, hi].
+func (s *Scheduler) Remaining(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s.subsets) {
+		hi = len(s.subsets) - 1
+	}
+	total := 0
+	for k := lo; k <= hi; k++ {
+		total += len(s.subsets[k].ids) - s.subsets[k].seen
+	}
+	return total
+}
+
+// Answered returns the total number of answers observed so far.
+func (s *Scheduler) Answered() int {
+	total := 0
+	for k := range s.subsets {
+		total += s.subsets[k].seen
+	}
+	return total
+}

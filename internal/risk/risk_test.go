@@ -1,0 +1,222 @@
+package risk
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func twoSubsets() []Subset {
+	return []Subset{
+		{IDs: []int{10, 11, 12, 13}, Prior: 0.1},
+		{IDs: []int{20, 21, 22, 23}, Prior: 0.5},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{BatchSize: -1},
+		{PriorStrength: -2},
+		{TailProb: -0.1},
+		{TailProb: 0.5},
+	} {
+		if _, err := NewScheduler(twoSubsets(), cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := NewScheduler(nil, Config{}); err == nil {
+		t.Error("empty subset list should be rejected")
+	}
+	if _, err := NewScheduler([]Subset{{IDs: []int{1}, Observed: 2}}, Config{}); err == nil {
+		t.Error("observed beyond subset size should be rejected")
+	}
+	if _, err := NewScheduler([]Subset{{IDs: []int{1, 2}, Observed: 1, ObservedMatches: 2}}, Config{}); err == nil {
+		t.Error("observed matches beyond observed should be rejected")
+	}
+}
+
+func TestSchedulerOrdersByRisk(t *testing.T) {
+	// Subset 1 sits at the decision boundary (prior 0.5), subset 0 far from
+	// it: every batch must drain subset 1 first.
+	s, err := NewScheduler(twoSubsets(), Config{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.NextBatch(0, 1, 0)
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d, want 4", len(batch))
+	}
+	for i, r := range batch {
+		if r.Subset != 1 {
+			t.Fatalf("request %d from subset %d, want the boundary subset 1", i, r.Subset)
+		}
+		if r.ID != 20+i {
+			t.Fatalf("request %d is pair %d, want scheduling order %d", i, r.ID, 20+i)
+		}
+		s.Observe(r.Subset, false)
+	}
+	// Subset 1 exhausted: the next batch must fall back to subset 0.
+	batch = s.NextBatch(0, 1, 0)
+	if len(batch) != 4 || batch[0].Subset != 0 {
+		t.Fatalf("second batch %+v, want subset 0", batch)
+	}
+}
+
+func TestSchedulerWindowAndLimit(t *testing.T) {
+	s, err := NewScheduler(twoSubsets(), Config{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Active window excludes the boundary subset: only subset 0 schedules.
+	batch := s.NextBatch(0, 0, 2)
+	if len(batch) != 2 || batch[0].Subset != 0 || batch[1].Subset != 0 {
+		t.Fatalf("batch %+v, want 2 requests from subset 0", batch)
+	}
+	for _, r := range batch {
+		s.Observe(r.Subset, true)
+	}
+	if got := s.Remaining(0, 0); got != 2 {
+		t.Fatalf("Remaining = %d, want 2", got)
+	}
+	if got := s.Remaining(0, 1); got != 6 {
+		t.Fatalf("Remaining over both = %d, want 6", got)
+	}
+	if got := s.Answered(); got != 2 {
+		t.Fatalf("Answered = %d, want 2", got)
+	}
+	// An empty window yields no work.
+	if b := s.NextBatch(1, 0, 0); len(b) != 0 {
+		t.Fatalf("inverted window scheduled %+v", b)
+	}
+}
+
+func TestPosteriorUpdates(t *testing.T) {
+	s, err := NewScheduler([]Subset{{IDs: []int{1, 2, 3, 4}, Prior: 0.5}}, Config{PriorStrength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Mean(0); math.Abs(m-0.5) > 1e-12 {
+		t.Fatalf("prior mean %v, want 0.5", m)
+	}
+	// Four matches: posterior mean (2+4)/(4+4) = 0.75.
+	for i := 0; i < 4; i++ {
+		s.Observe(0, true)
+	}
+	if m := s.Mean(0); math.Abs(m-0.75) > 1e-12 {
+		t.Fatalf("posterior mean %v, want 0.75", m)
+	}
+	st := s.Stratum(0)
+	if st.Size != 4 || st.Sampled != 4 || st.Matches != 4 {
+		t.Fatalf("stratum %+v", st)
+	}
+}
+
+func TestObservedPrefixSeedsSchedule(t *testing.T) {
+	s, err := NewScheduler([]Subset{
+		{IDs: []int{1, 2, 3}, Prior: 0.5, Observed: 3, ObservedMatches: 2},
+		{IDs: []int{4, 5, 6}, Prior: 0.5},
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stratum(0); st.Sampled != 3 || st.Matches != 2 {
+		t.Fatalf("census stratum %+v", st)
+	}
+	if got := s.Remaining(0, 1); got != 3 {
+		t.Fatalf("Remaining = %d, want only the uncensused subset's 3", got)
+	}
+	for _, r := range s.NextBatch(0, 1, 0) {
+		if r.Subset == 0 {
+			t.Fatal("fully observed subset must never be scheduled")
+		}
+	}
+
+	// Partially observed: only the unobserved suffix schedules, in order.
+	s, err = NewScheduler([]Subset{
+		{IDs: []int{7, 8, 9, 10}, Prior: 0.5, Observed: 2, ObservedMatches: 1},
+	}, Config{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stratum(0); st.Sampled != 2 || st.Matches != 1 {
+		t.Fatalf("partial stratum %+v", st)
+	}
+	b := s.NextBatch(0, 0, 0)
+	if len(b) != 2 || b[0].ID != 9 || b[1].ID != 10 {
+		t.Fatalf("batch %+v, want the unobserved suffix [9 10]", b)
+	}
+}
+
+func TestTailRiskPrefersUncertainSubsets(t *testing.T) {
+	// Both subsets share the posterior mean distance from 0.5, but subset 1
+	// has a much weaker prior: with the CVaR-style tail enabled its larger
+	// posterior spread must rank it first.
+	subsets := []Subset{
+		{IDs: []int{1, 2}, Prior: 0.2},
+		{IDs: []int{3, 4}, Prior: 0.2},
+	}
+	tailed, err := NewScheduler(subsets, Config{TailProb: 0.05, PriorStrength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := NewScheduler(subsets, Config{TailProb: 0.05, PriorStrength: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailed.PairRisk(0) <= strong.PairRisk(0) {
+		t.Errorf("weak prior tail risk %v should exceed strong prior %v",
+			tailed.PairRisk(0), strong.PairRisk(0))
+	}
+	// Without the tail, the two configurations score identically.
+	a, _ := NewScheduler(subsets, Config{PriorStrength: 2})
+	b, _ := NewScheduler(subsets, Config{PriorStrength: 200})
+	if math.Abs(a.PairRisk(0)-b.PairRisk(0)) > 1e-12 {
+		t.Errorf("expected risk must not depend on prior strength for equal means: %v vs %v", a.PairRisk(0), b.PairRisk(0))
+	}
+}
+
+func TestScoresWorkerInvariance(t *testing.T) {
+	subsets := make([]Subset, 64)
+	for k := range subsets {
+		ids := make([]int, 30)
+		for i := range ids {
+			ids[i] = k*100 + i
+		}
+		subsets[k] = Subset{IDs: ids, Prior: float64(k) / 64}
+	}
+	build := func(workers int) *Scheduler {
+		s, err := NewScheduler(subsets, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s8 := build(1), build(8)
+	for round := 0; round < 5; round++ {
+		b1 := s1.NextBatch(0, 63, 0)
+		b8 := s8.NextBatch(0, 63, 0)
+		if !reflect.DeepEqual(b1, b8) {
+			t.Fatalf("round %d: schedules diverge across worker counts:\n%v\nvs\n%v", round, b1, b8)
+		}
+		for _, r := range b1 {
+			match := r.ID%3 == 0
+			s1.Observe(r.Subset, match)
+			s8.Observe(r.Subset, match)
+		}
+		if !reflect.DeepEqual(s1.Scores(0, 63), s8.Scores(0, 63)) {
+			t.Fatalf("round %d: scores diverge across worker counts", round)
+		}
+	}
+}
+
+func TestScoreFloorKeepsPairsSchedulable(t *testing.T) {
+	// A posterior pinned (numerically) at certainty must still schedule its
+	// unanswered pairs, or the search would spin forever on them.
+	s, err := NewScheduler([]Subset{{IDs: []int{1, 2}, Prior: 0}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := s.NextBatch(0, 0, 0); len(b) != 2 {
+		t.Fatalf("certain-unmatch subset not scheduled: %+v", b)
+	}
+}

@@ -298,3 +298,89 @@ func TestHandlerErrorPaths(t *testing.T) {
 		t.Fatalf("empty answers: %d", code)
 	}
 }
+
+// TestHandlerRiskSession drives a method "risk" session over the wire: the
+// status endpoint must surface live schedule progress while answers arrive
+// and report the certified early stop at the end; the recovered division
+// must match the in-process twin.
+func TestHandlerRiskSession(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, truth := testWorkload(t, 1500, 11)
+	spec := testSpec(pairs)
+	spec.Method = "risk"
+
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "rk", Spec: spec}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	for rounds := 0; ; rounds++ {
+		if rounds > 500 {
+			t.Fatal("risk resolution did not converge in 500 rounds")
+		}
+		var next nextBody
+		code := doJSON(t, "GET", srv.URL+"/v1/sessions/rk/next?wait=30s", nil, &next)
+		if code == http.StatusNoContent {
+			continue
+		}
+		if code != http.StatusOK {
+			t.Fatalf("next: status %d", code)
+		}
+		if next.Done {
+			if next.Error != "" {
+				t.Fatalf("session failed: %s", next.Error)
+			}
+			break
+		}
+		var st Status
+		if code := doJSON(t, "POST", srv.URL+"/v1/sessions/rk/answers", answersFor(next.IDs, truth), &st); code != http.StatusOK {
+			t.Fatalf("answers: status %d", code)
+		}
+		// Progress publication is asynchronous (the search goroutine
+		// re-estimates after the answers call returns), so mid-run presence
+		// is not asserted — only sanity when it does show up.
+		if st.Risk != nil && (st.Risk.RemainingPairs < 0 || st.Risk.AnsweredPairs < 0) {
+			t.Fatalf("nonsense risk progress %+v", st.Risk)
+		}
+	}
+
+	var st Status
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/rk", nil, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.Risk == nil || !st.Risk.Certified || st.Risk.BudgetExhausted {
+		t.Fatalf("final risk status %+v, want certified", st.Risk)
+	}
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if !st.Done || st.Solution == nil || st.Solution.Lo != wantSol.Lo || st.Solution.Hi != wantSol.Hi {
+		t.Fatalf("final status %+v, want solution %+v", st, wantSol)
+	}
+	if st.Cost != wantCost {
+		t.Errorf("cost %d, want %d", st.Cost, wantCost)
+	}
+}
+
+// TestHandlerAnytimeBudgetValidation pins the spec contract of the anytime
+// budget: negative values and non-risk methods are 400s, a risk session
+// with a budget is accepted.
+func TestHandlerAnytimeBudgetValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, _ := testWorkload(t, 600, 15)
+
+	bad := testSpec(pairs)
+	bad.AnytimeBudget = 50 // method is hybrid
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Spec: bad}, nil); code != http.StatusBadRequest {
+		t.Fatalf("anytime_budget on hybrid: %d, want 400", code)
+	}
+	neg := testSpec(pairs)
+	neg.Method = "risk"
+	neg.AnytimeBudget = -1
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{Spec: neg}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative anytime_budget: %d, want 400", code)
+	}
+	ok := testSpec(pairs)
+	ok.Method = "risk"
+	ok.AnytimeBudget = 50
+	var st Status
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "any", Spec: ok}, &st); code != http.StatusCreated {
+		t.Fatalf("risk with anytime_budget: %d, want 201", code)
+	}
+}

@@ -424,6 +424,20 @@ func (s *ManagedSession) WaitLabels(ctx context.Context, ids []int) (got map[int
 	}
 }
 
+// RiskStatus is the JSON shape of a risk session's schedule progress: the
+// currently certified DH bounds, how much of them is still unanswered, and
+// the early-stop state. It is present (and live-updating) while the session
+// runs, so status polls can watch the certified zone shrink.
+type RiskStatus struct {
+	Lo              int  `json:"lo"`
+	Hi              int  `json:"hi"`
+	RemainingPairs  int  `json:"remaining_pairs"`
+	AnsweredPairs   int  `json:"answered_pairs"`
+	Batches         int  `json:"batches"`
+	Certified       bool `json:"certified"`
+	BudgetExhausted bool `json:"budget_exhausted"`
+}
+
 // SolutionStatus is the JSON shape of a finished division.
 type SolutionStatus struct {
 	Method       string `json:"method"`
@@ -447,6 +461,10 @@ type Status struct {
 	Done          bool   `json:"done"`
 	Error         string `json:"error,omitempty"`
 
+	// Risk is the schedule progress of a method "risk" session, present
+	// once the schedule completed its first re-estimation round.
+	Risk *RiskStatus `json:"risk,omitempty"`
+
 	// Solution is set once the session terminated successfully.
 	Solution *SolutionStatus `json:"solution,omitempty"`
 	// Matches counts matching pairs of the full resolution (Resolve specs
@@ -465,6 +483,16 @@ func (s *ManagedSession) Status() Status {
 		Cost:          s.sess.Cost(),
 		Done:          s.sess.Done(),
 		Pending:       s.sess.Pending(),
+	}
+	if p, ok := s.sess.RiskProgress(); ok {
+		st.Risk = &RiskStatus{
+			Lo: p.Lo, Hi: p.Hi,
+			RemainingPairs:  p.Remaining,
+			AnsweredPairs:   p.Answered,
+			Batches:         p.Batches,
+			Certified:       p.Certified,
+			BudgetExhausted: p.BudgetExhausted,
+		}
 	}
 	if !st.Done {
 		return st

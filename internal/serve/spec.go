@@ -49,6 +49,10 @@ type Spec struct {
 	// BudgetPairs is the manual-inspection budget of method "budgeted";
 	// alpha/beta/theta are ignored by that method.
 	BudgetPairs int `json:"budget_pairs,omitempty"`
+	// AnytimeBudget caps the labels the "risk" method's schedule may
+	// request before settling for its current certified division (0 = run
+	// the schedule to convergence). Only valid with method "risk".
+	AnytimeBudget int `json:"anytime_budget,omitempty"`
 	// Resolve carries the session through the final DH labeling.
 	Resolve bool `json:"resolve,omitempty"`
 	// SubsetSize overrides the default unit-subset size (0 = default 200).
@@ -84,11 +88,14 @@ func (sp Spec) Validate() error {
 			return fmt.Errorf("%w: workload_file must be a relative path inside the data directory", ErrBadSpec)
 		}
 	}
-	if sp.SubsetSize < 0 || sp.PairsPerSubset < 0 || sp.BudgetPairs < 0 {
-		return fmt.Errorf("%w: subset_size, pairs_per_subset and budget_pairs must be >= 0", ErrBadSpec)
+	if sp.SubsetSize < 0 || sp.PairsPerSubset < 0 || sp.BudgetPairs < 0 || sp.AnytimeBudget < 0 {
+		return fmt.Errorf("%w: subset_size, pairs_per_subset, budget_pairs and anytime_budget must be >= 0", ErrBadSpec)
 	}
 	if sp.Method == string(humo.MethodBudgeted) && sp.BudgetPairs == 0 {
 		return fmt.Errorf("%w: method budgeted needs a positive budget_pairs", ErrBadSpec)
+	}
+	if sp.AnytimeBudget > 0 && sp.Method != string(humo.MethodRisk) {
+		return fmt.Errorf("%w: anytime_budget applies to method risk only", ErrBadSpec)
 	}
 	return nil
 }
@@ -132,6 +139,8 @@ func (sp Spec) sessionConfig() humo.SessionConfig {
 	}
 	cfg.Sampling.PairsPerSubset = sp.PairsPerSubset
 	cfg.Hybrid.Sampling.PairsPerSubset = sp.PairsPerSubset
+	cfg.Risk.Sampling.PairsPerSubset = sp.PairsPerSubset
+	cfg.Risk.BudgetPairs = sp.AnytimeBudget
 	return cfg
 }
 

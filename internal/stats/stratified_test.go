@@ -228,3 +228,99 @@ func TestMeanStdDev(t *testing.T) {
 		t.Error("degenerate inputs should return 0")
 	}
 }
+
+// TestEstimateTotalSingleStratum pins the single-stratum workload (a whole
+// resolution inside one unit subset): the estimate must degrade to the
+// plain binomial case, with the finite-population correction vanishing on
+// a census.
+func TestEstimateTotalSingleStratum(t *testing.T) {
+	// Partial sample: 30 of 100 pairs, 12 matches.
+	est, err := EstimateTotal([]Stratum{{Size: 100, Sampled: 30, Matches: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := est.Mean, 40.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean %v, want %v", got, want)
+	}
+	if est.StdDev <= 0 {
+		t.Errorf("partial single stratum must carry variance, got %v", est.StdDev)
+	}
+	if got, want := est.DF, 29.0; got != want {
+		t.Errorf("df %v, want %v", got, want)
+	}
+	lo, hi, err := est.Interval(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 100 || lo > est.Mean || hi < est.Mean {
+		t.Errorf("interval [%v,%v] inconsistent with mean %v over 100 pairs", lo, hi, est.Mean)
+	}
+
+	// Census: zero variance, interval collapses to the exact count.
+	est, err = EstimateTotal([]Stratum{{Size: 100, Sampled: 100, Matches: 37}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.StdDev != 0 {
+		t.Errorf("census stddev %v, want 0", est.StdDev)
+	}
+	lo, hi, err = est.Interval(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 37 || hi != 37 {
+		t.Errorf("census interval [%v,%v], want exactly 37", lo, hi)
+	}
+}
+
+// TestEstimateTotalDegenerateStrata pins all-match and all-nonmatch strata:
+// p(1-p) = 0 makes their sample variance vanish even for partial samples,
+// and the bounds must stay clamped inside [0, Pairs].
+func TestEstimateTotalDegenerateStrata(t *testing.T) {
+	est, err := EstimateTotal([]Stratum{
+		{Size: 200, Sampled: 50, Matches: 50}, // all-match
+		{Size: 200, Sampled: 50, Matches: 0},  // all-nonmatch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := est.Mean, 200.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean %v, want %v", got, want)
+	}
+	if est.StdDev != 0 {
+		t.Errorf("degenerate strata stddev %v, want 0 (p(1-p) vanishes)", est.StdDev)
+	}
+	lo, hi, err := est.Interval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 200 || hi != 200 {
+		t.Errorf("interval [%v,%v], want exactly the point estimate", lo, hi)
+	}
+
+	// A single observed pair must widen, not shrink, the margin (worst-case
+	// Bernoulli variance), even when that one pair matched.
+	est, err = EstimateTotal([]Stratum{{Size: 100, Sampled: 1, Matches: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.StdDev <= 0 {
+		t.Error("single-sample stratum must assume worst-case variance")
+	}
+	lo, hi, err = est.Interval(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 100 {
+		t.Errorf("interval [%v,%v] escapes [0,100]", lo, hi)
+	}
+
+	// Empty strata (Size 0) contribute nothing and must not error.
+	est, err = EstimateTotal([]Stratum{{}, {Size: 10, Sampled: 10, Matches: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 3 || est.Pairs != 10 {
+		t.Errorf("estimate with empty stratum: %+v", est)
+	}
+}

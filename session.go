@@ -19,22 +19,23 @@ import (
 // Method names a search a Session can drive.
 type Method string
 
-// The five searches of the package, by CLI name.
+// The six searches of the package, by CLI name.
 const (
 	MethodBase            Method = "base"
 	MethodAllSampling     Method = "allsampling"
 	MethodPartialSampling Method = "sampling"
 	MethodHybrid          Method = "hybrid"
 	MethodBudgeted        Method = "budgeted"
+	MethodRisk            Method = "risk"
 )
 
 // ParseMethod parses a method name as used by SessionConfig and the CLIs.
 func ParseMethod(s string) (Method, error) {
 	switch m := Method(s); m {
-	case MethodBase, MethodAllSampling, MethodPartialSampling, MethodHybrid, MethodBudgeted:
+	case MethodBase, MethodAllSampling, MethodPartialSampling, MethodHybrid, MethodBudgeted, MethodRisk:
 		return m, nil
 	}
-	return "", fmt.Errorf("humo: unknown method %q (want base, allsampling, sampling, hybrid or budgeted)", s)
+	return "", fmt.Errorf("humo: unknown method %q (want base, allsampling, sampling, hybrid, budgeted or risk)", s)
 }
 
 // ErrSessionCanceled is the terminal error of a session stopped by Cancel.
@@ -62,6 +63,11 @@ type SessionConfig struct {
 	Base     BaseConfig
 	Sampling SamplingConfig
 	Hybrid   HybridConfig
+	// Risk configures MethodRisk (its embedded Sampling applies instead of
+	// the top-level one). Risk.Sampling.Rand must be nil — session
+	// randomness derives from Seed — and Risk.Progress must be nil: the
+	// session installs its own hook, read back via RiskProgress.
+	Risk RiskConfig
 
 	// BudgetPairs is the manual-inspection budget of MethodBudgeted
 	// (ignored by the other methods, which take a Requirement instead).
@@ -123,6 +129,7 @@ type Session struct {
 	sol      Solution
 	labels   []bool
 	err      error
+	riskProg *RiskProgress // latest MethodRisk schedule snapshot
 
 	reqCh     chan []int    // search -> Next: a batch of unknown ids
 	ansCh     chan struct{} // Answer/Next -> search: the batch is fully answered
@@ -146,8 +153,11 @@ func NewSession(w *Workload, req Requirement, cfg SessionConfig) (*Session, erro
 			return nil, err
 		}
 	}
-	if cfg.Sampling.Rand != nil || cfg.Hybrid.Sampling.Rand != nil {
+	if cfg.Sampling.Rand != nil || cfg.Hybrid.Sampling.Rand != nil || cfg.Risk.Sampling.Rand != nil {
 		return nil, errors.New("humo: session randomness is derived from SessionConfig.Seed; leave the Rand fields nil")
+	}
+	if cfg.Risk.Progress != nil {
+		return nil, errors.New("humo: Risk.Progress must be nil in sessions; read progress back via Session.RiskProgress")
 	}
 	s := &Session{
 		w:        w,
@@ -212,6 +222,11 @@ func (s *Session) search() (sol Solution, labels []bool, err error) {
 		sc := s.cfg.Sampling
 		sc.Rand = rng
 		sol, err = core.BudgetedSearch(s.w, s.cfg.BudgetPairs, ad, sc)
+	case MethodRisk:
+		rc := s.cfg.Risk
+		rc.Sampling.Rand = rng
+		rc.Progress = s.storeRiskProgress
+		sol, err = core.RiskSearch(s.w, s.req, ad, rc)
 	}
 	if err == nil && s.cfg.Resolve {
 		labels = sol.Resolve(s.w, ad)
@@ -336,12 +351,40 @@ func (s *Session) release() {
 	}
 }
 
+// storeRiskProgress is the Progress hook a MethodRisk search reports
+// through; the latest snapshot is read back with RiskProgress.
+func (s *Session) storeRiskProgress(p RiskProgress) {
+	s.mu.Lock()
+	s.riskProg = &p
+	s.mu.Unlock()
+}
+
+// RiskProgress returns the latest schedule snapshot of a MethodRisk session
+// (certified DH bounds, unanswered pairs inside them, answered count,
+// early-stop state). ok is false until the risk schedule has completed its
+// first re-estimation round, and always for the other methods.
+func (s *Session) RiskProgress() (p RiskProgress, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.riskProg == nil {
+		return RiskProgress{}, false
+	}
+	return *s.riskProg, true
+}
+
 // Answer feeds human labels into the session's log. Partial answers are
 // allowed: the unanswered remainder of the current batch is returned by the
 // following Next, and the search resumes only once the whole batch is
 // covered. Ids outside the current batch are recorded too (and served if
-// the search asks later). Answering a terminated session is an error.
+// the search asks later). An empty (or nil) labels map is a no-op: it
+// records nothing, releases nothing and returns nil even on a terminated
+// session — so a Labeler that polls and comes back empty-handed does not
+// burn the batch cycle or trip an error. Answering a terminated session
+// with actual labels is an error.
 func (s *Session) Answer(labels map[int]bool) error {
+	if len(labels) == 0 {
+		return nil
+	}
 	s.mu.Lock()
 	if s.done {
 		s.mu.Unlock()
@@ -513,10 +556,12 @@ type sessionCheckpoint struct {
 }
 
 // configFingerprint hashes the search knobs that shape which pairs the
-// search asks for, so a restore with different Base/Sampling/Hybrid
+// search asks for, so a restore with different Base/Sampling/Hybrid/Risk
 // settings is refused instead of silently diverging from the label log.
-// Workers is excluded (it trades wall-clock only, never results), and the
-// Rand fields are nil by session invariant.
+// Workers fields are excluded (they trade wall-clock only, never results),
+// and the Rand fields are nil by session invariant. The Risk knobs enter the
+// hash only for MethodRisk, so checkpoints of the other methods keep the
+// fingerprints they were written with.
 func configFingerprint(cfg SessionConfig) string {
 	base := cfg.Base
 	samp := cfg.Sampling
@@ -525,6 +570,13 @@ func configFingerprint(cfg SessionConfig) string {
 	hyb.Sampling.Workers = 0
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v|%+v|%+v", base, samp, hyb)
+	if cfg.Method == MethodRisk {
+		rc := cfg.Risk
+		rc.Sampling.Workers = 0
+		rc.Schedule.Workers = 0
+		rc.Progress = nil // a hook pointer must never enter the hash
+		fmt.Fprintf(h, "|%+v", rc)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

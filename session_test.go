@@ -133,6 +133,16 @@ func parityCases(w *humo.Workload, truth map[int]bool) map[string]struct {
 				Seed:        24,
 			},
 		},
+		"risk": {
+			oneShot: func() (humo.Solution, *humo.SimulatedOracle, error) {
+				o := humo.NewSimulatedOracle(truth)
+				sol, err := humo.RiskAware(w, req, o, humo.RiskConfig{
+					Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(25))},
+				})
+				return sol, o, err
+			},
+			cfg: humo.SessionConfig{Method: humo.MethodRisk, Seed: 25},
+		},
 	}
 }
 
@@ -591,5 +601,172 @@ func TestOracleCost(t *testing.T) {
 	type bare struct{ humo.Oracle }
 	if _, ok := humo.OracleCost(bare{}); ok {
 		t.Error("cost reported for an oracle without accounting")
+	}
+}
+
+// TestSessionAnswerEmptyNoOp pins the documented no-op contract: an empty
+// (or nil) Answer records nothing, leaves the surfaced batch intact, and
+// returns nil even on a terminated session — it must never consume a poll
+// cycle or release the search.
+func TestSessionAnswerEmptyNoOp(t *testing.T) {
+	w, _ := sessionFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	s, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodHybrid, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b, err := s.Next(ctx)
+	if err != nil || b.Empty() {
+		t.Fatalf("initial batch: %v %v", b, err)
+	}
+	if err := s.Answer(nil); err != nil {
+		t.Fatalf("Answer(nil) = %v, want nil", err)
+	}
+	if err := s.Answer(map[int]bool{}); err != nil {
+		t.Fatalf("Answer(empty) = %v, want nil", err)
+	}
+	if got := s.Pending(); len(got) != len(b.IDs) {
+		t.Fatalf("empty Answer disturbed the pending batch: %d of %d left", len(got), len(b.IDs))
+	}
+	again, err := s.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.IDs) != len(b.IDs) {
+		t.Fatalf("empty Answer consumed the batch: Next returned %d ids, want %d", len(again.IDs), len(b.IDs))
+	}
+	s.Cancel()
+	// Terminated session: empty stays a no-op, real labels stay an error.
+	if err := s.Answer(nil); err != nil {
+		t.Fatalf("Answer(nil) after termination = %v, want nil", err)
+	}
+	if err := s.Answer(map[int]bool{1: true}); err == nil {
+		t.Fatal("Answer with labels after termination should fail")
+	}
+}
+
+// TestSessionRiskProgress drives a MethodRisk session and checks the
+// progress snapshot: absent for other methods, present and certified once a
+// risk session completes.
+func TestSessionRiskProgress(t *testing.T) {
+	w, truth := sessionFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	s, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodRisk, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, s, truth)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.RiskProgress()
+	if !ok {
+		t.Fatal("completed risk session reported no progress")
+	}
+	if !p.Certified || p.Remaining != 0 {
+		t.Errorf("final risk progress %+v, want certified with nothing remaining", p)
+	}
+	sol := s.Solution()
+	if p.Lo != sol.Lo || p.Hi != sol.Hi {
+		t.Errorf("progress bounds [%d,%d] differ from solution %v", p.Lo, p.Hi, sol)
+	}
+
+	// Other methods never report risk progress.
+	h, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodHybrid, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, h, truth)
+	if _, ok := h.RiskProgress(); ok {
+		t.Error("hybrid session reported risk progress")
+	}
+}
+
+// TestSessionRiskConfigValidation pins the session-level constraints on the
+// risk configuration: live Rand and Progress fields are refused.
+func TestSessionRiskConfigValidation(t *testing.T) {
+	w, _ := sessionFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodRisk, Seed: 1}
+	cfg.Risk.Sampling.Rand = rand.New(rand.NewSource(1))
+	if _, err := humo.NewSession(w, req, cfg); err == nil {
+		t.Error("risk sampling Rand should be refused")
+	}
+	cfg = humo.SessionConfig{Method: humo.MethodRisk, Seed: 1}
+	cfg.Risk.Progress = func(humo.RiskProgress) {}
+	if _, err := humo.NewSession(w, req, cfg); err == nil {
+		t.Error("risk Progress hook should be refused")
+	}
+}
+
+// TestSessionRiskCheckpointRestore round-trips a half-driven risk session
+// through Checkpoint/RestoreSession: the restored run must land on the
+// uninterrupted solution and cost (the schedule replays bit-identically
+// from the label log), and a restore with different risk knobs must be
+// refused by the configuration fingerprint.
+func TestSessionRiskCheckpointRestore(t *testing.T) {
+	w, truth := sessionFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodRisk, Seed: 25}
+
+	ref, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, ref, truth)
+	if err := ref.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		b, err := s.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Empty() {
+			t.Fatal("risk session terminated before the checkpoint point")
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cp bytes.Buffer
+	if err := s.Checkpoint(&cp); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+
+	// Different risk knobs: the fingerprint must refuse the restore.
+	tuned := cfg
+	tuned.Risk.Schedule.BatchSize = 7
+	if _, err := humo.RestoreSession(w, req, tuned, bytes.NewReader(cp.Bytes())); !errors.Is(err, humo.ErrCheckpointMismatch) {
+		t.Fatalf("restore with changed risk knobs: %v, want ErrCheckpointMismatch", err)
+	}
+	// Workers-only changes replay fine (wall-clock knob, not a schedule knob).
+	workers := cfg
+	workers.Risk.Schedule.Workers = 8
+	restored, err := humo.RestoreSession(w, req, workers, bytes.NewReader(cp.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, restored, truth)
+	if err := restored.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Solution(), ref.Solution(); got != want {
+		t.Errorf("restored solution %v, want %v", got, want)
+	}
+	if got, want := restored.Cost(), ref.Cost(); got != want {
+		t.Errorf("restored cost %d, want %d", got, want)
 	}
 }
