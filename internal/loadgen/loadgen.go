@@ -1,0 +1,327 @@
+// Package loadgen is the load-generation harness for humod: N concurrent
+// clients drive M sessions through the full create → next → answer →
+// status → delete lifecycle over the real HTTP API, answering from
+// generated ground truth, and report per-operation latency quantiles and
+// overall throughput. It is run small as a CI smoke (a p99 sanity bound)
+// and large as a benchmark harness (cmd/humod -loadtest).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"humo"
+	"humo/internal/obs"
+	"humo/internal/parallel"
+	"humo/internal/serve"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// BaseURL is the humod server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients bounds concurrently driven sessions (default 4).
+	Clients int
+	// Sessions is the total number of sessions driven (default Clients).
+	Sessions int
+	// Pairs sizes each session's generated workload (default 800).
+	Pairs int
+	// Method is the resolution method (default "hybrid").
+	Method string
+	// Seed derives each session's workload and search seed (session i uses
+	// Seed+i), so a run is reproducible end to end.
+	Seed int64
+	// StatusEvery interleaves one status poll every N answer rounds
+	// (default 2; 0 disables status polling).
+	StatusEvery int
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.BaseURL == "" {
+		return errors.New("loadgen: Config.BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = cfg.Clients
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 800
+	}
+	if cfg.Method == "" {
+		cfg.Method = "hybrid"
+	}
+	if cfg.StatusEvery < 0 {
+		cfg.StatusEvery = 0
+	} else if cfg.StatusEvery == 0 {
+		cfg.StatusEvery = 2
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	return nil
+}
+
+// The operation names latencies are keyed by.
+const (
+	OpCreate = "create"
+	OpNext   = "next"
+	OpAnswer = "answer"
+	OpStatus = "status"
+	OpDelete = "delete"
+)
+
+// OpStats summarizes one operation across the run. Quantiles are upper
+// bucket bounds (obs.Histogram).
+type OpStats struct {
+	Count  int64
+	Errors int64
+	Mean   time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Sessions   int
+	Clients    int
+	Pairs      int
+	Elapsed    time.Duration
+	Ops        int64              // total successful operations
+	Throughput float64            // successful operations per second
+	Retried    int64              // 429-shed polls that were retried
+	PerOp      map[string]OpStats // keyed by Op* names
+}
+
+// String renders the report as an aligned transcript table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d sessions x %d pairs, %d clients, %.2fs wall, %d ops (%.0f ops/s, %d polls shed+retried)\n",
+		r.Sessions, r.Pairs, r.Clients, r.Elapsed.Seconds(), r.Ops, r.Throughput, r.Retried)
+	names := make([]string, 0, len(r.PerOp))
+	for name := range r.PerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-8s %8s %7s %10s %10s %10s %10s\n", "op", "count", "errors", "p50", "p95", "p99", "max")
+	for _, name := range names {
+		s := r.PerOp[name]
+		fmt.Fprintf(&b, "%-8s %8d %7d %10s %10s %10s %10s\n",
+			name, s.Count, s.Errors, s.P50, s.P95, s.P99, s.Max)
+	}
+	return b.String()
+}
+
+// runner carries the per-run instruments.
+type runner struct {
+	cfg     Config
+	lat     map[string]*obs.Histogram
+	errs    map[string]*obs.Counter
+	retried obs.Counter
+}
+
+// Run drives the configured load against a live humod and returns the
+// report. Worker failures (non-retryable HTTP errors, sessions that fail
+// server-side) abort the run with an error; 429 shed polls are retried and
+// counted, not failed — backpressure is an expected answer under load.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Report{}, err
+	}
+	r := &runner{
+		cfg:  cfg,
+		lat:  make(map[string]*obs.Histogram),
+		errs: make(map[string]*obs.Counter),
+	}
+	for _, op := range []string{OpCreate, OpNext, OpAnswer, OpStatus, OpDelete} {
+		r.lat[op] = &obs.Histogram{}
+		r.errs[op] = &obs.Counter{}
+	}
+	t0 := time.Now()
+	err := parallel.ForEach(cfg.Clients, cfg.Sessions, func(i int) error {
+		return r.driveSession(ctx, i)
+	})
+	elapsed := time.Since(t0)
+	rep := Report{
+		Sessions: cfg.Sessions,
+		Clients:  cfg.Clients,
+		Pairs:    cfg.Pairs,
+		Elapsed:  elapsed,
+		Retried:  r.retried.Value(),
+		PerOp:    make(map[string]OpStats, len(r.lat)),
+	}
+	for op, h := range r.lat {
+		s := h.Snapshot()
+		rep.PerOp[op] = OpStats{
+			Count:  s.Count,
+			Errors: r.errs[op].Value(),
+			Mean:   time.Duration(s.MeanU) * time.Microsecond,
+			P50:    time.Duration(s.P50U) * time.Microsecond,
+			P95:    time.Duration(s.P95U) * time.Microsecond,
+			P99:    time.Duration(s.P99U) * time.Microsecond,
+			Max:    time.Duration(s.MaxU) * time.Microsecond,
+		}
+		rep.Ops += s.Count
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	}
+	return rep, err
+}
+
+// P99 returns the worst p99 across the hot operations (next/answer/status),
+// the bound the CI smoke asserts on. Create and delete are excluded: they
+// amortize workload construction and journal teardown.
+func (r Report) P99() time.Duration {
+	var worst time.Duration
+	for _, op := range []string{OpNext, OpAnswer, OpStatus} {
+		if s, ok := r.PerOp[op]; ok && s.P99 > worst {
+			worst = s.P99
+		}
+	}
+	return worst
+}
+
+// driveSession runs one session start to finish.
+func (r *runner) driveSession(ctx context.Context, i int) error {
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: r.cfg.Pairs, Tau: 14, Sigma: 0.1, Seed: r.cfg.Seed + int64(i)})
+	if err != nil {
+		return fmt.Errorf("loadgen: session %d workload: %w", i, err)
+	}
+	pairs, truth := humo.Split(labeled)
+	sp := make([]serve.SpecPair, len(pairs))
+	for j, p := range pairs {
+		sp[j] = serve.SpecPair{ID: p.ID, Sim: p.Sim}
+	}
+	id := fmt.Sprintf("load-%d-%d", r.cfg.Seed, i)
+	create := serve.CreateRequest{ID: id, Spec: serve.Spec{
+		Method: r.cfg.Method, Seed: r.cfg.Seed + int64(i),
+		Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+		SubsetSize: 100,
+		Pairs:      sp,
+	}}
+	if r.cfg.Method == "budgeted" {
+		create.Spec.BudgetPairs = r.cfg.Pairs / 4
+	}
+	if code, _, err := r.do(ctx, OpCreate, "POST", "/v1/sessions", create); err != nil {
+		return err
+	} else if code != http.StatusCreated {
+		return fmt.Errorf("loadgen: session %d create: status %d", i, code)
+	}
+	rounds := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var next struct {
+			IDs   []int  `json:"ids"`
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		code, body, err := r.do(ctx, OpNext, "GET", "/v1/sessions/"+id+"/next?wait=30s", nil)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case http.StatusNoContent:
+			continue
+		case http.StatusTooManyRequests:
+			r.retried.Inc()
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		case http.StatusOK:
+		default:
+			return fmt.Errorf("loadgen: session %d next: status %d", i, code)
+		}
+		if err := json.Unmarshal(body, &next); err != nil {
+			return fmt.Errorf("loadgen: session %d next body: %w", i, err)
+		}
+		if next.Done {
+			if next.Error != "" {
+				return fmt.Errorf("loadgen: session %d failed server-side: %s", i, next.Error)
+			}
+			break
+		}
+		labels := make(map[string]bool, len(next.IDs))
+		for _, pid := range next.IDs {
+			labels[strconv.Itoa(pid)] = truth[pid]
+		}
+		if code, _, err := r.do(ctx, OpAnswer, "POST", "/v1/sessions/"+id+"/answers", map[string]any{"labels": labels}); err != nil {
+			return err
+		} else if code != http.StatusOK {
+			return fmt.Errorf("loadgen: session %d answer: status %d", i, code)
+		}
+		rounds++
+		if r.cfg.StatusEvery > 0 && rounds%r.cfg.StatusEvery == 0 {
+			if code, _, err := r.do(ctx, OpStatus, "GET", "/v1/sessions/"+id, nil); err != nil {
+				return err
+			} else if code != http.StatusOK {
+				return fmt.Errorf("loadgen: session %d status: status %d", i, code)
+			}
+		}
+	}
+	if code, _, err := r.do(ctx, OpDelete, "DELETE", "/v1/sessions/"+id, nil); err != nil {
+		return err
+	} else if code != http.StatusNoContent {
+		return fmt.Errorf("loadgen: session %d delete: status %d", i, code)
+	}
+	return nil
+}
+
+// do performs one timed request. Transport errors count against the op and
+// return an error; HTTP error statuses are returned for the caller to
+// interpret (4xx/5xx semantics differ per op).
+func (r *runner) do(ctx context.Context, op, method, path string, body any) (int, []byte, error) {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.cfg.BaseURL+path, reader)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	res, err := r.cfg.HTTPClient.Do(req)
+	d := time.Since(t0)
+	r.lat[op].Observe(d)
+	if err != nil {
+		r.errs[op].Inc()
+		return 0, nil, fmt.Errorf("loadgen: %s %s: %w", method, path, err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		r.errs[op].Inc()
+		return 0, nil, fmt.Errorf("loadgen: %s %s body: %w", method, path, err)
+	}
+	if res.StatusCode >= 500 {
+		r.errs[op].Inc()
+	}
+	return res.StatusCode, data, nil
+}

@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"humo/internal/serve"
+)
+
+// TestRunSmoke is the CI load smoke: a small N clients x M sessions run
+// against an in-process humod must complete every session, report sane
+// latencies, and leave the server empty. The p99 bound is generous — it
+// guards against pathological serialization (seconds per op), not noise.
+func TestRunSmoke(t *testing.T) {
+	m, err := serve.Open(serve.Config{StateDir: t.TempDir(), MaxSessions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(serve.NewHandler(m))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Clients:  4,
+		Sessions: 6,
+		Pairs:    600,
+		Seed:     101,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, rep.String())
+	}
+	if rep.Sessions != 6 || rep.Clients != 4 || rep.Pairs != 600 {
+		t.Fatalf("report config echo %+v", rep)
+	}
+	creates := rep.PerOp[OpCreate]
+	deletes := rep.PerOp[OpDelete]
+	if creates.Count != 6 || creates.Errors != 0 {
+		t.Fatalf("creates %+v, want 6 clean", creates)
+	}
+	if deletes.Count != 6 || deletes.Errors != 0 {
+		t.Fatalf("deletes %+v, want 6 clean", deletes)
+	}
+	for _, op := range []string{OpNext, OpAnswer} {
+		s := rep.PerOp[op]
+		if s.Count == 0 || s.Errors != 0 {
+			t.Fatalf("%s stats %+v, want traffic and no errors", op, s)
+		}
+		if s.P50 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("%s quantiles not monotone: %+v", op, s)
+		}
+	}
+	if rep.Throughput <= 0 || rep.Ops == 0 {
+		t.Fatalf("throughput %v over %d ops", rep.Throughput, rep.Ops)
+	}
+	if p99 := rep.P99(); p99 <= 0 || p99 > 30*time.Second {
+		t.Fatalf("hot-path p99 %v outside the sanity bound", p99)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("%d sessions left after the run", m.Len())
+	}
+
+	out := rep.String()
+	for _, want := range []string{"loadgen:", "p99", OpCreate, OpNext, OpAnswer} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report transcript lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunReproducible: two runs with the same seed drive identical
+// workloads — the same total answered pairs, hence the same answer op
+// count.
+func TestRunReproducible(t *testing.T) {
+	counts := make([]int64, 2)
+	for i := range counts {
+		m, err := serve.Open(serve.Config{StateDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(serve.NewHandler(m))
+		rep, err := Run(context.Background(), Config{BaseURL: srv.URL, Clients: 2, Sessions: 2, Pairs: 500, Seed: 7})
+		srv.Close()
+		m.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = rep.PerOp[OpAnswer].Count
+	}
+	if counts[0] != counts[1] || counts[0] == 0 {
+		t.Fatalf("answer counts %v differ across same-seed runs", counts)
+	}
+}
+
+// TestConfigValidation: a missing BaseURL is refused before any traffic.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// metricsBody is the JSON body of GET /metrics: expvar-style, one flat
+// object per instrument kind plus process uptime.
+type metricsBody struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters"`
+	Latencies     map[string]HistogramSnapshot `json:"latencies"`
+}
+
+// Handler returns the GET /metrics handler: the registry snapshot as
+// indented JSON. start anchors the exported uptime.
+func (r *Registry) Handler(start time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		counters, hists := r.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metricsBody{ //nolint:errcheck // best-effort write to a live conn
+			UptimeSeconds: time.Since(start).Seconds(),
+			Counters:      counters,
+			Latencies:     hists,
+		})
+	})
+}

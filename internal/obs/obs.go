@@ -1,0 +1,207 @@
+// Package obs is the observability layer of the serving stack: lock-free
+// counters and latency histograms collected in a Registry and exported as
+// expvar-style JSON at GET /metrics, plus a structured JSON logger with
+// adaptive steady-state sampling so production traffic does not drown the
+// interesting events.
+//
+// Everything in the package is safe for concurrent use and allocation-free
+// on the hot paths (Counter.Add, Histogram.Observe): servers instrument
+// per-request without contending on a lock or generating garbage.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically growing (or freely moving, when used as a
+// gauge) atomic int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is the number of exponential latency buckets. Bucket i holds
+// observations in (2^(i-1), 2^i] microseconds; the last bucket is a
+// catch-all. 40 buckets cover 1µs to ~6 days, far past any request.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket exponential latency histogram with atomic
+// buckets: Observe is lock-free and allocation-free, quantiles are
+// approximate (upper bucket bound) but monotone and cheap to compute.
+type Histogram struct {
+	count   atomic.Int64
+	sumUs   atomic.Int64
+	maxUs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor returns the bucket index of a duration.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(float64(us))))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		cur := h.maxUs.Load()
+		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound on the p-quantile (p in [0,1]) of the
+// observed latencies: the upper edge of the bucket the quantile falls in.
+// It returns 0 with no observations.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			upper := time.Duration(1<<uint(i)) * time.Microsecond
+			if max := time.Duration(h.maxUs.Load()) * time.Microsecond; upper > max {
+				return max
+			}
+			return upper
+		}
+	}
+	return time.Duration(h.maxUs.Load()) * time.Microsecond
+}
+
+// HistogramSnapshot is the JSON shape of one histogram in the metrics
+// export. Quantiles are upper bucket bounds in microseconds.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	MeanU float64 `json:"mean_us"`
+	P50U  int64   `json:"p50_us"`
+	P95U  int64   `json:"p95_us"`
+	P99U  int64   `json:"p99_us"`
+	MaxU  int64   `json:"max_us"`
+}
+
+// Snapshot returns the histogram's summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		P50U:  h.Quantile(0.50).Microseconds(),
+		P95U:  h.Quantile(0.95).Microseconds(),
+		P99U:  h.Quantile(0.99).Microseconds(),
+		MaxU:  h.maxUs.Load(),
+	}
+	if s.Count > 0 {
+		s.MeanU = float64(h.sumUs.Load()) / float64(s.Count)
+	}
+	return s
+}
+
+// Registry names counters and histograms and serializes them for the
+// /metrics endpoint. Lookup (Counter/Histogram) interns the instrument on
+// first use; the instruments themselves are lock-free, the registry lock is
+// only taken to intern or snapshot.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every instrument's current value, with deterministic
+// (sorted) key order inside each section.
+func (r *Registry) Snapshot() (counters map[string]int64, histograms map[string]HistogramSnapshot) {
+	r.mu.Lock()
+	cs := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		cs = append(cs, name)
+	}
+	hs := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		hs = append(hs, name)
+	}
+	counters = make(map[string]int64, len(cs))
+	for _, name := range cs {
+		counters[name] = r.counters[name].Value()
+	}
+	histograms = make(map[string]HistogramSnapshot, len(hs))
+	for _, name := range hs {
+		histograms[name] = r.histograms[name].Snapshot()
+	}
+	r.mu.Unlock()
+	sort.Strings(cs)
+	sort.Strings(hs)
+	return counters, histograms
+}

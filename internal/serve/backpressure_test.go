@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doRaw performs a request and returns status, headers and the decoded
+// error envelope (zero when the body is not one).
+func doRaw(t *testing.T, method, url string, body io.Reader) (int, http.Header, errorBody) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if len(data) > 0 {
+		json.Unmarshal(data, &eb) //nolint:errcheck // non-envelope bodies leave eb zero
+	}
+	return res.StatusCode, res.Header, eb
+}
+
+// TestHandlerBackpressure: with one poll slot per shard, a parked long-poll
+// sheds the next one with 429 + Retry-After, and releasing the slot lets
+// polls through again.
+func TestHandlerBackpressure(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir(), Shards: 1, MaxPollsPerShard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	pairs, truth := testWorkload(t, 800, 31)
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "bp", Spec: testSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var next nextBody
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/bp/next", nil, &next); code != http.StatusOK || len(next.IDs) == 0 {
+		t.Fatalf("next: %d %+v", code, next)
+	}
+	unanswered := next.IDs[0]
+
+	// Park a labels long-poll on an unanswered pair: it holds the shard's
+	// only slot for its whole wait window.
+	parked := make(chan labelsBody, 1)
+	go func() {
+		var lb labelsBody
+		doJSON(t, "GET", fmt.Sprintf("%s/v1/sessions/bp/labels?ids=%d&wait=30s", srv.URL, unanswered), nil, &lb)
+		parked <- lb
+	}()
+	waitForSlotTaken(t, m, "bp")
+
+	code, hdr, eb := doRaw(t, "GET", srv.URL+"/v1/sessions/bp/next?wait=1s", nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("poll beyond the bound: %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", hdr.Get("Retry-After"))
+	}
+	if eb.Code != http.StatusTooManyRequests || eb.Error == "" {
+		t.Fatalf("shed envelope %+v", eb)
+	}
+	if m.Metrics().Counter("polls_shed_total").Value() == 0 {
+		t.Fatal("shed poll not counted")
+	}
+
+	// Answering the parked pair completes the poll and frees the slot.
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions/bp/answers",
+		map[string]any{"labels": map[string]bool{strconv.Itoa(unanswered): truth[unanswered]}}, nil); code != http.StatusOK {
+		t.Fatalf("answers: %d", code)
+	}
+	lb := <-parked
+	if v, ok := lb.Labels[strconv.Itoa(unanswered)]; !ok || v != truth[unanswered] {
+		t.Fatalf("parked poll result %+v", lb)
+	}
+	waitForSlotFree(t, m, "bp")
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/bp/next?wait=0s", nil, nil); code == http.StatusTooManyRequests {
+		t.Fatal("slot not released after the parked poll completed")
+	}
+}
+
+// waitForSlotTaken blocks until the session's shard has a poll parked.
+func waitForSlotTaken(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	sh := m.shardFor(id)
+	for deadline := time.Now().Add(5 * time.Second); len(sh.polls) == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("long-poll never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitForSlotFree blocks until the session's shard has no poll parked.
+func waitForSlotFree(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	sh := m.shardFor(id)
+	for deadline := time.Now().Add(5 * time.Second); len(sh.polls) != 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("poll slot never released")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHandlerDrain: once draining, creates and new polls get 503 +
+// Retry-After while answers still land, already-parked polls complete, and
+// existing sessions stay readable.
+func TestHandlerDrain(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	pairs, truth := testWorkload(t, 800, 32)
+	spec := testSpec(pairs)
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "dr", Spec: spec}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var next nextBody
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/dr/next", nil, &next); code != http.StatusOK || len(next.IDs) == 0 {
+		t.Fatalf("next: %d %+v", code, next)
+	}
+	unanswered := next.IDs[0]
+	parked := make(chan labelsBody, 1)
+	go func() {
+		var lb labelsBody
+		doJSON(t, "GET", fmt.Sprintf("%s/v1/sessions/dr/labels?ids=%d&wait=30s", srv.URL, unanswered), nil, &lb)
+		parked <- lb
+	}()
+	waitForSlotTaken(t, m, "dr")
+
+	m.StartDrain()
+	if !m.Draining() {
+		t.Fatal("Draining() = false after StartDrain")
+	}
+	code, hdr, eb := doRaw(t, "POST", srv.URL+"/v1/sessions",
+		bytes.NewReader(mustJSON(t, CreateRequest{ID: "late", Spec: spec})))
+	if code != http.StatusServiceUnavailable || eb.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: %d envelope %+v, want 503", code, eb)
+	}
+	if hdr.Get("Retry-After") != "5" {
+		t.Fatalf("Retry-After = %q, want 5", hdr.Get("Retry-After"))
+	}
+	if code, _, _ := doRaw(t, "GET", srv.URL+"/v1/sessions/dr/next?wait=1s", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("poll while draining: %d, want 503", code)
+	}
+	// Status and answers still work: the workforce finishes what it holds.
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/dr", nil, nil); code != http.StatusOK {
+		t.Fatalf("status while draining: %d", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions/dr/answers",
+		map[string]any{"labels": map[string]bool{strconv.Itoa(unanswered): truth[unanswered]}}, nil); code != http.StatusOK {
+		t.Fatalf("answers while draining: %d", code)
+	}
+	lb := <-parked
+	if v, ok := lb.Labels[strconv.Itoa(unanswered)]; !ok || v != truth[unanswered] {
+		t.Fatalf("parked poll did not complete during drain: %+v", lb)
+	}
+}
+
+// TestHandlerBodyCaps: an oversized answers body is refused with 413 and
+// the envelope, without disturbing the session.
+func TestHandlerBodyCaps(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, _ := testWorkload(t, 600, 33)
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "big", Spec: testSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	huge := bytes.Repeat([]byte("x"), maxAnswersBodyBytes+1)
+	code, _, eb := doRaw(t, "POST", srv.URL+"/v1/sessions/big/answers", bytes.NewReader(huge))
+	if code != http.StatusRequestEntityTooLarge || eb.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized answers: %d envelope %+v, want 413", code, eb)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/v1/sessions/big", nil, nil); code != http.StatusOK {
+		t.Fatalf("session disturbed by oversized body: %d", code)
+	}
+}
+
+// TestHandlerErrorEnvelope pins the envelope contract on every error class:
+// the body is {"error": ..., "code": ...} with code equal to the HTTP
+// status.
+func TestHandlerErrorEnvelope(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, _ := testWorkload(t, 600, 34)
+	spec := testSpec(pairs)
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "env", Spec: spec}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	for name, c := range map[string]struct {
+		method, path string
+		body         io.Reader
+		want         int
+	}{
+		"malformed create": {"POST", "/v1/sessions", strings.NewReader("{oops"), http.StatusBadRequest},
+		"unknown session":  {"GET", "/v1/sessions/ghost", nil, http.StatusNotFound},
+		"duplicate id":     {"POST", "/v1/sessions", bytes.NewReader(mustJSON(t, CreateRequest{ID: "env", Spec: spec})), http.StatusConflict},
+		"bad wait":         {"GET", "/v1/sessions/env/next?wait=soon", nil, http.StatusBadRequest},
+		"bad label ids":    {"GET", "/v1/sessions/env/labels?ids=one", nil, http.StatusBadRequest},
+	} {
+		code, _, eb := doRaw(t, c.method, srv.URL+c.path, c.body)
+		if code != c.want {
+			t.Errorf("%s: status %d, want %d", name, code, c.want)
+		}
+		if eb.Code != c.want || eb.Error == "" {
+			t.Errorf("%s: envelope %+v, want code %d and a message", name, eb, c.want)
+		}
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves the manager's counters and
+// per-route latency histograms after traffic flowed.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	pairs, _ := testWorkload(t, 600, 35)
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "mx", Spec: testSpec(pairs)}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	doJSON(t, "GET", srv.URL+"/v1/sessions/mx", nil, nil)
+	doJSON(t, "GET", srv.URL+"/v1/sessions/ghost", nil, nil)
+
+	var body struct {
+		UptimeSeconds float64                    `json:"uptime_seconds"`
+		Counters      map[string]int64           `json:"counters"`
+		Latencies     map[string]json.RawMessage `json:"latencies"`
+	}
+	if code := doJSON(t, "GET", srv.URL+"/metrics", nil, &body); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if body.Counters["sessions_created_total"] != 1 {
+		t.Fatalf("sessions_created_total = %d, counters %v", body.Counters["sessions_created_total"], body.Counters)
+	}
+	if got := body.Counters["http_requests_total GET /v1/sessions/{id}"]; got != 2 {
+		t.Fatalf("status route requests = %d, want 2", got)
+	}
+	if _, ok := body.Latencies["http_latency POST /v1/sessions"]; !ok {
+		t.Fatalf("no create latency histogram; latencies %v", body.Latencies)
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"humo"
+)
+
+// benchWorkload is testWorkload without the *testing.T (benchmarks share
+// the helper file but report errors themselves).
+func benchWorkload(n int, seed int64) ([]SpecPair, error) {
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: n, Tau: 14, Sigma: 0.1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pairs, _ := humo.Split(labeled)
+	sp := make([]SpecPair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = SpecPair{ID: p.ID, Sim: p.Sim}
+	}
+	return sp, nil
+}
+
+// benchManager opens a manager with the given shard count and fills it with
+// sessions.
+func benchManager(b *testing.B, shards, sessions int) (*Manager, []string) {
+	b.Helper()
+	m, err := Open(Config{StateDir: b.TempDir(), Shards: shards, MaxSessions: sessions + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { m.Close() })
+	labeled, err := benchWorkload(600, 51)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%02d", i)
+		if _, err := m.Create(ids[i], testSpec(labeled)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, ids
+}
+
+// BenchmarkManagerTraffic measures concurrent mixed lock-domain traffic —
+// session lookups, poll-slot churn, and the occasional full list — against a
+// single-lock manager (shards=1) and the sharded default. The sharded
+// variant must win: it is the reason the lock domains exist.
+//
+// Work that runs outside the shard locks (Status snapshots, disk-backed
+// Create/Answer) is excluded on purpose; it is identical in both
+// configurations and would drown the contention this benchmark isolates.
+func BenchmarkManagerTraffic(b *testing.B) {
+	const sessions = 32
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, ids := benchManager(b, shards, sessions)
+			var cursor atomic.Int64
+			// Model many concurrent HTTP handlers, not one per core: real
+			// humod traffic is goroutine-parallel far beyond GOMAXPROCS, and
+			// mutex contention (slow-path futex handoffs under many waiters)
+			// appears per-goroutine, not per-core.
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := cursor.Add(1)
+					id := ids[int(i)%len(ids)]
+					if _, err := m.Get(id); err != nil {
+						b.Error(err)
+						return
+					}
+					if release, err := m.TryAcquirePoll(id); err == nil {
+						release()
+					}
+					if i%256 == 0 {
+						_ = m.List()
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAnswerJournal measures the disk cost of one answered batch under
+// the two persistence regimes: compact=1 rewrites the full base checkpoint
+// on every batch (the rewrite-everything behavior delta journaling
+// replaced), compact=64 appends one fsynced delta line and amortizes the
+// rewrite. The gap widens with workload size — the rewrite is O(answered
+// log), the delta is O(batch).
+func BenchmarkAnswerJournal(b *testing.B) {
+	labeled, err := humo.Logistic(humo.LogisticConfig{N: 20000, Tau: 14, Sigma: 0.1, Seed: 52})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, truth := humo.Split(labeled)
+	sp := make([]SpecPair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = SpecPair{ID: p.ID, Sim: p.Sim}
+	}
+	for _, compact := range []int{1, DefaultCompactEvery} {
+		b.Run(fmt.Sprintf("compact=%d", compact), func(b *testing.B) {
+			m, err := Open(Config{StateDir: b.TempDir(), CompactEvery: compact})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { m.Close() })
+			ctx := context.Background()
+			var s *ManagedSession
+			gen := 0
+			newSession := func() {
+				if s != nil {
+					if err := m.Delete(s.ID()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				gen++
+				var err error
+				if s, err = m.Create(fmt.Sprintf("bench-%d", gen), testSpec(sp)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			newSession()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch, err := s.Next(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch.Empty() {
+					// Session exhausted: replace it off the clock.
+					b.StopTimer()
+					newSession()
+					b.StartTimer()
+					if batch, err = s.Next(ctx); err != nil || batch.Empty() {
+						b.Fatalf("fresh session: %v %v", batch, err)
+					}
+				}
+				ans := make(map[int]bool, len(batch.IDs))
+				for _, id := range batch.IDs {
+					ans[id] = truth[id]
+				}
+				if err := s.Answer(ans); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

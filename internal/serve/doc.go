@@ -1,0 +1,45 @@
+// Package serve turns the single-resolution humo.Session into a served,
+// multi-tenant subsystem: a Manager owns many named sessions concurrently,
+// partitioned by id hash across independent lock domains, journals every
+// answered batch durably, and recovers all live sessions on startup.
+// NewHandler exposes the manager over the HTTP JSON API served by
+// cmd/humod.
+//
+// # The recovery contract
+//
+// Journaled recovery is bit-identical: a Manager reopened on a state
+// directory — after a graceful Close or after the process died at ANY
+// point — restores every session to exactly the state an uninterrupted
+// process would hold, and each resolution then completes with the same
+// solution, the same human cost, and the same batch sequence. The contract
+// is what lets humod be killed and restarted freely; the e2e tests
+// (cmd/humod) and TestManagerRecovery enforce it, and every change to the
+// journal format or replay order must keep them passing unchanged.
+//
+// The on-disk form of one session is three files:
+//
+//	<id>.spec.json        the creation Spec, written first, atomically
+//	<id>.checkpoint.json  the base snapshot (Session.Checkpoint), atomic rewrite
+//	<id>.journal.jsonl    answer deltas since the base, one fsynced line per batch
+//
+// An answered batch appends one delta line — O(batch) disk work — instead
+// of rewriting the whole checkpoint. Once CompactEvery deltas accumulate,
+// the base is rewritten atomically and the journal truncated. Recovery
+// replays base + deltas in order (humo.RestoreSessionDeltas); the replay
+// rules make every crash window safe:
+//
+//   - A torn final journal line (crash mid-append) is dropped: the Answer
+//     that wrote it never returned, so nothing acknowledged is lost.
+//   - Deltas surviving a compaction crash (base rewritten, truncate lost)
+//     replay idempotently: the final value of every pair id equals the
+//     base's.
+//   - A spec without a base checkpoint and without deltas (crash inside
+//     Create) restarts fresh — no answer was ever acknowledged.
+//   - Anything else — a corrupt line mid-file, a version mismatch, deltas
+//     with no base — fails Open loudly, naming the session. A server must
+//     not silently drop or mangle resolutions it was trusted with.
+//
+// Sharding (Config.Shards) is a runtime concurrency knob only: it never
+// affects results or the on-disk layout, so a state directory written
+// under one shard count reopens under any other.
+package serve

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"humo"
+	"humo/internal/obs"
 )
 
 // Long-poll windows for the next and labels endpoints: ?wait=DURATION is
@@ -22,8 +23,23 @@ const (
 	maxWait     = 5 * time.Minute
 )
 
-// maxBodyBytes caps request bodies (inline workloads included).
-const maxBodyBytes = 64 << 20
+// Request-body caps, enforced with http.MaxBytesReader on every POST
+// endpoint. Oversized bodies are refused with 413 and the JSON error
+// envelope. Session creates and workload uploads may carry inline data;
+// answers are small by construction.
+const (
+	maxCreateBodyBytes   = 64 << 20
+	maxAnswersBodyBytes  = 8 << 20
+	maxWorkloadBodyBytes = 64 << 20
+)
+
+// HandlerConfig carries the optional observability hooks of NewHandler.
+type HandlerConfig struct {
+	// Log receives one structured line per request (adaptive steady-state
+	// sampling: errors always log with surrounding context, 2xx traffic is
+	// thinned). Nil disables request logging.
+	Log *obs.Logger
+}
 
 // NewHandler exposes a Manager over the humod HTTP JSON API:
 //
@@ -35,29 +51,111 @@ const maxBodyBytes = 64 << 20
 //	GET    /v1/sessions/{id}/labels   long-poll answered labels (?ids=1,2&wait=30s)
 //	DELETE /v1/sessions/{id}          cancel the session and drop its journal
 //	POST   /v1/workloads              build a workload server-side (WorkloadRequest body)
+//	GET    /metrics                   counters + latency histograms (JSON)
 //
-// Errors are JSON {"error": "..."} with 400 for malformed requests, 404 for
-// unknown sessions, 409 for conflicts (duplicate id, session cap, answers
-// after termination, existing workload file), and 500 otherwise.
+// Every error is the JSON envelope {"error": "...", "code": <status>} with
+// 400 for malformed requests, 404 for unknown sessions, 409 for conflicts
+// (duplicate id, session cap, answers after termination, existing workload
+// file), 413 for oversized bodies, 429 (+ Retry-After) for shed long-polls,
+// 503 (+ Retry-After) while draining, and 500 otherwise.
+//
+// The long-poll endpoints are bounded per shard: once a shard has
+// MaxPollsPerShard polls parked, further ones are shed with 429 so a
+// slow-draining workforce cannot pile up unbounded goroutines.
 func NewHandler(m *Manager) http.Handler {
-	h := &handler{m: m}
+	return NewObservedHandler(m, HandlerConfig{})
+}
+
+// NewObservedHandler is NewHandler plus observability wiring. Metrics
+// always come from (and are served out of) m.Metrics().
+func NewObservedHandler(m *Manager, hc HandlerConfig) http.Handler {
+	h := &handler{m: m, log: hc.Log, start: time.Now()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", h.create)
-	mux.HandleFunc("GET /v1/sessions", h.list)
-	mux.HandleFunc("GET /v1/sessions/{id}", h.status)
-	mux.HandleFunc("GET /v1/sessions/{id}/next", h.next)
-	mux.HandleFunc("POST /v1/sessions/{id}/answers", h.answers)
-	mux.HandleFunc("GET /v1/sessions/{id}/labels", h.labels)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", h.delete)
-	mux.HandleFunc("POST /v1/workloads", h.createWorkload)
+	route := func(pattern string, fn http.HandlerFunc) {
+		mux.Handle(pattern, h.instrument(pattern, fn))
+	}
+	route("POST /v1/sessions", h.create)
+	route("GET /v1/sessions", h.list)
+	route("GET /v1/sessions/{id}", h.status)
+	route("GET /v1/sessions/{id}/next", h.next)
+	route("POST /v1/sessions/{id}/answers", h.answers)
+	route("GET /v1/sessions/{id}/labels", h.labels)
+	route("DELETE /v1/sessions/{id}", h.delete)
+	route("POST /v1/workloads", h.createWorkload)
+	mux.Handle("GET /metrics", m.Metrics().Handler(h.start))
 	return mux
 }
 
-type handler struct{ m *Manager }
+type handler struct {
+	m     *Manager
+	log   *obs.Logger
+	start time.Time
+}
 
-// errorBody is the JSON error envelope.
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps one route with counters, a latency histogram and the
+// sampled request log. Metric names embed the route pattern, so /metrics
+// reads as a per-endpoint table.
+func (h *handler) instrument(pattern string, fn http.HandlerFunc) http.Handler {
+	reg := h.m.Metrics()
+	requests := reg.Counter("http_requests_total " + pattern)
+	errors5xx := reg.Counter("http_errors_total " + pattern)
+	latency := reg.Histogram("http_latency " + pattern)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		fn(rec, r)
+		d := time.Since(t0)
+		requests.Inc()
+		latency.Observe(d)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if status >= 500 {
+			errors5xx.Inc()
+		}
+		if h.log != nil {
+			fields := map[string]any{
+				"route":  pattern,
+				"status": status,
+				"us":     d.Microseconds(),
+			}
+			if id := r.PathValue("id"); id != "" {
+				fields["session"] = id
+			}
+			if status >= 400 {
+				h.log.Interesting("http_request", fields)
+			} else {
+				h.log.Event("http_request", fields)
+			}
+		}
+	})
+}
+
+// errorBody is the JSON error envelope: a message plus the HTTP status
+// repeated in the body, so clients reading a buffered or relayed body can
+// branch without the transport status line.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  int    `json:"code"`
 }
 
 func writeJSONResponse(w http.ResponseWriter, status int, v any) {
@@ -68,10 +166,14 @@ func writeJSONResponse(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // the connection is gone, nothing to do
 }
 
-// writeError maps manager and session errors onto HTTP statuses.
+// writeError maps manager and session errors onto HTTP statuses and writes
+// the JSON error envelope. Shed and draining responses carry Retry-After.
 func writeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
 	status := http.StatusInternalServerError
 	switch {
+	case errors.As(err, &tooBig):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadSpec):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrSessionNotFound):
@@ -79,8 +181,28 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrTooManySessions),
 		errors.Is(err, ErrWorkloadExists), errors.Is(err, humo.ErrSessionDone):
 		status = http.StatusConflict
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
 	}
-	writeJSONResponse(w, status, errorBody{Error: err.Error()})
+	writeJSONResponse(w, status, errorBody{Error: err.Error(), Code: status})
+}
+
+// readBody reads a capped request body; an overrun surfaces as
+// *http.MaxBytesError, which writeError maps to 413.
+func readBody(w http.ResponseWriter, r *http.Request, cap int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cap))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err)
+	}
+	return body, nil
 }
 
 // waitWindow parses ?wait= into the long-poll window.
@@ -115,9 +237,9 @@ func pollContext(r *http.Request, wait time.Duration) (context.Context, context.
 }
 
 func (h *handler) create(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := readBody(w, r, maxCreateBodyBytes)
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		writeError(w, err)
 		return
 	}
 	req, err := DecodeCreateRequest(body)
@@ -181,6 +303,12 @@ func (h *handler) next(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	release, err := h.m.TryAcquirePoll(s.ID())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	ctx, cancel := pollContext(r, wait)
 	defer cancel()
 	b, err := s.Next(ctx)
@@ -209,9 +337,9 @@ func (h *handler) answers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := readBody(w, r, maxAnswersBodyBytes)
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		writeError(w, err)
 		return
 	}
 	var ab answersBody
@@ -267,6 +395,12 @@ func (h *handler) labels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	release, err := h.m.TryAcquirePoll(s.ID())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	ctx, cancel := pollContext(r, wait)
 	defer cancel()
 	got, missing, done, err := s.WaitLabels(ctx, ids)
@@ -293,9 +427,9 @@ func (h *handler) labels(w http.ResponseWriter, r *http.Request) {
 // tables are blocked, scored and persisted under the data directory, and
 // the response names the workload_file sessions can reference.
 func (h *handler) createWorkload(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := readBody(w, r, maxWorkloadBodyBytes)
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadSpec, err))
+		writeError(w, err)
 		return
 	}
 	req, err := DecodeWorkloadRequest(body)

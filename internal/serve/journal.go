@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"humo/internal/dataio"
+)
+
+// The on-disk journal of one session is a base snapshot plus an append-only
+// delta file:
+//
+//	<id>.checkpoint.json   full Session.Checkpoint (the base), atomic rewrite
+//	<id>.journal.jsonl     one JSON line per answered batch since the base
+//
+// An answered batch appends (and fsyncs) one small line instead of
+// rewriting the whole checkpoint — O(batch) instead of O(log) per answer.
+// Once the delta count reaches the compaction threshold the base is
+// rewritten atomically and the delta file truncated. Recovery replays
+// base + deltas in order (humo.RestoreSessionDeltas), reconstructing the
+// answered-label log bit-identically to a full-checkpoint restore.
+//
+// Crash safety: a torn final line (power cut mid-append) is discarded — its
+// Answer was never acknowledged. A crash between the compaction's base
+// rewrite and the delta truncation leaves deltas that are already folded
+// into the base; replaying them in order is idempotent (the last value of
+// every pair id equals the base's), so recovery stays exact. Corruption
+// anywhere before the final line fails recovery loudly.
+
+// journalVersion versions the delta line format.
+const journalVersion = 1
+
+// deltaLine is one journaled answered batch. Labels keys are pair ids in
+// decimal (JSON object keys are strings).
+type deltaLine struct {
+	V      int             `json:"v"`
+	Seq    int             `json:"seq"`
+	Labels map[string]bool `json:"labels"`
+}
+
+// errJournalCorrupt reports a delta journal that cannot be replayed.
+var errJournalCorrupt = errors.New("serve: corrupt delta journal")
+
+// deltaJournal owns the append-only delta file of one session.
+type deltaJournal struct {
+	path string
+	f    *os.File // nil until the first append
+	seq  int      // lines currently in the file
+	buf  bytes.Buffer
+}
+
+// newDeltaJournal returns a journal over path without touching the disk;
+// the file is created lazily on the first append.
+func newDeltaJournal(path string) *deltaJournal {
+	return &deltaJournal{path: path}
+}
+
+// open ensures the append handle exists.
+func (j *deltaJournal) open() error {
+	if j.f != nil {
+		return nil
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	return nil
+}
+
+// append journals one answered batch: a single buffered write of one JSON
+// line followed by one fsync. The caller must serialize appends (the
+// managed session's mutex does).
+func (j *deltaJournal) append(labels map[int]bool) error {
+	if len(labels) == 0 {
+		return nil
+	}
+	if err := j.open(); err != nil {
+		return err
+	}
+	wire := make(map[string]bool, len(labels))
+	for id, v := range labels {
+		wire[strconv.Itoa(id)] = v
+	}
+	j.buf.Reset()
+	enc := json.NewEncoder(&j.buf)
+	if err := enc.Encode(deltaLine{V: journalVersion, Seq: j.seq + 1, Labels: wire}); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(j.buf.Bytes()); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.seq++
+	return nil
+}
+
+// len returns the number of delta lines in the file.
+func (j *deltaJournal) len() int { return j.seq }
+
+// truncate empties the delta file after a compaction folded its lines into
+// the base snapshot. Truncating through the open handle keeps O_APPEND
+// writers valid; a crash before the truncate merely leaves idempotent
+// deltas behind.
+func (j *deltaJournal) truncate() error {
+	if j.f == nil {
+		// Nothing was ever appended through this handle; clear any stale
+		// file left by a previous process.
+		if err := os.Truncate(j.path, 0); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		j.seq = 0
+		return nil
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.seq = 0
+	return nil
+}
+
+// close releases the append handle (the file stays for recovery).
+func (j *deltaJournal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// remove deletes the delta file (session deleted for good).
+func (j *deltaJournal) remove() error {
+	j.close() //nolint:errcheck // the file is about to be unlinked
+	if err := os.Remove(j.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	j.seq = 0
+	return nil
+}
+
+// readDeltas replays a delta file into ordered per-batch label maps and
+// returns how many complete lines it holds. A missing file is an empty
+// journal. A torn final line (no trailing newline, crash mid-append) is
+// dropped; malformed content anywhere else is errJournalCorrupt.
+func readDeltas(path string) (deltas []map[int]bool, lines int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	seq := 0
+	for {
+		raw, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(bytes.TrimSpace(raw)) > 0 {
+				// Torn tail: the append never completed, the answer was
+				// never acknowledged. Drop it.
+				return deltas, seq, nil
+			}
+			return deltas, seq, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var dl deltaLine
+		if err := unmarshalJSONStrict(raw, &dl); err != nil {
+			return nil, 0, fmt.Errorf("%w: line %d: %v", errJournalCorrupt, seq+1, err)
+		}
+		if dl.V != journalVersion {
+			return nil, 0, fmt.Errorf("%w: line %d: version %d, want %d", errJournalCorrupt, seq+1, dl.V, journalVersion)
+		}
+		delta := make(map[int]bool, len(dl.Labels))
+		for k, v := range dl.Labels {
+			id, err := strconv.Atoi(k)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: line %d: pair id %q", errJournalCorrupt, seq+1, k)
+			}
+			delta[id] = v
+		}
+		seq++
+		deltas = append(deltas, delta)
+	}
+}
+
+// writeBase writes the full base snapshot atomically.
+func writeBase(path string, checkpoint func(io.Writer) error) error {
+	return dataio.WriteFileAtomic(path, checkpoint)
+}

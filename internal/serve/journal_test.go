@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeltaJournalRoundTrip: appended batches read back in order, truncate
+// empties the file, remove unlinks it.
+func TestDeltaJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal.jsonl")
+	j := newDeltaJournal(path)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("journal file created before the first append")
+	}
+	batches := []map[int]bool{
+		{1: true, 2: false},
+		{3: true},
+		{2: true}, // later batch overrides pair 2
+	}
+	for _, b := range batches {
+		if err := j.append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.len() != 3 {
+		t.Fatalf("len = %d, want 3", j.len())
+	}
+
+	deltas, lines, err := readDeltas(path)
+	if err != nil || lines != 3 {
+		t.Fatalf("readDeltas: %d lines, err %v", lines, err)
+	}
+	for i, want := range batches {
+		if len(deltas[i]) != len(want) {
+			t.Fatalf("delta %d = %v, want %v", i, deltas[i], want)
+		}
+		for id, v := range want {
+			if deltas[i][id] != v {
+				t.Fatalf("delta %d = %v, want %v", i, deltas[i], want)
+			}
+		}
+	}
+
+	if err := j.truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if j.len() != 0 {
+		t.Fatalf("len = %d after truncate", j.len())
+	}
+	if _, lines, err := readDeltas(path); err != nil || lines != 0 {
+		t.Fatalf("after truncate: %d lines, err %v", lines, err)
+	}
+	// The handle stays valid for appends after a truncate (O_APPEND
+	// through-handle truncation, the compaction path).
+	if err := j.append(map[int]bool{9: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, lines, err := readDeltas(path); err != nil || lines != 1 {
+		t.Fatalf("append after truncate: %d lines, err %v", lines, err)
+	}
+
+	if err := j.remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("remove left the journal file")
+	}
+}
+
+// TestReadDeltasMissingFile: no journal file is an empty journal, not an
+// error.
+func TestReadDeltasMissingFile(t *testing.T) {
+	deltas, lines, err := readDeltas(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || lines != 0 || deltas != nil {
+		t.Fatalf("missing file: deltas=%v lines=%d err=%v", deltas, lines, err)
+	}
+}
+
+// TestReadDeltasTornTail: a final line without its newline (power cut
+// mid-append) is dropped silently — that answer was never acknowledged —
+// while the complete prefix survives.
+func TestReadDeltasTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal.jsonl")
+	j := newDeltaJournal(path)
+	if err := j.append(map[int]bool{1: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(map[int]bool{2: false}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(data, []byte(`{"v":1,"seq":3,"lab`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deltas, lines, err := readDeltas(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if lines != 2 || len(deltas) != 2 || !deltas[0][1] || deltas[1][2] {
+		t.Fatalf("torn tail: deltas=%v lines=%d", deltas, lines)
+	}
+}
+
+// TestReadDeltasCorruption: malformed content before the final line, an
+// unknown version, and a non-numeric pair id each fail loudly with
+// errJournalCorrupt.
+func TestReadDeltasCorruption(t *testing.T) {
+	for name, content := range map[string]string{
+		"garbage line":   "not json\n" + `{"v":1,"seq":2,"labels":{"1":true}}` + "\n",
+		"unknown field":  `{"v":1,"seq":1,"labels":{"1":true},"extra":1}` + "\n",
+		"bad version":    `{"v":9,"seq":1,"labels":{"1":true}}` + "\n",
+		"non-numeric id": `{"v":1,"seq":1,"labels":{"x":true}}` + "\n",
+		"mid-file tear":  `{"v":1,"se` + "\n" + `{"v":1,"seq":2,"labels":{"1":true}}` + "\n",
+	} {
+		path := filepath.Join(t.TempDir(), "s.journal.jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := readDeltas(path); !errors.Is(err, errJournalCorrupt) {
+			t.Errorf("%s: err = %v, want errJournalCorrupt", name, err)
+		}
+	}
+}
+
+// TestManagerRecoveryDeltasWithoutBase: surviving deltas with a missing base
+// checkpoint are corruption (deltas can only exist after the base landed)
+// and must fail Open loudly, not silently restart the session fresh.
+func TestManagerRecoveryDeltasWithoutBase(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 800, 21)
+	m1, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m1.Create("gone", testSpec(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+	ans := make(map[int]bool, len(b.IDs))
+	for _, id := range b.IDs {
+		ans[id] = truth[id]
+	}
+	if err := s.Answer(ans); err != nil {
+		t.Fatal(err)
+	}
+	s.Session().Cancel() // crash without Close: the delta stays journaled
+	if err := os.Remove(filepath.Join(dir, "gone.checkpoint.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{StateDir: dir}); !errors.Is(err, errJournalCorrupt) {
+		t.Fatalf("Open = %v, want errJournalCorrupt", err)
+	}
+}
+
+// TestManagerCompaction: with a threshold of 2, every second answered batch
+// folds the journal into the base and truncates the delta file — and a
+// recovery from any point in that cycle is bit-identical, including the
+// crash window where deltas are already folded into the base (idempotent
+// replay).
+func TestManagerCompaction(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 2000, 22)
+	spec := testSpec(pairs)
+	m1, err := Open(Config{StateDir: dir, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m1.Create("cmp", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := filepath.Join(dir, "cmp.journal.jsonl")
+	ctx := context.Background()
+	answerOne := func() {
+		t.Helper()
+		b, err := s.Next(ctx)
+		if err != nil || b.Empty() {
+			t.Fatalf("batch: %v %v", b, err)
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journalLines := func() int {
+		t.Helper()
+		_, lines, err := readDeltas(jp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+
+	answerOne()
+	if got := journalLines(); got != 1 {
+		t.Fatalf("after 1 answer: %d journal lines, want 1", got)
+	}
+	answerOne() // threshold reached: compaction truncates the journal
+	if got := journalLines(); got != 0 {
+		t.Fatalf("after compaction: %d journal lines, want 0", got)
+	}
+	if m1.Metrics().Counter("journal_compactions_total").Value() == 0 {
+		t.Fatal("no compaction counted")
+	}
+	answerOne() // one uncompacted delta on top of the compacted base
+	answered := len(s.Session().Answered())
+	s.Session().Cancel() // crash without Close
+
+	// Simulate the compaction crash window by duplicating the journal's
+	// delta line: replay then applies the same labels twice, exactly like
+	// recovering a journal whose lines were already folded into the base
+	// before the truncate landed. Idempotent replay must absorb it.
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append([]byte(nil), data...)
+	dup = append(dup, data...)
+	if err := os.WriteFile(jp, dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{StateDir: dir, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, err := m2.Get("cmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Session().Answered()); got != answered {
+		t.Fatalf("recovered %d answers, want %d", got, answered)
+	}
+	drive(t, s2, truth)
+	<-s2.Session().DoneChan()
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if got := s2.Session().Solution(); got != wantSol {
+		t.Errorf("recovered solution %+v, want %+v", got, wantSol)
+	}
+	if got := s2.Session().Cost(); got != wantCost {
+		t.Errorf("recovered cost %d, want %d", got, wantCost)
+	}
+}
+
+// TestManagerShardCountIsRuntimeOnly: a state directory written under one
+// shard count reopens under any other with identical sessions — sharding
+// must never leak into the on-disk layout.
+func TestManagerShardCountIsRuntimeOnly(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 1200, 23)
+	spec := testSpec(pairs)
+	m1, err := Open(Config{StateDir: dir, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"alpha", "beta", "gamma"}
+	for _, id := range ids {
+		s, err := m1.Create(id, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Next(context.Background())
+		if err != nil || b.Empty() {
+			t.Fatalf("batch: %v %v", b, err)
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, bid := range b.IDs {
+			ans[bid] = truth[bid]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{StateDir: dir, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != len(ids) {
+		t.Fatalf("recovered %d sessions under Shards:1, want %d", m2.Len(), len(ids))
+	}
+	var names []string
+	for _, s := range m2.List() {
+		names = append(names, s.ID())
+	}
+	if got := strings.Join(names, ","); got != "alpha,beta,gamma" {
+		t.Fatalf("List = %s", got)
+	}
+	s, err := m2.Get("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s, truth)
+	<-s.Session().DoneChan()
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if got := s.Session().Solution(); got != wantSol {
+		t.Errorf("solution %+v, want %+v", got, wantSol)
+	}
+	if got := s.Session().Cost(); got != wantCost {
+		t.Errorf("cost %d, want %d", got, wantCost)
+	}
+}

@@ -6,15 +6,17 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"humo"
-	"humo/internal/dataio"
+	"humo/internal/obs"
 )
 
 // Manager errors, mapped onto HTTP statuses by the handler.
@@ -25,16 +27,35 @@ var (
 	ErrSessionNotFound = errors.New("serve: session not found")
 	// ErrTooManySessions reports a Create beyond the session cap (409).
 	ErrTooManySessions = errors.New("serve: session cap reached")
+	// ErrOverloaded reports a long-poll shed because the shard's in-flight
+	// poll bound is reached (429 + Retry-After).
+	ErrOverloaded = errors.New("serve: too many in-flight polls, retry")
+	// ErrDraining reports a request refused because the server is draining
+	// toward shutdown (503 + Retry-After).
+	ErrDraining = errors.New("serve: server is draining")
 )
 
-// DefaultMaxSessions bounds concurrent sessions when Config.MaxSessions is 0.
-const DefaultMaxSessions = 64
+// Defaults for the Config knobs left zero.
+const (
+	// DefaultMaxSessions bounds concurrent sessions.
+	DefaultMaxSessions = 64
+	// DefaultShards is the number of independent lock domains sessions are
+	// partitioned across.
+	DefaultShards = 8
+	// DefaultMaxPollsPerShard bounds concurrently parked long-polls per
+	// shard before new ones are shed with ErrOverloaded.
+	DefaultMaxPollsPerShard = 256
+	// DefaultCompactEvery is the delta-journal compaction threshold: after
+	// this many journaled answer batches the base snapshot is rewritten and
+	// the delta file truncated.
+	DefaultCompactEvery = 64
+)
 
 // Config configures a Manager.
 type Config struct {
-	// StateDir holds the per-session spec and checkpoint files. Required;
-	// created if missing. A manager opened on a state directory recovers
-	// every session found there.
+	// StateDir holds the per-session spec, base-checkpoint and delta-journal
+	// files. Required; created if missing. A manager opened on a state
+	// directory recovers every session found there.
 	StateDir string
 	// DataDir anchors Spec.WorkloadFile references ("." when empty).
 	DataDir string
@@ -42,26 +63,59 @@ type Config struct {
 	// DefaultMaxSessions). Recovery is exempt: sessions already on disk are
 	// always restored, and the cap applies to new Creates.
 	MaxSessions int
+	// Shards is the number of independent lock domains (<= 0 selects
+	// DefaultShards). Sessions are partitioned by id hash; every shard has
+	// its own mutex and session map, so traffic on one session never
+	// serializes against traffic on another shard's sessions. Shards is a
+	// runtime knob only: it never affects results or the on-disk layout, so
+	// a state directory can be reopened with any shard count.
+	Shards int
+	// MaxPollsPerShard bounds concurrently parked long-polls per shard
+	// (<= 0 selects DefaultMaxPollsPerShard); polls beyond the bound are
+	// shed with ErrOverloaded instead of accumulating goroutines.
+	MaxPollsPerShard int
+	// CompactEvery is the delta-journal compaction threshold in answered
+	// batches (<= 0 selects DefaultCompactEvery).
+	CompactEvery int
+	// Metrics receives the manager's counters (sessions created/recovered/
+	// deleted, journal appends/compactions, shed polls). Nil creates a
+	// private registry; either way Metrics() returns the one in use, and
+	// NewHandler serves it at GET /metrics.
+	Metrics *obs.Registry
 }
 
-// Manager owns many named sessions concurrently. Every mutation of a
-// session's label log is journaled through Session.Checkpoint to an atomic
-// per-session file, so a manager (or the process around it) can die at any
-// point and Open recovers every live session bit-identically.
-type Manager struct {
-	stateDir string
-	dataDir  string
-	max      int
+// shard is one lock domain: a mutex, the sessions hashed to it, and the
+// in-flight long-poll bound.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*ManagedSession // reserved ids map to nil while a Create is in flight
+	polls    chan struct{}              // in-flight long-poll slots
+}
 
-	mu        sync.Mutex
-	sessions  map[string]*ManagedSession // reserved ids map to nil while a Create is in flight
-	workloads map[string]struct{}        // workload names with a build in flight (BuildWorkload)
+// Manager owns many named sessions concurrently, partitioned by id hash
+// across independent lock domains. Every answered batch is journaled as a
+// delta appended to the session's journal file (with a periodic compaction
+// into the base checkpoint), so a manager (or the process around it) can
+// die at any point and Open recovers every live session bit-identically.
+type Manager struct {
+	stateDir     string
+	dataDir      string
+	max          int
+	compactEvery int
+	shards       []*shard
+	count        atomic.Int64 // live sessions plus in-flight Create reservations
+	draining     atomic.Bool
+	metrics      *obs.Registry
+
+	wmu       sync.Mutex
+	workloads map[string]struct{} // workload names with a build in flight (BuildWorkload)
 }
 
 // Open creates the state directory if needed, recovers every session
-// journaled there (spec + checkpoint), and returns the manager. A spec or
-// checkpoint that fails to restore aborts Open with an error naming the
-// session: a server must not silently drop resolutions it was trusted with.
+// journaled there (spec + base checkpoint + answer deltas), and returns the
+// manager. A spec or journal that fails to restore aborts Open with an
+// error naming the session: a server must not silently drop resolutions it
+// was trusted with.
 func Open(cfg Config) (*Manager, error) {
 	if cfg.StateDir == "" {
 		return nil, errors.New("serve: Config.StateDir is required")
@@ -70,17 +124,39 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("serve: creating state dir: %w", err)
 	}
 	m := &Manager{
-		stateDir:  cfg.StateDir,
-		dataDir:   cfg.DataDir,
-		max:       cfg.MaxSessions,
-		sessions:  make(map[string]*ManagedSession),
-		workloads: make(map[string]struct{}),
+		stateDir:     cfg.StateDir,
+		dataDir:      cfg.DataDir,
+		max:          cfg.MaxSessions,
+		compactEvery: cfg.CompactEvery,
+		metrics:      cfg.Metrics,
+		workloads:    make(map[string]struct{}),
 	}
 	if m.dataDir == "" {
 		m.dataDir = "."
 	}
 	if m.max <= 0 {
 		m.max = DefaultMaxSessions
+	}
+	if m.compactEvery <= 0 {
+		m.compactEvery = DefaultCompactEvery
+	}
+	if m.metrics == nil {
+		m.metrics = obs.NewRegistry()
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	polls := cfg.MaxPollsPerShard
+	if polls <= 0 {
+		polls = DefaultMaxPollsPerShard
+	}
+	m.shards = make([]*shard, shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			sessions: make(map[string]*ManagedSession),
+			polls:    make(chan struct{}, polls),
+		}
 	}
 	specs, err := filepath.Glob(filepath.Join(cfg.StateDir, "*"+specSuffix))
 	if err != nil {
@@ -94,7 +170,10 @@ func Open(cfg Config) (*Manager, error) {
 			m.Close()
 			return nil, fmt.Errorf("serve: recovering session %s: %w", id, err)
 		}
-		m.sessions[id] = s
+		sh := m.shardFor(id)
+		sh.sessions[id] = s
+		m.count.Add(1)
+		m.metrics.Counter("sessions_recovered_total").Inc()
 	}
 	return m, nil
 }
@@ -102,6 +181,7 @@ func Open(cfg Config) (*Manager, error) {
 const (
 	specSuffix       = ".spec.json"
 	checkpointSuffix = ".checkpoint.json"
+	journalSuffix    = ".journal.jsonl"
 )
 
 func (m *Manager) specPath(id string) string {
@@ -112,10 +192,52 @@ func (m *Manager) checkpointPath(id string) string {
 	return filepath.Join(m.stateDir, id+checkpointSuffix)
 }
 
+func (m *Manager) journalPath(id string) string {
+	return filepath.Join(m.stateDir, id+journalSuffix)
+}
+
+// shardFor hashes a session id onto its lock domain.
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, id) //nolint:errcheck // fnv.Write cannot fail
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// Metrics returns the registry the manager reports into.
+func (m *Manager) Metrics() *obs.Registry { return m.metrics }
+
+// StartDrain puts the manager into drain mode: new session creates and new
+// long-polls are refused with ErrDraining, while everything already in
+// flight — parked polls included — completes normally. It is the first
+// step of graceful shutdown, before the HTTP server stops accepting and
+// Close checkpoints.
+func (m *Manager) StartDrain() { m.draining.Store(true) }
+
+// Draining reports whether the manager is in drain mode.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// TryAcquirePoll claims a long-poll slot on the session's shard. It returns
+// ErrDraining in drain mode and ErrOverloaded when the shard's in-flight
+// bound is reached; on success the returned release must be called when the
+// poll ends.
+func (m *Manager) TryAcquirePoll(id string) (release func(), err error) {
+	if m.draining.Load() {
+		return nil, ErrDraining
+	}
+	sh := m.shardFor(id)
+	select {
+	case sh.polls <- struct{}{}:
+		return func() { <-sh.polls }, nil
+	default:
+		m.metrics.Counter("polls_shed_total").Inc()
+		return nil, ErrOverloaded
+	}
+}
+
 // Create builds, persists and starts a new session. An empty id asks the
-// manager to generate one. The spec file and an initial checkpoint hit the
-// disk before the session becomes visible, so there is no window in which a
-// crash loses a session that a client saw created.
+// manager to generate one. The spec file and an initial base checkpoint hit
+// the disk before the session becomes visible, so there is no window in
+// which a crash loses a session that a client saw created.
 func (m *Manager) Create(id string, spec Spec) (*ManagedSession, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -123,40 +245,55 @@ func (m *Manager) Create(id string, spec Spec) (*ManagedSession, error) {
 	if id != "" && !idPattern.MatchString(id) {
 		return nil, fmt.Errorf("%w: session id %q", ErrBadSpec, id)
 	}
-	// Reserve the id under the lock; build the session outside it so slow
-	// workload construction never serializes the whole server.
-	m.mu.Lock()
+	if m.draining.Load() {
+		return nil, ErrDraining
+	}
+	// The cap covers live sessions plus in-flight reservations, claimed
+	// atomically so concurrent Creates on different shards cannot overshoot.
+	if m.count.Add(1) > int64(m.max) {
+		m.count.Add(-1)
+		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.max)
+	}
+	// Reserve the id under its shard lock only; build the session outside
+	// all locks so slow workload construction never serializes any shard.
+	var sh *shard
 	if id == "" {
 		for {
 			id = generateID()
-			if _, taken := m.sessions[id]; !taken {
+			sh = m.shardFor(id)
+			sh.mu.Lock()
+			if _, taken := sh.sessions[id]; !taken {
 				break
 			}
+			sh.mu.Unlock()
 		}
-	} else if _, taken := m.sessions[id]; taken {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	} else {
+		sh = m.shardFor(id)
+		sh.mu.Lock()
+		if _, taken := sh.sessions[id]; taken {
+			sh.mu.Unlock()
+			m.count.Add(-1)
+			return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+		}
 	}
-	if len(m.sessions) >= m.max {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.max)
-	}
-	m.sessions[id] = nil // reserved
-	m.mu.Unlock()
+	sh.sessions[id] = nil // reserved
+	sh.mu.Unlock()
 
 	s, err := m.startSession(id, spec)
-	m.mu.Lock()
+	sh.mu.Lock()
 	if err != nil {
-		delete(m.sessions, id)
+		delete(sh.sessions, id)
+		m.count.Add(-1)
 	} else {
-		m.sessions[id] = s
+		sh.sessions[id] = s
+		m.metrics.Counter("sessions_created_total").Inc()
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	return s, err
 }
 
 // startSession materializes the workload, starts the humo.Session, and
-// persists spec + initial checkpoint.
+// persists spec + initial base checkpoint.
 func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 	w, err := spec.workload(m.dataDir)
 	if err != nil {
@@ -166,21 +303,14 @@ func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &ManagedSession{
-		id:      id,
-		spec:    spec,
-		w:       w,
-		sess:    sess,
-		cpPath:  m.checkpointPath(id),
-		changed: make(chan struct{}),
-	}
-	if err := dataio.WriteFileAtomic(m.specPath(id), func(f io.Writer) error {
+	s := m.newManagedSession(id, spec, w, sess)
+	if err := writeBase(m.specPath(id), func(f io.Writer) error {
 		return writeJSON(f, spec)
 	}); err != nil {
 		sess.Cancel()
 		return nil, err
 	}
-	if err := s.journal(); err != nil {
+	if err := writeBase(s.cpPath, sess.Checkpoint); err != nil {
 		sess.Cancel()
 		os.Remove(m.specPath(id))
 		return nil, err
@@ -188,7 +318,22 @@ func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 	return s, nil
 }
 
-// recoverSession rebuilds one session from its journaled spec + checkpoint.
+func (m *Manager) newManagedSession(id string, spec Spec, w *humo.Workload, sess *humo.Session) *ManagedSession {
+	return &ManagedSession{
+		id:           id,
+		spec:         spec,
+		w:            w,
+		sess:         sess,
+		cpPath:       m.checkpointPath(id),
+		jr:           newDeltaJournal(m.journalPath(id)),
+		compactEvery: m.compactEvery,
+		metrics:      m.metrics,
+		changed:      make(chan struct{}),
+	}
+}
+
+// recoverSession rebuilds one session from its journaled spec, base
+// checkpoint and answer deltas.
 func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	data, err := os.ReadFile(m.specPath(id))
 	if err != nil {
@@ -205,62 +350,71 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	if err != nil {
 		return nil, err
 	}
+	deltas, lines, err := readDeltas(m.journalPath(id))
+	if err != nil {
+		return nil, err
+	}
 	cp, err := os.Open(m.checkpointPath(id))
 	if os.IsNotExist(err) {
-		// The process died between the spec write and the initial
-		// checkpoint write: no answer was ever journaled (Create had not
-		// returned), so starting the session fresh IS the faithful
-		// recovery — and it must not brick the server.
+		if lines > 0 {
+			// Deltas can only ever be appended after the base snapshot
+			// landed: a missing base with surviving deltas is corruption,
+			// not a benign crash window.
+			return nil, fmt.Errorf("%w: %d answer deltas without a base checkpoint", errJournalCorrupt, lines)
+		}
+		// The process died between the spec write and the initial base
+		// write: no answer was ever journaled (Create had not returned), so
+		// starting the session fresh IS the faithful recovery — and it must
+		// not brick the server.
 		return m.startSession(id, spec)
 	}
 	if err != nil {
 		return nil, err
 	}
 	defer cp.Close()
-	sess, err := humo.RestoreSession(w, spec.requirement(), spec.sessionConfig(), cp)
+	sess, err := humo.RestoreSessionDeltas(w, spec.requirement(), spec.sessionConfig(), cp, deltas)
 	if err != nil {
 		return nil, err
 	}
-	return &ManagedSession{
-		id:      id,
-		spec:    spec,
-		w:       w,
-		sess:    sess,
-		cpPath:  m.checkpointPath(id),
-		changed: make(chan struct{}),
-	}, nil
+	s := m.newManagedSession(id, spec, w, sess)
+	s.jr.seq = lines
+	return s, nil
 }
 
-// Get returns the named session.
+// Get returns the named session, locking only its shard.
 func (m *Manager) Get(id string) (*ManagedSession, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
 	if !ok || s == nil {
 		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
 	}
 	return s, nil
 }
 
-// List returns every live session, sorted by id.
+// List returns every live session, sorted by id. Shards are visited one at
+// a time, so a List never holds more than one lock domain and never blocks
+// traffic on the others.
 func (m *Manager) List() []*ManagedSession {
-	m.mu.Lock()
-	out := make([]*ManagedSession, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		if s != nil {
-			out = append(out, s)
+	out := make([]*ManagedSession, 0, int(m.count.Load()))
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if s != nil {
+				out = append(out, s)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
-// Len returns the number of live sessions.
+// Len returns the number of live sessions (plus Create reservations in
+// flight) without taking any shard lock.
 func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.sessions)
+	return int(m.count.Load())
 }
 
 // Delete cancels the named session and removes its journal files: the
@@ -269,9 +423,10 @@ func (m *Manager) Len() int {
 // are gone, so a failed Delete is retryable and a deleted session can
 // never be resurrected by the next Open.
 func (m *Manager) Delete(id string) error {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	m.mu.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	sh.mu.Unlock()
 	if !ok || s == nil {
 		return fmt.Errorf("%w: %s", ErrSessionNotFound, id)
 	}
@@ -283,19 +438,33 @@ func (m *Manager) Delete(id string) error {
 	if err := os.Remove(s.cpPath); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	m.mu.Lock()
-	delete(m.sessions, id)
-	m.mu.Unlock()
+	s.mu.Lock()
+	err := s.jr.remove()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	if _, still := sh.sessions[id]; still {
+		delete(sh.sessions, id)
+		m.count.Add(-1)
+		m.metrics.Counter("sessions_deleted_total").Inc()
+	}
+	sh.mu.Unlock()
 	return nil
 }
 
-// Close checkpoints and cancels every session, keeping all journal files so
-// a later Open resumes them. It is the graceful-shutdown path of cmd/humod.
+// Close checkpoints and cancels every session, compacting each delta
+// journal into its base snapshot and keeping all files so a later Open
+// resumes them. It is the graceful-shutdown path of cmd/humod.
 func (m *Manager) Close() error {
 	var firstErr error
 	for _, s := range m.List() {
 		s.mu.Lock()
-		if err := s.journalLocked(); err != nil && firstErr == nil {
+		if err := s.compactLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.jr.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		s.mu.Unlock()
@@ -316,15 +485,18 @@ func generateID() string {
 
 // ManagedSession is one resolution owned by a Manager: a humo.Session plus
 // its journal. The answer path is serialized by a per-session mutex so the
-// checkpoint on disk always reflects a prefix of the applied answers.
+// journal on disk always reflects a prefix of the applied answers.
 type ManagedSession struct {
-	id     string
-	spec   Spec
-	w      *humo.Workload
-	sess   *humo.Session
-	cpPath string
+	id           string
+	spec         Spec
+	w            *humo.Workload
+	sess         *humo.Session
+	cpPath       string
+	compactEvery int
+	metrics      *obs.Registry
 
 	mu      sync.Mutex
+	jr      *deltaJournal
 	changed chan struct{} // closed and replaced whenever the label log grows
 }
 
@@ -345,32 +517,48 @@ func (s *ManagedSession) Next(ctx context.Context) (humo.Batch, error) {
 	return s.sess.Next(ctx)
 }
 
-// Answer feeds labels into the session and journals the grown label log to
-// the checkpoint file before returning. Partial answers are allowed, as in
-// Session.Answer. The journal write is atomic (temp + rename): a crash
-// between any two answers loses nothing that was acknowledged.
+// Answer feeds labels into the session and journals the change as one
+// delta line appended (and fsynced) to the session's journal file before
+// returning — O(batch) disk work, not O(log). Partial answers are allowed,
+// as in Session.Answer. Once the journal holds compactEvery deltas it is
+// compacted: the base checkpoint is rewritten atomically and the delta file
+// truncated. A crash between any two answers loses nothing that was
+// acknowledged.
 func (s *ManagedSession) Answer(labels map[int]bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.sess.Answer(labels); err != nil {
+	applied, err := s.sess.AnswerApplied(labels)
+	if err != nil {
 		return err
 	}
-	if err := s.journalLocked(); err != nil {
-		return err
+	if len(applied) > 0 {
+		if err := s.jr.append(applied); err != nil {
+			return err
+		}
+		s.metrics.Counter("journal_appends_total").Inc()
+		if s.jr.len() >= s.compactEvery {
+			if err := s.compactLocked(); err != nil {
+				return err
+			}
+		}
 	}
 	s.bumpLocked()
 	return nil
 }
 
-// journal checkpoints the session to its per-session file atomically.
-func (s *ManagedSession) journal() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.journalLocked()
-}
-
-func (s *ManagedSession) journalLocked() error {
-	return dataio.WriteFileAtomic(s.cpPath, s.sess.Checkpoint)
+// compactLocked folds the delta journal into the base snapshot: the full
+// checkpoint is rewritten atomically, then the delta file truncated. A
+// crash between the two leaves deltas that are already folded in; replaying
+// them is idempotent, so recovery stays exact.
+func (s *ManagedSession) compactLocked() error {
+	if err := writeBase(s.cpPath, s.sess.Checkpoint); err != nil {
+		return err
+	}
+	if err := s.jr.truncate(); err != nil {
+		return err
+	}
+	s.metrics.Counter("journal_compactions_total").Inc()
+	return nil
 }
 
 // bump wakes everyone blocked in WaitLabels.

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parkWaiters parks n WaitLabels pollers on an unanswered pair and returns
+// a channel that yields each poller's outcome. Every poller uses its own
+// timeout context so a missed wakeup fails the test instead of hanging it.
+func parkWaiters(t *testing.T, s *ManagedSession, id, n int) <-chan struct {
+	done bool
+	err  error
+} {
+	t.Helper()
+	out := make(chan struct {
+		done bool
+		err  error
+	}, n)
+	var ready sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ready.Add(1)
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			ready.Done()
+			_, _, done, err := s.WaitLabels(ctx, []int{id})
+			out <- struct {
+				done bool
+				err  error
+			}{done, err}
+		}()
+	}
+	ready.Wait()
+	return out
+}
+
+// TestDeleteWhileLongPoll races Delete against pollers parked in
+// WaitLabels: every poller must unblock promptly, observing termination
+// (done=true) rather than timing out, and the manager must end empty.
+func TestDeleteWhileLongPoll(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, _ := testWorkload(t, 800, 41)
+	s, err := m.Create("del", testSpec(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+
+	const pollers = 8
+	out := parkWaiters(t, s, b.IDs[0], pollers)
+	if err := m.Delete("del"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pollers; i++ {
+		r := <-out
+		if r.err != nil {
+			t.Fatalf("poller %d timed out across Delete: %v", i, r.err)
+		}
+		if !r.done {
+			t.Fatalf("poller %d woke without observing termination", i)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+}
+
+// TestCloseWhileLongPoll races Manager.Close (the shutdown checkpoint path)
+// against parked pollers: all must unblock with done=true, and the
+// checkpoint written under them must recover.
+func TestCloseWhileLongPoll(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := testWorkload(t, 800, 42)
+	spec := testSpec(pairs)
+	s, err := m.Create("shut", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+
+	const pollers = 8
+	out := parkWaiters(t, s, b.IDs[0], pollers)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pollers; i++ {
+		r := <-out
+		if r.err != nil {
+			t.Fatalf("poller %d timed out across Close: %v", i, r.err)
+		}
+		if !r.done {
+			t.Fatalf("poller %d woke without observing termination", i)
+		}
+	}
+
+	// The shutdown checkpoint is intact: a reopen resumes the session and it
+	// finishes bit-identically.
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, err := m2.Get("shut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s2, truth)
+	<-s2.Session().DoneChan()
+	wantSol, wantCost := oneShotSolution(t, spec, truth)
+	if got := s2.Session().Solution(); got != wantSol {
+		t.Errorf("solution %+v, want %+v", got, wantSol)
+	}
+	if got := s2.Session().Cost(); got != wantCost {
+		t.Errorf("cost %d, want %d", got, wantCost)
+	}
+}
+
+// TestAnswerWhileLongPollRace hammers concurrent Answer calls against
+// WaitLabels pollers and a Delete finale under the race detector: the
+// per-session mutex and the changed-channel bump must never lose a wakeup.
+func TestAnswerWhileLongPollRace(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, truth := testWorkload(t, 1200, 43)
+	s, err := m.Create("race", testSpec(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || len(b.IDs) < 2 {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			id := b.IDs[i%len(b.IDs)]
+			got, _, done, err := s.WaitLabels(ctx, []int{id})
+			if err != nil {
+				t.Errorf("poller %d: %v", i, err)
+				return
+			}
+			if v, ok := got[id]; ok && v != truth[id] {
+				t.Errorf("poller %d: label %v, want %v", i, v, truth[id])
+			}
+			_ = done // done without the label is legal: Delete may win the race
+		}(i)
+	}
+	for _, id := range b.IDs {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// ErrSessionDone is fine: the Delete below may land first.
+			s.Answer(map[int]bool{id: truth[id]}) //nolint:errcheck
+		}(id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+		if err := m.Delete("race"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+	}()
+	wg.Wait()
+}

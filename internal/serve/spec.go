@@ -1,9 +1,3 @@
-// Package serve turns the single-resolution humo.Session into a served,
-// multi-tenant subsystem: a Manager owns many named sessions concurrently,
-// journals every answered batch to an atomic per-session checkpoint file,
-// and recovers all live sessions on startup — bit-identical to a run that
-// was never interrupted. NewHandler exposes the manager over the HTTP JSON
-// API served by cmd/humod.
 package serve
 
 import (

@@ -113,10 +113,12 @@ func DecodeWorkloadRequest(data []byte) (WorkloadRequest, error) {
 }
 
 // reserveWorkload atomically claims a workload name: it fails if a build
-// of the same name is in flight or its file already exists.
+// of the same name is in flight or its file already exists. Workload
+// reservations are their own lock domain (wmu), so a build never contends
+// with session traffic.
 func (m *Manager) reserveWorkload(name, path string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
 	if _, busy := m.workloads[name]; busy {
 		return fmt.Errorf("%w: %s (build in progress)", ErrWorkloadExists, name)
 	}
@@ -130,9 +132,9 @@ func (m *Manager) reserveWorkload(name, path string) error {
 }
 
 func (m *Manager) releaseWorkload(name string) {
-	m.mu.Lock()
+	m.wmu.Lock()
 	delete(m.workloads, name)
-	m.mu.Unlock()
+	m.wmu.Unlock()
 }
 
 // BuildWorkload runs candidate generation server-side and persists the

@@ -382,15 +382,33 @@ func (s *Session) RiskProgress() (p RiskProgress, ok bool) {
 // burn the batch cycle or trip an error. Answering a terminated session
 // with actual labels is an error.
 func (s *Session) Answer(labels map[int]bool) error {
+	_, err := s.AnswerApplied(labels)
+	return err
+}
+
+// AnswerApplied is Answer plus the delta it produced: the subset of labels
+// that actually changed the answered-label log (new pair ids, or ids
+// re-answered with a different value). Incremental journals persist exactly
+// this subset per batch instead of rewriting the whole log; replaying the
+// deltas in order over any earlier snapshot reconstructs the log the call
+// left behind. The returned map is nil when nothing changed.
+func (s *Session) AnswerApplied(labels map[int]bool) (applied map[int]bool, err error) {
 	if len(labels) == 0 {
-		return nil
+		return nil, nil
 	}
 	s.mu.Lock()
 	if s.done {
 		s.mu.Unlock()
-		return ErrSessionDone
+		return nil, ErrSessionDone
 	}
 	for id, v := range labels {
+		if prev, ok := s.answered[id]; ok && prev == v {
+			continue
+		}
+		if applied == nil {
+			applied = make(map[int]bool, len(labels))
+		}
+		applied[id] = v
 		s.answered[id] = v
 	}
 	released := false
@@ -408,7 +426,7 @@ func (s *Session) Answer(labels map[int]bool) error {
 	if released {
 		s.release()
 	}
-	return nil
+	return applied, nil
 }
 
 // Run drives the session to termination with a Labeler: the batch loop of
@@ -639,8 +657,20 @@ func (s *Session) Checkpoint(w io.Writer) error {
 // genuinely unanswered pair. Answers in cfg.Known are merged in (checkpoint
 // labels win on conflict).
 func RestoreSession(w *Workload, req Requirement, cfg SessionConfig, r io.Reader) (*Session, error) {
+	return RestoreSessionDeltas(w, req, cfg, r, nil)
+}
+
+// RestoreSessionDeltas resumes a resolution journaled as a base checkpoint
+// plus ordered per-batch answer deltas appended after it (the incremental
+// journal format of internal/serve). The base stream is verified exactly as
+// RestoreSession verifies a full checkpoint; the deltas are then applied in
+// order on top of its label log (a later delta wins over an earlier one and
+// over the base), which reconstructs — bit-identically — the log the live
+// session held after its last journaled Answer. With no deltas it is
+// RestoreSession.
+func RestoreSessionDeltas(w *Workload, req Requirement, cfg SessionConfig, base io.Reader, deltas []map[int]bool) (*Session, error) {
 	var cp sessionCheckpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+	if err := json.NewDecoder(base).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("humo: reading checkpoint: %w", err)
 	}
 	if cp.Version != checkpointVersion {
@@ -669,6 +699,11 @@ func RestoreSession(w *Workload, req Requirement, cfg SessionConfig, r io.Reader
 	}
 	for _, e := range cp.Labels {
 		known[e.ID] = e.Match
+	}
+	for _, d := range deltas {
+		for id, v := range d {
+			known[id] = v
+		}
 	}
 	cfg.Known = known
 	return NewSession(w, req, cfg)
