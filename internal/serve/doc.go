@@ -28,8 +28,10 @@
 // replays base + deltas in order (humo.RestoreSessionDeltas); the replay
 // rules make every crash window safe:
 //
-//   - A torn final journal line (crash mid-append) is dropped: the Answer
-//     that wrote it never returned, so nothing acknowledged is lost.
+//   - A torn final journal line (crash mid-append) is dropped AND truncated
+//     away: the Answer that wrote it never returned, so nothing acknowledged
+//     is lost, and the next append starts on a clean line instead of
+//     concatenating onto the fragment.
 //   - Deltas surviving a compaction crash (base rewritten, truncate lost)
 //     replay idempotently: the final value of every pair id equals the
 //     base's.

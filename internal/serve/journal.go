@@ -27,11 +27,13 @@ import (
 // answered-label log bit-identically to a full-checkpoint restore.
 //
 // Crash safety: a torn final line (power cut mid-append) is discarded — its
-// Answer was never acknowledged. A crash between the compaction's base
-// rewrite and the delta truncation leaves deltas that are already folded
-// into the base; replaying them in order is idempotent (the last value of
-// every pair id equals the base's), so recovery stays exact. Corruption
-// anywhere before the final line fails recovery loudly.
+// Answer was never acknowledged — and recovery truncates the file back to
+// its last complete line, so the reopened O_APPEND handle never writes onto
+// the fragment. A crash between the compaction's base rewrite and the delta
+// truncation leaves deltas that are already folded into the base; replaying
+// them in order is idempotent (the last value of every pair id equals the
+// base's), so recovery stays exact. Corruption anywhere before the final
+// line — including a broken seq chain — fails recovery loudly.
 
 // journalVersion versions the delta line format.
 const journalVersion = 1
@@ -151,16 +153,20 @@ func (j *deltaJournal) remove() error {
 }
 
 // readDeltas replays a delta file into ordered per-batch label maps and
-// returns how many complete lines it holds. A missing file is an empty
-// journal. A torn final line (no trailing newline, crash mid-append) is
-// dropped; malformed content anywhere else is errJournalCorrupt.
-func readDeltas(path string) (deltas []map[int]bool, lines int, err error) {
+// returns how many complete lines it holds plus the byte offset just past
+// the last complete line. A missing file is an empty journal. A torn final
+// line (no trailing newline, crash mid-append) is dropped — the caller must
+// truncate the file to complete before appending through it again, or the
+// next O_APPEND write would concatenate onto the fragment. Malformed
+// content anywhere else, including a sequence-number gap, duplicate or
+// reorder, is errJournalCorrupt.
+func readDeltas(path string) (deltas []map[int]bool, lines int, complete int64, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, 0, nil
+		return nil, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
@@ -168,35 +174,38 @@ func readDeltas(path string) (deltas []map[int]bool, lines int, err error) {
 	for {
 		raw, err := r.ReadBytes('\n')
 		if err == io.EOF {
-			if len(bytes.TrimSpace(raw)) > 0 {
-				// Torn tail: the append never completed, the answer was
-				// never acknowledged. Drop it.
-				return deltas, seq, nil
-			}
-			return deltas, seq, nil
+			// Any non-empty remainder is a torn tail: the append never
+			// completed, the answer was never acknowledged. Drop it (its
+			// bytes stay past complete, for the caller to truncate).
+			return deltas, seq, complete, nil
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		if len(bytes.TrimSpace(raw)) == 0 {
+			complete += int64(len(raw))
 			continue
 		}
 		var dl deltaLine
 		if err := unmarshalJSONStrict(raw, &dl); err != nil {
-			return nil, 0, fmt.Errorf("%w: line %d: %v", errJournalCorrupt, seq+1, err)
+			return nil, 0, 0, fmt.Errorf("%w: line %d: %v", errJournalCorrupt, seq+1, err)
 		}
 		if dl.V != journalVersion {
-			return nil, 0, fmt.Errorf("%w: line %d: version %d, want %d", errJournalCorrupt, seq+1, dl.V, journalVersion)
+			return nil, 0, 0, fmt.Errorf("%w: line %d: version %d, want %d", errJournalCorrupt, seq+1, dl.V, journalVersion)
+		}
+		if dl.Seq != seq+1 {
+			return nil, 0, 0, fmt.Errorf("%w: line %d: seq %d, want %d", errJournalCorrupt, seq+1, dl.Seq, seq+1)
 		}
 		delta := make(map[int]bool, len(dl.Labels))
 		for k, v := range dl.Labels {
 			id, err := strconv.Atoi(k)
 			if err != nil {
-				return nil, 0, fmt.Errorf("%w: line %d: pair id %q", errJournalCorrupt, seq+1, k)
+				return nil, 0, 0, fmt.Errorf("%w: line %d: pair id %q", errJournalCorrupt, seq+1, k)
 			}
 			delta[id] = v
 		}
 		seq++
+		complete += int64(len(raw))
 		deltas = append(deltas, delta)
 	}
 }

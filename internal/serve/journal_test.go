@@ -31,7 +31,7 @@ func TestDeltaJournalRoundTrip(t *testing.T) {
 		t.Fatalf("len = %d, want 3", j.len())
 	}
 
-	deltas, lines, err := readDeltas(path)
+	deltas, lines, _, err := readDeltas(path)
 	if err != nil || lines != 3 {
 		t.Fatalf("readDeltas: %d lines, err %v", lines, err)
 	}
@@ -52,7 +52,7 @@ func TestDeltaJournalRoundTrip(t *testing.T) {
 	if j.len() != 0 {
 		t.Fatalf("len = %d after truncate", j.len())
 	}
-	if _, lines, err := readDeltas(path); err != nil || lines != 0 {
+	if _, lines, _, err := readDeltas(path); err != nil || lines != 0 {
 		t.Fatalf("after truncate: %d lines, err %v", lines, err)
 	}
 	// The handle stays valid for appends after a truncate (O_APPEND
@@ -60,7 +60,7 @@ func TestDeltaJournalRoundTrip(t *testing.T) {
 	if err := j.append(map[int]bool{9: true}); err != nil {
 		t.Fatal(err)
 	}
-	if _, lines, err := readDeltas(path); err != nil || lines != 1 {
+	if _, lines, _, err := readDeltas(path); err != nil || lines != 1 {
 		t.Fatalf("append after truncate: %d lines, err %v", lines, err)
 	}
 
@@ -75,15 +75,16 @@ func TestDeltaJournalRoundTrip(t *testing.T) {
 // TestReadDeltasMissingFile: no journal file is an empty journal, not an
 // error.
 func TestReadDeltasMissingFile(t *testing.T) {
-	deltas, lines, err := readDeltas(filepath.Join(t.TempDir(), "absent.jsonl"))
-	if err != nil || lines != 0 || deltas != nil {
-		t.Fatalf("missing file: deltas=%v lines=%d err=%v", deltas, lines, err)
+	deltas, lines, complete, err := readDeltas(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || lines != 0 || complete != 0 || deltas != nil {
+		t.Fatalf("missing file: deltas=%v lines=%d complete=%d err=%v", deltas, lines, complete, err)
 	}
 }
 
 // TestReadDeltasTornTail: a final line without its newline (power cut
 // mid-append) is dropped silently — that answer was never acknowledged —
-// while the complete prefix survives.
+// while the complete prefix survives, and the reported complete offset
+// points at the start of the fragment so recovery can truncate it away.
 func TestReadDeltasTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "s.journal.jsonl")
 	j := newDeltaJournal(path)
@@ -97,21 +98,25 @@ func TestReadDeltasTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	torn := append(data, []byte(`{"v":1,"seq":3,"lab`)...)
+	torn := append(append([]byte(nil), data...), []byte(`{"v":1,"seq":3,"lab`)...)
 	if err := os.WriteFile(path, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	deltas, lines, err := readDeltas(path)
+	deltas, lines, complete, err := readDeltas(path)
 	if err != nil {
 		t.Fatalf("torn tail rejected: %v", err)
 	}
 	if lines != 2 || len(deltas) != 2 || !deltas[0][1] || deltas[1][2] {
 		t.Fatalf("torn tail: deltas=%v lines=%d", deltas, lines)
 	}
+	if complete != int64(len(data)) {
+		t.Fatalf("complete = %d, want %d (end of last full line)", complete, len(data))
+	}
 }
 
 // TestReadDeltasCorruption: malformed content before the final line, an
-// unknown version, and a non-numeric pair id each fail loudly with
+// unknown version, a non-numeric pair id, and a broken seq chain
+// (duplicated, dropped or reordered lines) each fail loudly with
 // errJournalCorrupt.
 func TestReadDeltasCorruption(t *testing.T) {
 	for name, content := range map[string]string{
@@ -120,12 +125,15 @@ func TestReadDeltasCorruption(t *testing.T) {
 		"bad version":    `{"v":9,"seq":1,"labels":{"1":true}}` + "\n",
 		"non-numeric id": `{"v":1,"seq":1,"labels":{"x":true}}` + "\n",
 		"mid-file tear":  `{"v":1,"se` + "\n" + `{"v":1,"seq":2,"labels":{"1":true}}` + "\n",
+		"seq not 1":      `{"v":1,"seq":2,"labels":{"1":true}}` + "\n",
+		"seq duplicate":  `{"v":1,"seq":1,"labels":{"1":true}}` + "\n" + `{"v":1,"seq":1,"labels":{"2":true}}` + "\n",
+		"seq gap":        `{"v":1,"seq":1,"labels":{"1":true}}` + "\n" + `{"v":1,"seq":3,"labels":{"2":true}}` + "\n",
 	} {
 		path := filepath.Join(t.TempDir(), "s.journal.jsonl")
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := readDeltas(path); !errors.Is(err, errJournalCorrupt) {
+		if _, _, _, err := readDeltas(path); !errors.Is(err, errJournalCorrupt) {
 			t.Errorf("%s: err = %v, want errJournalCorrupt", name, err)
 		}
 	}
@@ -200,7 +208,7 @@ func TestManagerCompaction(t *testing.T) {
 	}
 	journalLines := func() int {
 		t.Helper()
-		_, lines, err := readDeltas(jp)
+		_, lines, _, err := readDeltas(jp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,20 +228,17 @@ func TestManagerCompaction(t *testing.T) {
 	}
 	answerOne() // one uncompacted delta on top of the compacted base
 	answered := len(s.Session().Answered())
-	s.Session().Cancel() // crash without Close
 
-	// Simulate the compaction crash window by duplicating the journal's
-	// delta line: replay then applies the same labels twice, exactly like
-	// recovering a journal whose lines were already folded into the base
-	// before the truncate landed. Idempotent replay must absorb it.
-	data, err := os.ReadFile(jp)
-	if err != nil {
+	// Simulate the compaction crash window: the base rewrite landed but the
+	// process died before the journal truncate, so the surviving delta line
+	// is already folded into the base. Replay then applies the same labels
+	// twice; idempotent replay must absorb it.
+	if err := writeBase(filepath.Join(dir, "cmp.checkpoint.json"), s.Session().Checkpoint); err != nil {
 		t.Fatal(err)
 	}
-	dup := append([]byte(nil), data...)
-	dup = append(dup, data...)
-	if err := os.WriteFile(jp, dup, 0o644); err != nil {
-		t.Fatal(err)
+	s.Session().Cancel() // crash without Close
+	if got := journalLines(); got != 1 {
+		t.Fatalf("crash window: %d journal lines, want the folded delta to survive", got)
 	}
 
 	m2, err := Open(Config{StateDir: dir, CompactEvery: 2})
@@ -256,6 +261,145 @@ func TestManagerCompaction(t *testing.T) {
 	}
 	if got := s2.Session().Cost(); got != wantCost {
 		t.Errorf("recovered cost %d, want %d", got, wantCost)
+	}
+}
+
+// TestManagerRecoveryTruncatesTornTail: recovery must physically remove a
+// torn final journal line, not just skip it. The journal reopens with
+// O_APPEND, so a surviving fragment would have the first post-recovery
+// append concatenate onto it, corrupting the journal and bricking the NEXT
+// restart after a single benign mid-append crash.
+func TestManagerRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 800, 25)
+	m1, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m1.Create("torn", testSpec(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	answerOne := func(s *ManagedSession) {
+		t.Helper()
+		b, err := s.Next(ctx)
+		if err != nil || b.Empty() {
+			t.Fatalf("batch: %v %v", b, err)
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	answerOne(s)
+	answered1 := len(s.Session().Answered())
+	s.Session().Cancel() // crash, mid-append: a torn fragment at the tail
+	jp := filepath.Join(dir, "torn.journal.jsonl")
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"seq":2,"lab`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatalf("recovery with torn tail: %v", err)
+	}
+	s2, err := m2.Get("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Session().Answered()); got != answered1 {
+		t.Fatalf("recovered %d answers, want %d", got, answered1)
+	}
+	answerOne(s2) // the append that would land on the fragment
+	answered2 := len(s2.Session().Answered())
+	s2.Session().Cancel() // crash again, before any compaction
+
+	m3, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatalf("second recovery, after a post-torn append: %v", err)
+	}
+	defer m3.Close()
+	s3, err := m3.Get("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s3.Session().Answered()); got != answered2 {
+		t.Fatalf("second recovery: %d answers, want %d", got, answered2)
+	}
+}
+
+// TestManagerAnswerJournalAppendFailure: a failed journal append must never
+// leave acknowledged labels existing only in memory. The labels are applied
+// before the append, so a blind retry applies nothing new and would
+// otherwise be acknowledged without ever being persisted; Answer must keep
+// failing until a compaction folds the orphaned labels into the base, and
+// once one lands the acknowledged state must survive a crash.
+func TestManagerAnswerJournalAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	pairs, truth := testWorkload(t, 800, 26)
+	m1, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m1.Create("flaky", testSpec(pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Next(context.Background())
+	if err != nil || b.Empty() {
+		t.Fatalf("batch: %v %v", b, err)
+	}
+	ans := make(map[int]bool, len(b.IDs))
+	for _, id := range b.IDs {
+		ans[id] = truth[id]
+	}
+	// Sabotage both the journal and the base path: the append fails and so
+	// does the fallback compaction.
+	goodCp := s.cpPath
+	s.mu.Lock()
+	s.jr.close() //nolint:errcheck // nothing was appended yet
+	s.jr.path = filepath.Join(dir, "no-such-dir", "flaky.journal.jsonl")
+	s.cpPath = filepath.Join(dir, "no-such-dir", "flaky.checkpoint.json")
+	s.mu.Unlock()
+	if err := s.Answer(ans); err == nil {
+		t.Fatal("Answer acknowledged with journal and base both unwritable")
+	}
+	if err := s.Answer(ans); err == nil {
+		t.Fatal("retry acknowledged labels that are persisted nowhere")
+	}
+	// The base becomes writable again: the retry forces a compaction that
+	// persists the orphaned labels, so THIS attempt is acknowledged.
+	s.mu.Lock()
+	s.cpPath = goodCp
+	s.mu.Unlock()
+	if err := s.Answer(ans); err != nil {
+		t.Fatalf("retry with a writable base: %v", err)
+	}
+	answered := len(s.Session().Answered())
+	s.Session().Cancel() // crash without Close
+
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, err := m2.Get("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Session().Answered()); got != answered {
+		t.Fatalf("recovered %d answers, want %d acknowledged", got, answered)
 	}
 }
 

@@ -350,9 +350,19 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	deltas, lines, err := readDeltas(m.journalPath(id))
+	jp := m.journalPath(id)
+	deltas, lines, complete, err := readDeltas(jp)
 	if err != nil {
 		return nil, err
+	}
+	// A torn final line was dropped logically; drop its bytes too. The
+	// journal reopens with O_APPEND, so without this truncate the first
+	// post-recovery append would concatenate onto the fragment and turn a
+	// benign mid-append crash into errJournalCorrupt on the next restart.
+	if fi, serr := os.Stat(jp); serr == nil && fi.Size() > complete {
+		if terr := os.Truncate(jp, complete); terr != nil {
+			return nil, fmt.Errorf("truncating torn journal tail: %w", terr)
+		}
 	}
 	cp, err := os.Open(m.checkpointPath(id))
 	if os.IsNotExist(err) {
@@ -495,9 +505,10 @@ type ManagedSession struct {
 	compactEvery int
 	metrics      *obs.Registry
 
-	mu      sync.Mutex
-	jr      *deltaJournal
-	changed chan struct{} // closed and replaced whenever the label log grows
+	mu          sync.Mutex
+	jr          *deltaJournal
+	unjournaled bool          // labels applied in memory but persisted nowhere (a journal append failed)
+	changed     chan struct{} // closed and replaced whenever the label log grows
 }
 
 // ID returns the session's name.
@@ -527,18 +538,35 @@ func (s *ManagedSession) Next(ctx context.Context) (humo.Batch, error) {
 func (s *ManagedSession) Answer(labels map[int]bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.unjournaled {
+		// A previous append failed after its labels were applied in memory,
+		// so a retry of that Answer sees an empty applied delta and would be
+		// acknowledged without ever being persisted. Refuse to acknowledge
+		// anything until a compaction folds the orphaned labels into the base.
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
 	applied, err := s.sess.AnswerApplied(labels)
 	if err != nil {
 		return err
 	}
 	if len(applied) > 0 {
 		if err := s.jr.append(applied); err != nil {
-			return err
-		}
-		s.metrics.Counter("journal_appends_total").Inc()
-		if s.jr.len() >= s.compactEvery {
-			if err := s.compactLocked(); err != nil {
+			// The labels are already in memory and will be acknowledged on
+			// retry whether or not we journal them now. Rewrite the base
+			// instead — a successful compaction persists them, keeping the
+			// "loses nothing acknowledged" guarantee, so the answer succeeds.
+			if cerr := s.compactLocked(); cerr != nil {
+				s.unjournaled = true
 				return err
+			}
+		} else {
+			s.metrics.Counter("journal_appends_total").Inc()
+			if s.jr.len() >= s.compactEvery {
+				if err := s.compactLocked(); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -557,6 +585,7 @@ func (s *ManagedSession) compactLocked() error {
 	if err := s.jr.truncate(); err != nil {
 		return err
 	}
+	s.unjournaled = false
 	s.metrics.Counter("journal_compactions_total").Inc()
 	return nil
 }
