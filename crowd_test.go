@@ -1,0 +1,61 @@
+package humo_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"humo"
+)
+
+// TestCrowdLabelerDrivesSession runs a full resolution with the crowd
+// pipeline as the session's workforce: pack, vote, aggregate, propagate.
+// The outcome must be bit-identical across packing worker counts, and the
+// CrowdER economies must actually fire (clustered HITs, inferred pairs).
+func TestCrowdLabelerDrivesSession(t *testing.T) {
+	cfg := humo.DefaultDSConfig()
+	cfg.Entities = 600
+	cfg.Filler = 6000
+	ds, err := humo.DSLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := humo.Split(ds.Pairs)
+	w, err := humo.NewWorkload(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := ds.CrowdRefs()
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+
+	run := func(packWorkers int) (humo.Solution, humo.CrowdStats) {
+		t.Helper()
+		l, err := humo.NewCrowdLabeler(refs, truth, humo.CrowdLabelerConfig{Seed: 5, Workers: packWorkers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodHybrid, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Run(context.Background(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol, l.Stats()
+	}
+
+	sol, stats := run(1)
+	if stats.HITs == 0 || stats.Votes == 0 {
+		t.Fatalf("crowd did no work: %+v", stats)
+	}
+	if stats.Votes >= 3*int64(w.Len()) {
+		t.Fatalf("crowd voted on every pair with no savings: %+v over %d pairs", stats, w.Len())
+	}
+	for _, pw := range []int{8, 0} {
+		sol2, stats2 := run(pw)
+		if !reflect.DeepEqual(sol, sol2) || stats != stats2 {
+			t.Fatalf("packing workers=%d changed the outcome: %+v vs %+v", pw, stats2, stats)
+		}
+	}
+}

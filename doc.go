@@ -111,6 +111,35 @@
 // represent. OracleLabeler and NewOracleFromLabeler adapt between the two
 // contracts in either direction.
 //
+// # Crowd-scale labeling
+//
+// CrowdLabeler (internal/crowd) is a Labeler that models a real
+// crowdsourcing workforce after CrowdER's cost model (Wang et al., VLDB
+// 2012) instead of a perfect per-pair reviewer. A surfaced batch is first
+// answered from the transitive closure of earlier answers (a~b plus b~c
+// answers a~c for free, and a~b plus a confirmed non-match b!~c answers
+// a!~c); the remainder is packed into cluster-based HITs of at most K
+// distinct records, so pairs sharing records ride on one task page; each
+// packed pair is voted on by several simulated noisy workers, aggregated
+// under per-worker Beta accuracy posteriors, and escalated — one extra vote
+// at a time — while the posterior confidence sits below the configured
+// floor. Conflicts between a direct answer and the closure's inference are
+// counted and resolved in favor of the direct answer. ERDataset.CrowdRefs
+// exposes the record identities behind generated workloads; humod accepts a
+// "crowd" session spec that drives a server-side session through the same
+// pipeline, and "humoexp crowdcost" measures the HITs and votes the
+// pipeline saves against a flat per-pair batcher at equal quality.
+//
+// Crowd determinism contract: for a fixed configuration (seed, pool size,
+// worker error range, packing and vote knobs) and a fixed sequence of label
+// batches, the HITs built, the votes cast, the inferred labels and every
+// CrowdStats counter are bit-identical across runs and across all worker
+// counts (CrowdLabelerConfig.Workers trades wall-clock time only). The same
+// holds for CrowdOracle: its base seed is drawn once at construction and
+// each pair's votes come from a private stream seeded by (base seed, pair
+// id), so a pair's adjudicated answer is identical whether pairs are labeled
+// one by one, in one batch, split across batches, or in any request order.
+//
 // # The humod server
 //
 // One session is one resolution; a deployment runs many at once, each with

@@ -1,0 +1,35 @@
+package crowd
+
+import "testing"
+
+// BenchmarkHITPack packs a mixed workload — dense star clusters plus a long
+// record-disjoint tail — the shape the first-fit merge phase has to chew
+// through.
+func BenchmarkHITPack(b *testing.B) {
+	refs := starRefs(60, 12)
+	refs = append(refs, disjointRefsFrom(len(refs), 1200)...)
+	cfg := PackConfig{MaxRecords: 10, Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pack(refs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVoteAggregate measures one full adjudication round: posterior
+// over three votes, the adjudication, and the online posterior update.
+func BenchmarkVoteAggregate(b *testing.B) {
+	g, err := NewAggregator(20, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	votes := []Vote{{Worker: 3, Match: true}, {Worker: 11, Match: true}, {Worker: 17, Match: false}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		label, _ := g.Adjudicate(votes)
+		g.Update(votes, label)
+	}
+}

@@ -1,0 +1,153 @@
+package crowd
+
+import "fmt"
+
+// Closure is a union-find label store over record keys: direct match
+// answers merge record components, direct non-match answers bridge two
+// components with "confirmed different entity" evidence, and Infer derives
+// labels for exactly the workload pairs registered at construction —
+// a~c follows from a~b plus b~c, and a!~c follows from a~b plus b!~c.
+// Pairs outside the registered workload are never invented: Infer refuses
+// their ids, and no answer is ever emitted for a pair that is neither
+// directly answered nor connected by accepted evidence.
+//
+// Conflicts — a direct answer contradicting what the closure already
+// infers, or re-answering a pair with the opposite label — are counted and
+// resolved in favor of the direct answer: the pair's label is the direct
+// answer, and the contradicting evidence is NOT propagated into the graph,
+// so one disputed answer cannot silently relabel an entire component.
+//
+// Closure is not safe for concurrent use; the Labeler serializes access.
+type Closure struct {
+	refs      map[int]PairRef
+	uf        *recordSets
+	neg       map[int]map[int]struct{} // component root -> roots with a confirmed non-match bridge
+	direct    map[int]bool             // direct answers by pair id (always win)
+	conflicts int
+}
+
+// NewClosure builds a closure store over the workload's pairs. Duplicate
+// ids are refused; self-pairs (A == B) are legal and infer match.
+func NewClosure(refs []PairRef) (*Closure, error) {
+	c := &Closure{
+		refs:   make(map[int]PairRef, len(refs)),
+		uf:     newRecordSets(),
+		neg:    make(map[int]map[int]struct{}),
+		direct: make(map[int]bool),
+	}
+	for _, r := range refs {
+		if _, dup := c.refs[r.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate pair id %d", ErrBadConfig, r.ID)
+		}
+		c.refs[r.ID] = r
+	}
+	return c, nil
+}
+
+// Len returns the number of registered workload pairs.
+func (c *Closure) Len() int { return len(c.refs) }
+
+// Conflicts returns the number of conflicting answers observed so far.
+func (c *Closure) Conflicts() int { return c.conflicts }
+
+// inferGraph derives the pair's label from the evidence graph alone,
+// ignoring direct answers: match when both records sit in one component,
+// non-match when their components carry a confirmed non-match bridge.
+func (c *Closure) inferGraph(r PairRef) (match, ok bool) {
+	ra, rb := c.uf.find(r.A), c.uf.find(r.B)
+	if ra == rb {
+		return true, true
+	}
+	if _, bridged := c.neg[ra][rb]; bridged {
+		return false, true
+	}
+	return false, false
+}
+
+// Infer returns the pair's label when one is known: the direct answer if
+// the pair was answered, otherwise the label the evidence graph implies.
+// ok is false for pairs that are neither answered nor inferable, and the
+// id must be a registered workload pair.
+func (c *Closure) Infer(id int) (match, ok bool, err error) {
+	r, known := c.refs[id]
+	if !known {
+		return false, false, fmt.Errorf("%w: %d", ErrUnknownPair, id)
+	}
+	if v, answered := c.direct[id]; answered {
+		return v, true, nil
+	}
+	match, ok = c.inferGraph(r)
+	return match, ok, nil
+}
+
+// Add records one direct answer for a registered pair. The direct answer
+// always becomes the pair's label; conflict reports whether it contradicted
+// the closure's prior knowledge (an inferred label, or an earlier direct
+// answer for the same pair), in which case the evidence graph is left
+// untouched. Consistent answers extend the graph: a match merges the two
+// record components (re-anchoring any non-match bridges onto the merged
+// root), a non-match bridges them.
+func (c *Closure) Add(id int, match bool) (conflict bool, err error) {
+	r, known := c.refs[id]
+	if !known {
+		return false, fmt.Errorf("%w: %d", ErrUnknownPair, id)
+	}
+	if prev, answered := c.direct[id]; answered {
+		c.direct[id] = match
+		if prev != match {
+			c.conflicts++
+			return true, nil
+		}
+		return false, nil
+	}
+	inferred, ok := c.inferGraph(r)
+	c.direct[id] = match
+	if ok {
+		if inferred != match {
+			c.conflicts++
+			return true, nil
+		}
+		// The graph already carries this knowledge; nothing to extend.
+		return false, nil
+	}
+	if match {
+		c.merge(r.A, r.B)
+	} else {
+		ra, rb := c.uf.find(r.A), c.uf.find(r.B)
+		c.addBridge(ra, rb)
+	}
+	return false, nil
+}
+
+// merge unions the two records' components and re-anchors both sides'
+// non-match bridges onto the surviving root.
+func (c *Closure) merge(a, b int) {
+	ra, rb := c.uf.find(a), c.uf.find(b)
+	if ra == rb {
+		return
+	}
+	root := c.uf.union(ra, rb)
+	gone := ra
+	if root == ra {
+		gone = rb
+	}
+	for other := range c.neg[gone] {
+		delete(c.neg[other], gone)
+		if other != root { // a bridge to the absorbed side collapses, not self-bridges
+			c.addBridge(root, other)
+		}
+	}
+	delete(c.neg, gone)
+}
+
+// addBridge records a confirmed non-match between two component roots.
+func (c *Closure) addBridge(ra, rb int) {
+	if c.neg[ra] == nil {
+		c.neg[ra] = make(map[int]struct{})
+	}
+	if c.neg[rb] == nil {
+		c.neg[rb] = make(map[int]struct{})
+	}
+	c.neg[ra][rb] = struct{}{}
+	c.neg[rb][ra] = struct{}{}
+}

@@ -1,0 +1,156 @@
+package crowd
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustClosure(t *testing.T, refs []PairRef) *Closure {
+	t.Helper()
+	c, err := NewClosure(refs)
+	if err != nil {
+		t.Fatalf("NewClosure: %v", err)
+	}
+	return c
+}
+
+func mustAdd(t *testing.T, c *Closure, id int, match bool) bool {
+	t.Helper()
+	conflict, err := c.Add(id, match)
+	if err != nil {
+		t.Fatalf("Add(%d, %v): %v", id, match, err)
+	}
+	return conflict
+}
+
+func wantInfer(t *testing.T, c *Closure, id int, wantMatch, wantOK bool) {
+	t.Helper()
+	match, ok, err := c.Infer(id)
+	if err != nil {
+		t.Fatalf("Infer(%d): %v", id, err)
+	}
+	if ok != wantOK || (ok && match != wantMatch) {
+		t.Fatalf("Infer(%d) = (%v, %v), want (%v, %v)", id, match, ok, wantMatch, wantOK)
+	}
+}
+
+func TestClosureChainInference(t *testing.T) {
+	// Records 0..3 in a chain: 0~1, 1~2, 2~3 must answer every pair among
+	// them, including the unasked diagonal 0~3.
+	refs := []PairRef{
+		{ID: 0, A: 0, B: 1}, {ID: 1, A: 1, B: 2}, {ID: 2, A: 2, B: 3},
+		{ID: 3, A: 0, B: 3}, {ID: 4, A: 0, B: 2},
+	}
+	c := mustClosure(t, refs)
+	wantInfer(t, c, 3, false, false)
+	mustAdd(t, c, 0, true)
+	mustAdd(t, c, 1, true)
+	wantInfer(t, c, 4, true, true) // 0~2 via 0~1~2
+	wantInfer(t, c, 3, false, false)
+	mustAdd(t, c, 2, true)
+	wantInfer(t, c, 3, true, true) // 0~3 via the whole chain
+	if c.Conflicts() != 0 {
+		t.Fatalf("conflicts = %d, want 0", c.Conflicts())
+	}
+}
+
+func TestClosureNegativeBridge(t *testing.T) {
+	// 0~1 and 1!~2 imply 0!~2; and after 2~3 merges, 0!~3 follows through
+	// the re-anchored bridge.
+	refs := []PairRef{
+		{ID: 0, A: 0, B: 1}, {ID: 1, A: 1, B: 2},
+		{ID: 2, A: 0, B: 2}, {ID: 3, A: 2, B: 3}, {ID: 4, A: 0, B: 3},
+	}
+	c := mustClosure(t, refs)
+	mustAdd(t, c, 0, true)
+	mustAdd(t, c, 1, false)
+	wantInfer(t, c, 2, false, true)
+	mustAdd(t, c, 3, true)
+	wantInfer(t, c, 4, false, true)
+}
+
+func TestClosureBridgeReanchorsAcrossMergeOrder(t *testing.T) {
+	// The bridge is laid first, the merge happens after: 0!~1, then 1~2
+	// must still imply 0!~2.
+	refs := []PairRef{
+		{ID: 0, A: 0, B: 1}, {ID: 1, A: 1, B: 2}, {ID: 2, A: 0, B: 2},
+	}
+	c := mustClosure(t, refs)
+	mustAdd(t, c, 0, false)
+	mustAdd(t, c, 1, true)
+	wantInfer(t, c, 2, false, true)
+}
+
+func TestClosureConflictDirectBeatsInference(t *testing.T) {
+	// A closed component infers 0~2 = match; a direct non-match answer for
+	// it conflicts, wins for that pair, and must NOT split the component.
+	refs := []PairRef{
+		{ID: 0, A: 0, B: 1}, {ID: 1, A: 1, B: 2}, {ID: 2, A: 0, B: 2},
+		{ID: 3, A: 2, B: 3}, {ID: 4, A: 0, B: 3},
+	}
+	c := mustClosure(t, refs)
+	mustAdd(t, c, 0, true)
+	mustAdd(t, c, 1, true)
+	wantInfer(t, c, 2, true, true)
+	if !mustAdd(t, c, 2, false) {
+		t.Fatal("contradicting a closed component did not report a conflict")
+	}
+	if c.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d, want 1", c.Conflicts())
+	}
+	wantInfer(t, c, 2, false, true) // direct answer wins for the pair itself
+	mustAdd(t, c, 3, true)
+	wantInfer(t, c, 4, true, true) // the component survived: 0~3 still inferred
+}
+
+func TestClosureConflictingDirectAnswers(t *testing.T) {
+	refs := []PairRef{{ID: 7, A: 0, B: 1}}
+	c := mustClosure(t, refs)
+	if mustAdd(t, c, 7, true) {
+		t.Fatal("first answer reported a conflict")
+	}
+	if !mustAdd(t, c, 7, false) {
+		t.Fatal("re-answering with the opposite label did not report a conflict")
+	}
+	wantInfer(t, c, 7, false, true) // latest direct answer wins
+	if mustAdd(t, c, 7, false) {
+		t.Fatal("re-answering with the same label reported a conflict")
+	}
+	if c.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d, want 1", c.Conflicts())
+	}
+}
+
+func TestClosureSelfPair(t *testing.T) {
+	// A record trivially matches itself: the self-pair is inferable from the
+	// empty graph, and a direct non-match answer for it is a conflict.
+	refs := []PairRef{{ID: 0, A: 9, B: 9}}
+	c := mustClosure(t, refs)
+	wantInfer(t, c, 0, true, true)
+	if !mustAdd(t, c, 0, false) {
+		t.Fatal("denying a self-pair did not report a conflict")
+	}
+	wantInfer(t, c, 0, false, true)
+}
+
+func TestClosureUnknownPairRefused(t *testing.T) {
+	// Evidence may well connect records of pairs outside the workload; the
+	// closure must refuse their ids rather than invent answers.
+	refs := []PairRef{{ID: 0, A: 0, B: 1}, {ID: 1, A: 1, B: 2}}
+	c := mustClosure(t, refs)
+	mustAdd(t, c, 0, true)
+	mustAdd(t, c, 1, true)
+	if _, _, err := c.Infer(99); !errors.Is(err, ErrUnknownPair) {
+		t.Fatalf("Infer(unregistered) = %v, want ErrUnknownPair", err)
+	}
+	if _, err := c.Add(99, true); !errors.Is(err, ErrUnknownPair) {
+		t.Fatalf("Add(unregistered) = %v, want ErrUnknownPair", err)
+	}
+}
+
+func TestClosureDuplicateIDRefused(t *testing.T) {
+	_, err := NewClosure([]PairRef{{ID: 1, A: 0, B: 1}, {ID: 1, A: 2, B: 3}})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("duplicate ids: got %v, want ErrBadConfig", err)
+	}
+}

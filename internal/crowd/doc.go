@@ -1,0 +1,44 @@
+// Package crowd models a real crowdsourced workforce behind the Labeler
+// contract, following the cost model of CrowdER (Wang et al., VLDB 2012,
+// arXiv:1208.1927): the unit of human work is not a pair but a HIT — a task
+// page holding up to K records — so pairs that share records should ride in
+// one HIT and amortize the record-reading cost; answers propagate through
+// transitive closure (a match a~b plus b~c answers a~c for free, and a match
+// a~b plus a confirmed non-match b!~c answers a!~c); and workers are noisy,
+// so R votes per pair are aggregated under per-worker Beta quality
+// posteriors before a label enters the log.
+//
+// The package is four independent pieces plus the pipeline tying them
+// together:
+//
+//   - Pack greedily packs a pending pair batch into cluster-based HITs of at
+//     most MaxRecords records (pairs sharing records co-ride), sharded over
+//     internal/parallel by connected component with bit-identical output at
+//     any worker count.
+//   - Closure is a union-find label store over record keys: answered matches
+//     merge components, answered non-matches bridge them, and Infer derives
+//     labels for exactly the registered workload pairs — never for pairs
+//     outside the workload, and never for a pair that is neither answered
+//     nor connected by evidence. Conflicts (an inferred label contradicted
+//     by a direct answer) are counted and resolved in favor of the direct
+//     answer.
+//   - Aggregator turns R noisy votes into a posterior-weighted label and a
+//     confidence, maintaining one Beta accuracy posterior per worker updated
+//     online against the adjudicated consensus.
+//   - Pool simulates the workforce: per-worker error rates drawn once from
+//     the seed, and every vote derived from (seed, pair id, round) alone, so
+//     the vote a pair receives on its r-th round is identical no matter how
+//     requests are batched, split or ordered.
+//
+// Labeler composes them into a humo.Labeler: a surfaced batch is first
+// answered from the closure where inference is free, the remainder is packed
+// into HITs, voted on (escalating below the confidence floor), adjudicated,
+// and fed back into the closure and the worker posteriors.
+//
+// Determinism contract: for a fixed configuration (seed, pool, packing and
+// vote knobs) and a fixed sequence of label batches, the HITs built, the
+// votes cast, the inferred labels and every Stats counter are bit-identical
+// across runs and across PackConfig worker counts. Worker counts change
+// wall-clock time, never output — the same convention as every other
+// parallel path in this repository.
+package crowd

@@ -1,0 +1,153 @@
+package crowd
+
+import "testing"
+
+// closureModel is an oracle re-implementation of the closure semantics with
+// no union-find: accepted positive edges in an adjacency list, accepted
+// negative edges as a flat list, inference by BFS per query.
+type closureModel struct {
+	nRec int
+	pos  map[int][]int
+	negs [][2]int
+}
+
+func (m *closureModel) comp(start int) map[int]bool {
+	seen := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range m.pos[x] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return seen
+}
+
+func (m *closureModel) infer(a, b int) (match, ok bool) {
+	ca := m.comp(a)
+	if ca[b] {
+		return true, true
+	}
+	cb := m.comp(b)
+	for _, e := range m.negs {
+		if (ca[e[0]] && cb[e[1]]) || (ca[e[1]] && cb[e[0]]) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// FuzzClosureInvariants drives random answer sequences over random small
+// workloads and checks the closure against the BFS oracle after every
+// answer: a pair is labeled iff it was answered directly or its records are
+// connected by accepted evidence — never for an unanswered, un-inferable
+// pair — direct answers win, conflicts fire exactly when evidence is
+// contradicted, and the whole run replays identically.
+func FuzzClosureInvariants(f *testing.F) {
+	f.Add([]byte{3, 3, 0, 1, 1, 2, 0, 2, 1, 3, 4})
+	f.Add([]byte{5, 4, 0, 1, 2, 3, 1, 2, 0, 3, 1, 2, 5, 7})
+	f.Add([]byte{2, 1, 0, 0, 1, 0})
+	f.Add([]byte{8, 6, 0, 1, 1, 2, 3, 4, 4, 5, 2, 3, 0, 5, 1, 3, 5, 7, 9, 11, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		nRec := 2 + int(data[0])%31
+		nPairs := 1 + int(data[1])%64
+		rest := data[2:]
+		if len(rest) < 2*nPairs {
+			nPairs = len(rest) / 2
+		}
+		if nPairs == 0 {
+			return
+		}
+		refs := make([]PairRef, nPairs)
+		for i := 0; i < nPairs; i++ {
+			refs[i] = PairRef{ID: i, A: int(rest[2*i]) % nRec, B: int(rest[2*i+1]) % nRec}
+		}
+		ops := rest[2*nPairs:]
+
+		run := func() ([]bool, []bool, int) {
+			t.Helper()
+			c, err := NewClosure(refs)
+			if err != nil {
+				t.Fatalf("NewClosure: %v", err)
+			}
+			model := &closureModel{nRec: nRec, pos: make(map[int][]int)}
+			direct := make(map[int]bool)
+			for _, op := range ops {
+				id := int(op>>1) % nPairs
+				match := op&1 == 1
+				r := refs[id]
+
+				// What the oracle expects before the answer lands.
+				wantConflict := false
+				accept := true
+				if prev, answered := direct[id]; answered {
+					wantConflict = prev != match
+					accept = false
+				} else if inferred, ok := model.infer(r.A, r.B); ok {
+					wantConflict = inferred != match
+					accept = false
+				}
+
+				conflict, err := c.Add(id, match)
+				if err != nil {
+					t.Fatalf("Add(%d, %v): %v", id, match, err)
+				}
+				if conflict != wantConflict {
+					t.Fatalf("Add(%d, %v): conflict = %v, oracle says %v", id, match, conflict, wantConflict)
+				}
+				direct[id] = match
+				if accept {
+					if match {
+						model.pos[r.A] = append(model.pos[r.A], r.B)
+						model.pos[r.B] = append(model.pos[r.B], r.A)
+					} else {
+						model.negs = append(model.negs, [2]int{r.A, r.B})
+					}
+				}
+
+				// Every registered pair must agree with the oracle: direct
+				// answer first, graph inference second, no label otherwise.
+				for _, q := range refs {
+					got, ok, err := c.Infer(q.ID)
+					if err != nil {
+						t.Fatalf("Infer(%d): %v", q.ID, err)
+					}
+					want, wantOK := direct[q.ID], false
+					if _, answered := direct[q.ID]; answered {
+						wantOK = true
+					} else {
+						want, wantOK = model.infer(q.A, q.B)
+					}
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("Infer(%d) = (%v, %v), oracle says (%v, %v)", q.ID, got, ok, want, wantOK)
+					}
+				}
+			}
+			labels := make([]bool, nPairs)
+			known := make([]bool, nPairs)
+			for i := range refs {
+				labels[i], known[i], _ = c.Infer(i)
+			}
+			return labels, known, c.Conflicts()
+		}
+
+		l1, k1, c1 := run()
+		l2, k2, c2 := run()
+		for i := range l1 {
+			if l1[i] != l2[i] || k1[i] != k2[i] {
+				t.Fatalf("pair %d differs between identical replays", i)
+			}
+		}
+		if c1 != c2 {
+			t.Fatalf("conflict count differs between replays: %d vs %d", c1, c2)
+		}
+	})
+}

@@ -1,0 +1,352 @@
+package crowd
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pool defaults.
+const (
+	// DefaultPoolSize is the simulated workforce size when Config.PoolSize
+	// is 0.
+	DefaultPoolSize = 20
+	// DefaultWorkerErrorLow / DefaultWorkerErrorHigh bound the per-worker
+	// error rates drawn at pool construction when both Config bounds are 0.
+	DefaultWorkerErrorLow  = 0.05
+	DefaultWorkerErrorHigh = 0.25
+)
+
+// Config tunes the crowd pipeline behind a Labeler.
+type Config struct {
+	// MaxRecordsPerHIT is the HIT capacity K (0 selects DefaultMaxRecords).
+	MaxRecordsPerHIT int
+	// VotesPerPair is the initial number of votes requested per adjudicated
+	// pair (0 selects DefaultVotesPerPair; must be odd in Flat mode).
+	VotesPerPair int
+	// MaxVotesPerPair caps escalation (0 selects DefaultMaxVotesPerPair;
+	// ignored in Flat mode, which never escalates).
+	MaxVotesPerPair int
+	// ConfidenceFloor is the posterior confidence below which one more vote
+	// is requested, while MaxVotesPerPair allows (0 selects
+	// DefaultConfidenceFloor; must sit in (0.5, 1)).
+	ConfidenceFloor float64
+	// Workers bounds the goroutines used to pack HITs; <= 0 selects
+	// GOMAXPROCS. Any value yields bit-identical results.
+	Workers int
+	// PoolSize is the simulated workforce size (0 selects DefaultPoolSize).
+	PoolSize int
+	// WorkerErrorLow / WorkerErrorHigh bound the per-worker error rates;
+	// both 0 selects the defaults. Must satisfy 0 <= low <= high < 0.5.
+	WorkerErrorLow  float64
+	WorkerErrorHigh float64
+	// Seed fixes the simulated pool: error rates, assignments and votes.
+	Seed int64
+	// Flat disables every CrowdER economy — pairs are chunked into HITs of
+	// MaxRecordsPerHIT/2 pairs as if no two pairs shared a record, every
+	// pair costs exactly VotesPerPair votes adjudicated by unweighted
+	// majority, and no label is ever inferred. The baseline the crowdcost
+	// experiment compares against, sharing the same pool and seed.
+	Flat bool
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.MaxRecordsPerHIT == 0 {
+		c.MaxRecordsPerHIT = DefaultMaxRecords
+	}
+	if c.VotesPerPair == 0 {
+		c.VotesPerPair = DefaultVotesPerPair
+	}
+	if c.MaxVotesPerPair == 0 {
+		c.MaxVotesPerPair = DefaultMaxVotesPerPair
+	}
+	if c.ConfidenceFloor == 0 {
+		c.ConfidenceFloor = DefaultConfidenceFloor
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = DefaultPoolSize
+	}
+	if c.WorkerErrorLow == 0 && c.WorkerErrorHigh == 0 {
+		c.WorkerErrorLow, c.WorkerErrorHigh = DefaultWorkerErrorLow, DefaultWorkerErrorHigh
+	}
+	if c.MaxRecordsPerHIT < 2 {
+		return c, fmt.Errorf("%w: MaxRecordsPerHIT %d must be >= 2", ErrBadConfig, c.MaxRecordsPerHIT)
+	}
+	if c.VotesPerPair < 1 {
+		return c, fmt.Errorf("%w: VotesPerPair %d must be >= 1", ErrBadConfig, c.VotesPerPair)
+	}
+	if c.Flat && c.VotesPerPair%2 == 0 {
+		return c, fmt.Errorf("%w: flat majority voting needs an odd VotesPerPair, got %d", ErrBadConfig, c.VotesPerPair)
+	}
+	if c.MaxVotesPerPair < c.VotesPerPair {
+		return c, fmt.Errorf("%w: MaxVotesPerPair %d below VotesPerPair %d", ErrBadConfig, c.MaxVotesPerPair, c.VotesPerPair)
+	}
+	if c.ConfidenceFloor <= 0.5 || c.ConfidenceFloor >= 1 {
+		return c, fmt.Errorf("%w: ConfidenceFloor %v must sit in (0.5, 1)", ErrBadConfig, c.ConfidenceFloor)
+	}
+	if c.PoolSize < 1 {
+		return c, fmt.Errorf("%w: PoolSize %d must be >= 1", ErrBadConfig, c.PoolSize)
+	}
+	if c.WorkerErrorLow < 0 || c.WorkerErrorHigh < c.WorkerErrorLow || c.WorkerErrorHigh >= 0.5 {
+		return c, fmt.Errorf("%w: worker error range [%v, %v] must satisfy 0 <= lo <= hi < 0.5", ErrBadConfig, c.WorkerErrorLow, c.WorkerErrorHigh)
+	}
+	return c, nil
+}
+
+// Validate reports whether the configuration (after defaulting) can build a
+// Labeler, without building one. Errors wrap ErrBadConfig.
+func (c Config) Validate() error {
+	_, err := c.normalized()
+	return err
+}
+
+// Stats counts the human work a Labeler has consumed and saved.
+type Stats struct {
+	HITs        int64 // task pages issued
+	Votes       int64 // individual worker votes cast
+	Inferred    int64 // pairs answered by transitive closure, costing nothing
+	Conflicts   int64 // direct answers contradicting prior knowledge
+	Escalations int64 // extra votes requested below the confidence floor
+}
+
+// Labeler drives workload pairs through the full crowd pipeline —
+// closure inference, HIT packing, noisy voting, posterior-weighted
+// adjudication with escalation — and implements the humo.Labeler contract.
+// Labels are memoized: a pair is voted on at most once, and re-asking is
+// free. Safe for concurrent use; batches are serialized.
+type Labeler struct {
+	mu      sync.Mutex
+	cfg     Config
+	refs    map[int]PairRef
+	truth   map[int]bool
+	pool    *Pool
+	agg     *Aggregator
+	closure *Closure
+	rounds  map[int]int  // votes already cast per pair id
+	answers map[int]bool // adjudicated or inferred labels
+	stats   Stats
+}
+
+// NewLabeler builds the pipeline over the workload's pair references and the
+// simulated pool's ground truth. Every ref must have a truth entry; pairs
+// asked later that were never registered are refused with ErrUnknownPair.
+func NewLabeler(refs []PairRef, truth map[int]bool, cfg Config) (*Labeler, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	closure, err := NewClosure(refs)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int]PairRef, len(refs))
+	for _, r := range refs {
+		if _, ok := truth[r.ID]; !ok {
+			return nil, fmt.Errorf("%w: pair %d has no ground truth", ErrBadConfig, r.ID)
+		}
+		byID[r.ID] = r
+	}
+	pool, err := NewPool(cfg.PoolSize, cfg.Seed, cfg.WorkerErrorLow, cfg.WorkerErrorHigh)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := NewAggregator(cfg.PoolSize, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeler{
+		cfg:     cfg,
+		refs:    byID,
+		truth:   truth,
+		pool:    pool,
+		agg:     agg,
+		closure: closure,
+		rounds:  make(map[int]int),
+		answers: make(map[int]bool),
+	}, nil
+}
+
+// Stats returns a snapshot of the work counters.
+func (l *Labeler) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Conflicts returns the number of conflicting answers observed so far.
+func (l *Labeler) Conflicts() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats.Conflicts
+}
+
+// Prime seeds the labeler with already-known answers — used when a humod
+// session is recovered from its journal, so the crowd is never re-asked for
+// pairs the session already holds. The answers enter the closure as direct
+// evidence (conflicts among them are counted as usual); worker posteriors
+// are not reconstructed. Applied in ascending pair-id order.
+func (l *Labeler) Prime(known map[int]bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]int, 0, len(known))
+	for id := range known {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, done := l.answers[id]; done {
+			continue
+		}
+		label := known[id]
+		l.answers[id] = label
+		if l.cfg.Flat {
+			continue
+		}
+		conflict, err := l.closure.Add(id, label)
+		if err != nil {
+			return err
+		}
+		if conflict {
+			l.stats.Conflicts++
+		}
+	}
+	return nil
+}
+
+// LabelBatch resolves the batch: memoized answers and closure-inferable
+// pairs are free; the remainder is packed into HITs and voted on, pair by
+// pair in packing order, escalating below the confidence floor. Inference
+// is re-checked per pair at vote time, so answers adjudicated earlier in the
+// same batch keep saving votes. Duplicated ids are deduplicated.
+func (l *Labeler) LabelBatch(ctx context.Context, ids []int) (map[int]bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	out := make(map[int]bool, len(sorted))
+	var pending []PairRef
+	for i, id := range sorted {
+		if i > 0 && id == sorted[i-1] {
+			continue
+		}
+		if label, done := l.answers[id]; done {
+			out[id] = label
+			continue
+		}
+		ref, ok := l.refs[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownPair, id)
+		}
+		if !l.cfg.Flat {
+			if label, inferred, err := l.closure.Infer(id); err != nil {
+				return nil, err
+			} else if inferred {
+				l.answers[id] = label
+				l.stats.Inferred++
+				out[id] = label
+				continue
+			}
+		}
+		pending = append(pending, ref)
+	}
+	if len(pending) == 0 {
+		return out, nil
+	}
+
+	hits, err := l.pack(pending)
+	if err != nil {
+		return nil, err
+	}
+	l.stats.HITs += int64(len(hits))
+	for _, hit := range hits {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, id := range hit.Pairs {
+			label, err := l.resolve(id)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = label
+		}
+	}
+	return out, nil
+}
+
+// pack turns the pending refs into HITs: cluster-based CrowdER packing
+// normally, fixed-size chunks of unrelated pairs in Flat mode.
+func (l *Labeler) pack(pending []PairRef) ([]HIT, error) {
+	if !l.cfg.Flat {
+		return Pack(pending, PackConfig{MaxRecords: l.cfg.MaxRecordsPerHIT, Workers: l.cfg.Workers})
+	}
+	// Flat baseline: no record sharing, so a page of K records holds K/2
+	// pairs. pending is already id-ascending.
+	per := l.cfg.MaxRecordsPerHIT / 2
+	if per < 1 {
+		per = 1
+	}
+	var out []HIT
+	for start := 0; start < len(pending); start += per {
+		end := min(start+per, len(pending))
+		hit := HIT{Pairs: make([]int, 0, end-start), Records: 2 * (end - start)}
+		for _, r := range pending[start:end] {
+			hit.Pairs = append(hit.Pairs, r.ID)
+		}
+		out = append(out, hit)
+	}
+	return out, nil
+}
+
+// resolve adjudicates one packed pair: inference first (free — an answer
+// earlier in the same batch may have closed it), then votes.
+func (l *Labeler) resolve(id int) (bool, error) {
+	if !l.cfg.Flat {
+		if label, inferred, err := l.closure.Infer(id); err != nil {
+			return false, err
+		} else if inferred {
+			l.answers[id] = label
+			l.stats.Inferred++
+			return label, nil
+		}
+	}
+	truth := l.truth[id]
+	votes := l.pool.Votes(id, truth, l.rounds[id], l.cfg.VotesPerPair)
+	l.rounds[id] += len(votes)
+	l.stats.Votes += int64(len(votes))
+
+	var label bool
+	if l.cfg.Flat {
+		matches := 0
+		for _, v := range votes {
+			if v.Match {
+				matches++
+			}
+		}
+		label = matches*2 > len(votes)
+	} else {
+		var conf float64
+		label, conf = l.agg.Adjudicate(votes)
+		for conf < l.cfg.ConfidenceFloor && len(votes) < l.cfg.MaxVotesPerPair {
+			votes = append(votes, l.pool.Votes(id, truth, l.rounds[id], 1)...)
+			l.rounds[id]++
+			l.stats.Votes++
+			l.stats.Escalations++
+			label, conf = l.agg.Adjudicate(votes)
+		}
+		l.agg.Update(votes, label)
+		conflict, err := l.closure.Add(id, label)
+		if err != nil {
+			return false, err
+		}
+		if conflict {
+			l.stats.Conflicts++
+		}
+	}
+	l.answers[id] = label
+	return label, nil
+}

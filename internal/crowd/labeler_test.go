@@ -1,0 +1,276 @@
+package crowd
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// triangleWorkload is three records fully paired: once two pairs are
+// answered "match", the third is free by closure.
+func triangleWorkload() ([]PairRef, map[int]bool) {
+	refs := []PairRef{{ID: 0, A: 0, B: 1}, {ID: 1, A: 1, B: 2}, {ID: 2, A: 0, B: 2}}
+	truth := map[int]bool{0: true, 1: true, 2: true}
+	return refs, truth
+}
+
+// clusteredWorkload builds nClusters hubs of pairsPer matching pairs plus a
+// tail of record-disjoint non-matching pairs.
+func clusteredWorkload(nClusters, pairsPer, tail int) ([]PairRef, map[int]bool) {
+	refs := starRefs(nClusters, pairsPer)
+	truth := make(map[int]bool, len(refs)+tail)
+	for _, r := range refs {
+		truth[r.ID] = true
+	}
+	for i := 0; i < tail; i++ {
+		id := len(refs) + i
+		refs = append(refs, PairRef{ID: id, A: 500_000 + 2*i, B: 500_000 + 2*i + 1})
+		truth[id] = false
+	}
+	return refs, truth
+}
+
+func nearPerfect() Config {
+	return Config{Seed: 1, WorkerErrorLow: 0, WorkerErrorHigh: 1e-9}
+}
+
+func TestLabelerInfersThirdPairFree(t *testing.T) {
+	refs, truth := triangleWorkload()
+	l, err := NewLabeler(refs, truth, nearPerfect())
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	got, err := l.LabelBatch(context.Background(), []int{0, 1, 2})
+	if err != nil {
+		t.Fatalf("LabelBatch: %v", err)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("labels = %v, want %v", got, want)
+	}
+	s := l.Stats()
+	if s.Inferred != 1 {
+		t.Fatalf("Inferred = %d, want 1 (the closing pair of the triangle)", s.Inferred)
+	}
+	if s.Votes >= 3*DefaultVotesPerPair {
+		t.Fatalf("Votes = %d, inference saved nothing", s.Votes)
+	}
+	if s.Conflicts != 0 {
+		t.Fatalf("Conflicts = %d, want 0", s.Conflicts)
+	}
+}
+
+func TestLabelerMemoization(t *testing.T) {
+	refs, truth := clusteredWorkload(3, 5, 4)
+	l, err := NewLabeler(refs, truth, nearPerfect())
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	ids := make([]int, 0, len(refs))
+	for _, r := range refs {
+		ids = append(ids, r.ID)
+	}
+	first, err := l.LabelBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("LabelBatch: %v", err)
+	}
+	before := l.Stats()
+	second, err := l.LabelBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("LabelBatch (repeat): %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("repeated batch changed labels")
+	}
+	if after := l.Stats(); after != before {
+		t.Fatalf("repeated batch cost work: %+v -> %+v", before, after)
+	}
+}
+
+func TestLabelerDeterministicAcrossWorkerCountsAndSplits(t *testing.T) {
+	refs, truth := clusteredWorkload(8, 11, 30)
+	cfg := Config{Seed: 7, Workers: 1}
+	run := func(cfg Config, split bool) (map[int]bool, Stats) {
+		t.Helper()
+		l, err := NewLabeler(refs, truth, cfg)
+		if err != nil {
+			t.Fatalf("NewLabeler: %v", err)
+		}
+		ids := make([]int, 0, len(refs))
+		for _, r := range refs {
+			ids = append(ids, r.ID)
+		}
+		out := make(map[int]bool)
+		batches := [][]int{ids}
+		if split {
+			batches = [][]int{ids[:len(ids)/3], ids[len(ids)/3 : 2*len(ids)/3], ids[2*len(ids)/3:]}
+		}
+		for _, b := range batches {
+			got, err := l.LabelBatch(context.Background(), b)
+			if err != nil {
+				t.Fatalf("LabelBatch: %v", err)
+			}
+			for id, v := range got {
+				out[id] = v
+			}
+		}
+		return out, l.Stats()
+	}
+	baseLabels, baseStats := run(cfg, false)
+	for _, w := range []int{2, 8, 0} {
+		cfg.Workers = w
+		labels, stats := run(cfg, false)
+		if !reflect.DeepEqual(baseLabels, labels) || stats != baseStats {
+			t.Fatalf("workers=%d changed results: stats %+v vs %+v", w, stats, baseStats)
+		}
+	}
+	// Splitting the same id sequence across batches changes HIT packing (per
+	// batch) but never the votes a pair receives or the final labels.
+	splitLabels, _ := run(cfg, true)
+	if !reflect.DeepEqual(baseLabels, splitLabels) {
+		t.Fatal("splitting batches changed labels")
+	}
+}
+
+func TestLabelerQualityUnderNoise(t *testing.T) {
+	refs, truth := clusteredWorkload(10, 8, 40)
+	l, err := NewLabeler(refs, truth, Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	ids := make([]int, 0, len(refs))
+	for _, r := range refs {
+		ids = append(ids, r.ID)
+	}
+	got, err := l.LabelBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("LabelBatch: %v", err)
+	}
+	wrong := 0
+	for id, v := range got {
+		if v != truth[id] {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(got)); frac > 0.05 {
+		t.Fatalf("%d/%d labels wrong (%.1f%%) under default noise", wrong, len(got), 100*frac)
+	}
+	if s := l.Stats(); s.Escalations == 0 {
+		t.Fatalf("no escalations under noisy voting: %+v", s)
+	}
+}
+
+func TestLabelerFlatBaselineCostsMore(t *testing.T) {
+	refs, truth := clusteredWorkload(10, 8, 40)
+	ids := make([]int, 0, len(refs))
+	for _, r := range refs {
+		ids = append(ids, r.ID)
+	}
+	run := func(flat bool) Stats {
+		t.Helper()
+		cfg := Config{Seed: 3, Flat: flat}
+		l, err := NewLabeler(refs, truth, cfg)
+		if err != nil {
+			t.Fatalf("NewLabeler: %v", err)
+		}
+		if _, err := l.LabelBatch(context.Background(), ids); err != nil {
+			t.Fatalf("LabelBatch: %v", err)
+		}
+		return l.Stats()
+	}
+	crowd, flat := run(false), run(true)
+	if crowd.HITs >= flat.HITs {
+		t.Fatalf("crowd used %d HITs, flat %d — clustering saved nothing", crowd.HITs, flat.HITs)
+	}
+	if flat.Inferred != 0 || flat.Escalations != 0 {
+		t.Fatalf("flat mode inferred or escalated: %+v", flat)
+	}
+}
+
+func TestLabelerPrime(t *testing.T) {
+	refs, truth := triangleWorkload()
+	l, err := NewLabeler(refs, truth, nearPerfect())
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	if err := l.Prime(map[int]bool{0: true, 1: true}); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	got, err := l.LabelBatch(context.Background(), []int{0, 1, 2})
+	if err != nil {
+		t.Fatalf("LabelBatch: %v", err)
+	}
+	if !got[0] || !got[1] || !got[2] {
+		t.Fatalf("labels = %v, want all true", got)
+	}
+	if s := l.Stats(); s.Votes != 0 || s.HITs != 0 || s.Inferred != 1 {
+		t.Fatalf("primed labeler still paid: %+v", s)
+	}
+}
+
+func TestLabelerPrimeConflictCounted(t *testing.T) {
+	refs, truth := triangleWorkload()
+	l, err := NewLabeler(refs, truth, nearPerfect())
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	// 0~1 and 1~2 close the triangle as match; the journal claiming pair 2
+	// is a non-match contradicts the closure.
+	if err := l.Prime(map[int]bool{0: true, 1: true, 2: false}); err != nil {
+		t.Fatalf("Prime: %v", err)
+	}
+	if c := l.Conflicts(); c != 1 {
+		t.Fatalf("Conflicts = %d, want 1", c)
+	}
+	got, err := l.LabelBatch(context.Background(), []int{2})
+	if err != nil {
+		t.Fatalf("LabelBatch: %v", err)
+	}
+	if got[2] {
+		t.Fatal("direct (primed) answer for pair 2 did not win over inference")
+	}
+}
+
+func TestLabelerUnknownPair(t *testing.T) {
+	refs, truth := triangleWorkload()
+	l, err := NewLabeler(refs, truth, nearPerfect())
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	if _, err := l.LabelBatch(context.Background(), []int{0, 99}); !errors.Is(err, ErrUnknownPair) {
+		t.Fatalf("unknown id: got %v, want ErrUnknownPair", err)
+	}
+}
+
+func TestLabelerContextCancelled(t *testing.T) {
+	refs, truth := triangleWorkload()
+	l, err := NewLabeler(refs, truth, nearPerfect())
+	if err != nil {
+		t.Fatalf("NewLabeler: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.LabelBatch(ctx, []int{0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+func TestLabelerConfigValidation(t *testing.T) {
+	refs, truth := triangleWorkload()
+	for name, cfg := range map[string]Config{
+		"flat even votes":   {Flat: true, VotesPerPair: 2},
+		"cap below initial": {VotesPerPair: 5, MaxVotesPerPair: 3},
+		"floor too low":     {ConfidenceFloor: 0.4},
+		"floor too high":    {ConfidenceFloor: 1},
+		"tiny hit":          {MaxRecordsPerHIT: 1},
+		"bad error range":   {WorkerErrorLow: 0.4, WorkerErrorHigh: 0.3},
+	} {
+		if _, err := NewLabeler(refs, truth, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("%s: got %v, want ErrBadConfig", name, err)
+		}
+	}
+	if _, err := NewLabeler(refs, map[int]bool{0: true}, Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("missing truth: got %v, want ErrBadConfig", err)
+	}
+}

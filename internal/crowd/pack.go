@@ -1,0 +1,294 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"humo/internal/parallel"
+)
+
+// ErrBadConfig reports an invalid crowd configuration.
+var ErrBadConfig = errors.New("crowd: invalid configuration")
+
+// ErrUnknownPair reports a pair id the labeler holds no record references
+// (or ground truth) for: a wiring bug between workload and crowd, not a
+// user error.
+var ErrUnknownPair = errors.New("crowd: unknown pair id")
+
+// PairRef ties one workload pair to its two records. A and B are record
+// keys in a single shared key space: callers matching two source tables
+// must disambiguate the sides (the convention used throughout this
+// repository is A-side records at 2*recordID and B-side records at
+// 2*recordID+1). A == B is a legal self-pair.
+type PairRef struct {
+	ID   int // workload pair id
+	A, B int // record keys
+}
+
+// DefaultMaxRecords is the HIT capacity used when PackConfig.MaxRecords is
+// 0: at most this many distinct records on one task page. CrowdER's
+// evaluation uses pages of 5-20 records; 10 keeps a page readable while
+// leaving room for real clustering wins.
+const DefaultMaxRecords = 10
+
+// PackConfig tunes HIT packing.
+type PackConfig struct {
+	// MaxRecords is the HIT capacity K: the maximum number of distinct
+	// records one HIT may reference. 0 selects DefaultMaxRecords; values
+	// below 2 cannot hold a two-record pair and are refused.
+	MaxRecords int
+	// Workers bounds the goroutines packing connected components; <= 0
+	// selects GOMAXPROCS. Any value yields bit-identical HITs.
+	Workers int
+}
+
+func (c PackConfig) normalized() (PackConfig, error) {
+	if c.MaxRecords == 0 {
+		c.MaxRecords = DefaultMaxRecords
+	}
+	if c.MaxRecords < 2 {
+		return c, fmt.Errorf("%w: MaxRecords %d must be >= 2", ErrBadConfig, c.MaxRecords)
+	}
+	return c, nil
+}
+
+// HIT is one packed task page: the pair ids a worker answers on it and the
+// number of distinct records they must read to do so.
+type HIT struct {
+	Pairs   []int // pair ids in packing order
+	Records int   // distinct record keys referenced by Pairs
+}
+
+// Pack greedily packs the pending pairs into cluster-based HITs of at most
+// MaxRecords records, so pairs sharing records ride on one page (CrowdER's
+// cluster-based HIT generation). The packing is deterministic and
+// order-stable: refs are canonicalized by pair id, pairs are grouped into
+// record-connected components, each component is packed independently
+// (fanned out over PackConfig.Workers), the per-component HIT lists are
+// concatenated in ascending order of each component's smallest pair id, and
+// a sequential first-fit pass merges under-full pages (so many tiny
+// components share one page instead of each paying for its own) —
+// bit-identical output at any worker count. Duplicate pair ids are refused.
+func Pack(refs []PairRef, cfg PackConfig) ([]HIT, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	sorted := make([]PairRef, len(refs))
+	copy(sorted, refs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].ID == sorted[i-1].ID {
+			return nil, fmt.Errorf("%w: duplicate pair id %d in packing batch", ErrBadConfig, sorted[i].ID)
+		}
+	}
+
+	// Group pairs into record-connected components with a union-find over
+	// record keys; component identity is the smallest pair id it contains,
+	// which fixes the merge order below.
+	uf := newRecordSets()
+	for _, r := range sorted {
+		uf.union(r.A, r.B)
+	}
+	groups := make(map[int][]PairRef) // component root -> its pairs, id-ascending
+	var order []int                   // roots in first-appearance (= smallest pair id) order
+	for _, r := range sorted {
+		root := uf.find(r.A)
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], r)
+	}
+
+	parts, err := parallel.Map(cfg.Workers, len(order), func(i int) ([]HIT, error) {
+		return packComponent(groups[order[i]], cfg.MaxRecords), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var packed []HIT
+	for _, p := range parts {
+		packed = append(packed, p...)
+	}
+	byID := make(map[int]PairRef, len(sorted))
+	for _, r := range sorted {
+		byID[r.ID] = r
+	}
+	return mergeHITs(packed, byID, cfg.MaxRecords), nil
+}
+
+// mergeHITs combines under-full pages by first fit in page order: a small
+// component's lone pair rides on an earlier page with room instead of
+// occupying one alone. Sequential and order-driven, so the result is
+// independent of how the pages were produced in parallel. Record unions are
+// computed exactly, so same-component pages sharing records merge when the
+// true union fits.
+func mergeHITs(hits []HIT, byID map[int]PairRef, maxRecords int) []HIT {
+	type bin struct {
+		pairs   []int
+		records map[int]struct{}
+	}
+	recordsOf := func(pairs []int) map[int]struct{} {
+		set := make(map[int]struct{}, 2*len(pairs))
+		for _, id := range pairs {
+			r := byID[id]
+			set[r.A] = struct{}{}
+			set[r.B] = struct{}{}
+		}
+		return set
+	}
+	var bins []*bin
+	var open []int // indices of bins that can still take a two-record pair
+	for _, h := range hits {
+		recs := recordsOf(h.Pairs)
+		placed := false
+		for k, idx := range open {
+			b := bins[idx]
+			fresh := 0
+			for rec := range recs {
+				if _, ok := b.records[rec]; !ok {
+					fresh++
+				}
+			}
+			if len(b.records)+fresh > maxRecords {
+				continue
+			}
+			b.pairs = append(b.pairs, h.Pairs...)
+			for rec := range recs {
+				b.records[rec] = struct{}{}
+			}
+			if len(b.records) > maxRecords-2 {
+				open = append(open[:k], open[k+1:]...)
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			bins = append(bins, &bin{pairs: append([]int(nil), h.Pairs...), records: recs})
+			if len(recs) <= maxRecords-2 {
+				open = append(open, len(bins)-1)
+			}
+		}
+	}
+	out := make([]HIT, len(bins))
+	for i, b := range bins {
+		out[i] = HIT{Pairs: b.pairs, Records: len(b.records)}
+	}
+	return out
+}
+
+// packComponent packs one record-connected component. The greedy rule is
+// CrowdER's: keep a HIT open, and repeatedly add the pending pair that
+// introduces the fewest new records to it (ties toward the smaller pair id);
+// when nothing fits inside the record capacity, close the page and seed the
+// next one with the smallest pending pair id. refs must be id-ascending.
+func packComponent(refs []PairRef, maxRecords int) []HIT {
+	// Adjacency from record key to the (id-ascending) pairs touching it, so
+	// the "fewest new records" scan only visits pairs adjacent to the open
+	// HIT instead of the whole component.
+	adj := make(map[int][]int, len(refs)*2)
+	for i, r := range refs {
+		adj[r.A] = append(adj[r.A], i)
+		if r.B != r.A {
+			adj[r.B] = append(adj[r.B], i)
+		}
+	}
+	packed := make([]bool, len(refs))
+	nextSeed := 0 // smallest unpacked index; refs are id-ascending
+	var out []HIT
+
+	inHIT := make(map[int]bool, maxRecords) // record keys of the open HIT
+	for {
+		for nextSeed < len(refs) && packed[nextSeed] {
+			nextSeed++
+		}
+		if nextSeed >= len(refs) {
+			return out
+		}
+		// Open a page with the smallest pending pair.
+		seed := refs[nextSeed]
+		clear(inHIT)
+		inHIT[seed.A] = true
+		inHIT[seed.B] = true
+		hit := HIT{Pairs: []int{seed.ID}}
+		packed[nextSeed] = true
+
+		for {
+			best, bestCost := -1, maxRecords+1
+			for rec := range inHIT {
+				for _, i := range adj[rec] {
+					if packed[i] {
+						continue
+					}
+					cost := 0
+					if !inHIT[refs[i].A] {
+						cost++
+					}
+					if refs[i].B != refs[i].A && !inHIT[refs[i].B] {
+						cost++
+					}
+					if len(inHIT)+cost > maxRecords {
+						continue
+					}
+					// Strict inequality on cost plus the id tiebreak keeps
+					// the pick independent of map iteration order.
+					if cost < bestCost || (cost == bestCost && (best < 0 || refs[i].ID < refs[best].ID)) {
+						best, bestCost = i, cost
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			packed[best] = true
+			inHIT[refs[best].A] = true
+			inHIT[refs[best].B] = true
+			hit.Pairs = append(hit.Pairs, refs[best].ID)
+		}
+		hit.Records = len(inHIT)
+		out = append(out, hit)
+	}
+}
+
+// recordSets is a union-find over sparse record keys (path-halving find,
+// union by size).
+type recordSets struct {
+	parent map[int]int
+	size   map[int]int
+}
+
+func newRecordSets() *recordSets {
+	return &recordSets{parent: make(map[int]int), size: make(map[int]int)}
+}
+
+func (u *recordSets) find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		u.size[x] = 1
+		return x
+	}
+	for p != x {
+		gp := u.parent[p]
+		u.parent[x] = gp
+		x, p = gp, u.parent[gp]
+	}
+	return x
+}
+
+func (u *recordSets) union(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}

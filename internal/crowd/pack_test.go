@@ -1,0 +1,159 @@
+package crowd
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// starRefs builds nClusters star-shaped clusters of pairsPer pairs each:
+// cluster c's pairs all share the hub record 1000*c, so they pack densely.
+func starRefs(nClusters, pairsPer int) []PairRef {
+	var refs []PairRef
+	id := 0
+	for c := 0; c < nClusters; c++ {
+		hub := 1000 * c
+		for i := 0; i < pairsPer; i++ {
+			refs = append(refs, PairRef{ID: id, A: hub, B: hub + 1 + i})
+			id++
+		}
+	}
+	return refs
+}
+
+// disjointRefs builds n pairs with no shared records.
+func disjointRefs(n int) []PairRef {
+	refs := make([]PairRef, n)
+	for i := range refs {
+		refs[i] = PairRef{ID: i, A: 2 * i, B: 2*i + 1}
+	}
+	return refs
+}
+
+func recordsOf(refs []PairRef, ids []int) int {
+	byID := make(map[int]PairRef, len(refs))
+	for _, r := range refs {
+		byID[r.ID] = r
+	}
+	seen := make(map[int]struct{})
+	for _, id := range ids {
+		seen[byID[id].A] = struct{}{}
+		seen[byID[id].B] = struct{}{}
+	}
+	return len(seen)
+}
+
+func TestPackCapacityAndCoverage(t *testing.T) {
+	refs := starRefs(7, 13)
+	hits, err := Pack(refs, PackConfig{MaxRecords: 10})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	seen := make(map[int]int)
+	for _, h := range hits {
+		if h.Records > 10 {
+			t.Fatalf("HIT references %d records, capacity 10", h.Records)
+		}
+		if got := recordsOf(refs, h.Pairs); got != h.Records {
+			t.Fatalf("HIT reports %d records, pairs reference %d", h.Records, got)
+		}
+		for _, id := range h.Pairs {
+			seen[id]++
+		}
+	}
+	if len(seen) != len(refs) {
+		t.Fatalf("packed %d distinct pairs, want %d", len(seen), len(refs))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("pair %d packed %d times", id, n)
+		}
+	}
+}
+
+func TestPackWorkerInvariance(t *testing.T) {
+	refs := starRefs(11, 9)
+	refs = append(refs, disjointRefsFrom(len(refs), 40)...)
+	base, err := Pack(refs, PackConfig{MaxRecords: 8, Workers: 1})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	for _, w := range []int{2, 3, 8, 0} {
+		got, err := Pack(refs, PackConfig{MaxRecords: 8, Workers: w})
+		if err != nil {
+			t.Fatalf("Pack workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("packing differs between 1 and %d workers", w)
+		}
+	}
+}
+
+// disjointRefsFrom builds n record-disjoint pairs with ids starting at from,
+// using record keys far from starRefs's.
+func disjointRefsFrom(from, n int) []PairRef {
+	refs := make([]PairRef, n)
+	for i := range refs {
+		refs[i] = PairRef{ID: from + i, A: 1_000_000 + 2*i, B: 1_000_000 + 2*i + 1}
+	}
+	return refs
+}
+
+func TestPackOrderStability(t *testing.T) {
+	refs := starRefs(5, 7)
+	base, err := Pack(refs, PackConfig{})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	shuffled := append([]PairRef(nil), refs...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	got, err := Pack(shuffled, PackConfig{})
+	if err != nil {
+		t.Fatalf("Pack shuffled: %v", err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatal("packing depends on input order")
+	}
+}
+
+func TestPackClusteringBeatsFlat(t *testing.T) {
+	const k = 10
+	refs := starRefs(6, 18)
+	hits, err := Pack(refs, PackConfig{MaxRecords: k})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	// A flat packer that assumes every pair brings two fresh records needs
+	// ceil(n / (k/2)) pages.
+	flat := (len(refs) + k/2 - 1) / (k / 2)
+	if len(hits) >= flat {
+		t.Fatalf("cluster packing used %d HITs, flat baseline %d", len(hits), flat)
+	}
+}
+
+func TestPackSelfPair(t *testing.T) {
+	refs := []PairRef{{ID: 0, A: 5, B: 5}, {ID: 1, A: 5, B: 6}}
+	hits, err := Pack(refs, PackConfig{MaxRecords: 2})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	// The self-pair costs one record, so both pairs fit one two-record page.
+	if len(hits) != 1 || hits[0].Records != 2 || len(hits[0].Pairs) != 2 {
+		t.Fatalf("self-pair packing: got %+v", hits)
+	}
+}
+
+func TestPackRejects(t *testing.T) {
+	if _, err := Pack([]PairRef{{ID: 1, A: 0, B: 1}, {ID: 1, A: 2, B: 3}}, PackConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("duplicate ids: got %v, want ErrBadConfig", err)
+	}
+	if _, err := Pack(disjointRefs(3), PackConfig{MaxRecords: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("MaxRecords 1: got %v, want ErrBadConfig", err)
+	}
+	if hits, err := Pack(nil, PackConfig{}); err != nil || hits != nil {
+		t.Fatalf("empty input: got %v, %v", hits, err)
+	}
+}

@@ -1,0 +1,118 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregation defaults.
+const (
+	// DefaultVotesPerPair is the initial vote request per adjudicated pair.
+	DefaultVotesPerPair = 3
+	// DefaultMaxVotesPerPair caps escalation: once a pair holds this many
+	// votes it is adjudicated at whatever confidence it reached.
+	DefaultMaxVotesPerPair = 7
+	// DefaultConfidenceFloor is the posterior confidence below which more
+	// votes are requested (while the cap allows).
+	DefaultConfidenceFloor = 0.9
+	// DefaultAccuracyPriorCorrect / DefaultAccuracyPriorWrong are the Beta
+	// pseudo-counts every worker's accuracy posterior starts from: prior
+	// mean 0.8, weak enough that a few adjudicated answers move it — the
+	// same posterior idiom as internal/risk's subset priors.
+	DefaultAccuracyPriorCorrect = 8
+	DefaultAccuracyPriorWrong   = 2
+)
+
+// Aggregator maintains one Beta accuracy posterior per worker and
+// adjudicates noisy votes into a posterior-weighted label. It is the
+// quality-control half of the crowd model: a worker whose answers keep
+// disagreeing with the adjudicated consensus loses weight, so R votes from
+// sloppy workers buy less confidence than R votes from proven ones — which
+// is exactly what drives escalation.
+//
+// Aggregator is not safe for concurrent use; the Labeler serializes access.
+type Aggregator struct {
+	a0, b0         float64 // accuracy prior pseudo-counts (correct, wrong)
+	correct, wrong []float64
+}
+
+// NewAggregator builds an aggregator for a workforce of the given size.
+// priorCorrect/priorWrong <= 0 select the defaults; the prior mean
+// priorCorrect/(priorCorrect+priorWrong) must sit in (0.5, 1): a workforce
+// assumed no better than coin flips cannot be aggregated.
+func NewAggregator(workers int, priorCorrect, priorWrong float64) (*Aggregator, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("%w: aggregator over %d workers", ErrBadConfig, workers)
+	}
+	if priorCorrect <= 0 {
+		priorCorrect = DefaultAccuracyPriorCorrect
+	}
+	if priorWrong <= 0 {
+		priorWrong = DefaultAccuracyPriorWrong
+	}
+	if mean := priorCorrect / (priorCorrect + priorWrong); mean <= 0.5 || mean >= 1 {
+		return nil, fmt.Errorf("%w: accuracy prior mean %v must be in (0.5, 1)", ErrBadConfig, mean)
+	}
+	return &Aggregator{
+		a0:      priorCorrect,
+		b0:      priorWrong,
+		correct: make([]float64, workers),
+		wrong:   make([]float64, workers),
+	}, nil
+}
+
+// Accuracy returns worker w's posterior mean accuracy.
+func (g *Aggregator) Accuracy(w int) float64 {
+	a := g.a0 + g.correct[w]
+	return a / (a + g.b0 + g.wrong[w])
+}
+
+// Posterior returns P(match | votes) under a uniform label prior and
+// independent workers, each weighted by their posterior mean accuracy.
+// Accuracies are clamped inside (0, 1) so one over-trusted worker can
+// never drive the posterior to exact certainty.
+func (g *Aggregator) Posterior(votes []Vote) float64 {
+	logOdds := 0.0
+	for _, v := range votes {
+		acc := g.Accuracy(v.Worker)
+		if acc > 0.99 {
+			acc = 0.99
+		}
+		if acc < 0.01 {
+			acc = 0.01
+		}
+		w := math.Log(acc / (1 - acc))
+		if v.Match {
+			logOdds += w
+		} else {
+			logOdds -= w
+		}
+	}
+	return 1 / (1 + math.Exp(-logOdds))
+}
+
+// Adjudicate turns the votes into a label and its confidence: the
+// posterior-probable label, at confidence max(p, 1-p). An exact 0.5 tie
+// adjudicates unmatch (the conservative side for precision-bound ER).
+func (g *Aggregator) Adjudicate(votes []Vote) (match bool, confidence float64) {
+	p := g.Posterior(votes)
+	if p > 0.5 {
+		return true, p
+	}
+	return false, 1 - p
+}
+
+// Update feeds the adjudicated label back into each voting worker's
+// accuracy posterior: agreement counts as a correct answer, disagreement as
+// a wrong one. Consensus stands in for gold here — the standard online
+// quality-control loop when true labels are unavailable; callers with gold
+// pairs can call Update with the known label instead.
+func (g *Aggregator) Update(votes []Vote, label bool) {
+	for _, v := range votes {
+		if v.Match == label {
+			g.correct[v.Worker]++
+		} else {
+			g.wrong[v.Worker]++
+		}
+	}
+}

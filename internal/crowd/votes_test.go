@@ -1,0 +1,133 @@
+package crowd
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPoolVotesSplitInvariant(t *testing.T) {
+	p, err := NewPool(7, 99, 0.1, 0.3)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	whole := p.Votes(42, true, 0, 10)
+	var split []Vote
+	for r := 0; r < 10; r++ {
+		split = append(split, p.Votes(42, true, r, 1)...)
+	}
+	if !reflect.DeepEqual(whole, split) {
+		t.Fatal("votes differ between one request and ten single-round requests")
+	}
+	// Interleaving other pairs' requests must not perturb a pair's votes.
+	q, _ := NewPool(7, 99, 0.1, 0.3)
+	q.Votes(7, false, 0, 5)
+	q.Votes(13, true, 0, 3)
+	if got := q.Votes(42, true, 0, 10); !reflect.DeepEqual(whole, got) {
+		t.Fatal("votes depend on other pairs' traffic")
+	}
+}
+
+func TestPoolDistinctWorkersPerCycle(t *testing.T) {
+	p, err := NewPool(5, 3, 0, 0.2)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	votes := p.Votes(0, true, 0, 5)
+	seen := make(map[int]bool)
+	for _, v := range votes {
+		if seen[v.Worker] {
+			t.Fatalf("worker %d voted twice within one cycle", v.Worker)
+		}
+		seen[v.Worker] = true
+	}
+}
+
+func TestPoolPerfectWorkersReportTruth(t *testing.T) {
+	p, err := NewPool(3, 1, 0, 0)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	for _, truth := range []bool{true, false} {
+		for _, v := range p.Votes(5, truth, 0, 6) {
+			if v.Match != truth {
+				t.Fatalf("zero-error worker %d flipped the truth", v.Worker)
+			}
+		}
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	for _, tc := range []struct {
+		workers int
+		lo, hi  float64
+	}{
+		{0, 0, 0.1},
+		{3, -0.1, 0.1},
+		{3, 0.3, 0.2},
+		{3, 0.1, 0.5},
+	} {
+		if _, err := NewPool(tc.workers, 0, tc.lo, tc.hi); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("NewPool(%d, [%v,%v]): got %v, want ErrBadConfig", tc.workers, tc.lo, tc.hi, err)
+		}
+	}
+}
+
+func TestAggregatorDownweightsSloppyWorkers(t *testing.T) {
+	g, err := NewAggregator(2, 0, 0)
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	before := g.Posterior([]Vote{{Worker: 0, Match: true}})
+	if before <= 0.5 {
+		t.Fatalf("fresh worker's match vote gives posterior %v, want > 0.5", before)
+	}
+	// Worker 0 keeps contradicting the adjudicated consensus.
+	for i := 0; i < 40; i++ {
+		g.Update([]Vote{{Worker: 0, Match: true}}, false)
+	}
+	if acc := g.Accuracy(0); acc >= 0.5 {
+		t.Fatalf("after 40 wrong answers accuracy = %v, want < 0.5", acc)
+	}
+	if acc := g.Accuracy(1); acc != 0.8 {
+		t.Fatalf("untouched worker's accuracy = %v, want the 0.8 prior mean", acc)
+	}
+	// A below-coin-flip worker's "match" is now evidence AGAINST a match.
+	if after := g.Posterior([]Vote{{Worker: 0, Match: true}}); after >= 0.5 {
+		t.Fatalf("sloppy worker's match vote gives posterior %v, want < 0.5", after)
+	}
+}
+
+func TestAggregatorAdjudicate(t *testing.T) {
+	g, err := NewAggregator(3, 0, 0)
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	match, conf := g.Adjudicate([]Vote{{0, true}, {1, true}, {2, false}})
+	if !match || conf <= 0.5 {
+		t.Fatalf("2-of-3 match adjudicated (%v, %v)", match, conf)
+	}
+	// A perfect tie adjudicates non-match at coin-flip confidence.
+	match, conf = g.Adjudicate([]Vote{{0, true}, {1, false}})
+	if match || conf != 0.5 {
+		t.Fatalf("tie adjudicated (%v, %v), want (false, 0.5)", match, conf)
+	}
+	// More agreeing votes buy strictly more confidence.
+	_, three := g.Adjudicate([]Vote{{0, true}, {1, true}, {2, true}})
+	_, two := g.Adjudicate([]Vote{{0, true}, {1, true}})
+	if three <= two {
+		t.Fatalf("confidence did not grow with agreement: %v <= %v", three, two)
+	}
+}
+
+func TestAggregatorValidation(t *testing.T) {
+	if _, err := NewAggregator(0, 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("0 workers: got %v, want ErrBadConfig", err)
+	}
+	if _, err := NewAggregator(3, 1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("coin-flip prior: got %v, want ErrBadConfig", err)
+	}
+	if _, err := NewAggregator(3, 1, 0.01); err != nil {
+		t.Fatalf("valid prior refused: %v", err)
+	}
+}

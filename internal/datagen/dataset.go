@@ -5,6 +5,7 @@ import (
 
 	"humo/internal/blocking"
 	"humo/internal/core"
+	"humo/internal/crowd"
 	"humo/internal/records"
 )
 
@@ -50,6 +51,19 @@ func (d *ERDataset) CorePairs() []core.Pair {
 
 // MatchCount returns the number of matching candidate pairs.
 func (d *ERDataset) MatchCount() int { return MatchCount(d.Pairs) }
+
+// CrowdRefs returns one crowd pair reference per candidate pair, exposing
+// which two records each workload pair compares so the crowd pipeline can
+// pack record-sharing pairs into one HIT and propagate answers by transitive
+// closure. Record keys follow the repository convention for two-table
+// workloads: A-side records at 2*recordID, B-side records at 2*recordID+1.
+func (d *ERDataset) CrowdRefs() []crowd.PairRef {
+	refs := make([]crowd.PairRef, len(d.Candidates))
+	for i, c := range d.Candidates {
+		refs[i] = crowd.PairRef{ID: i, A: 2 * c.A, B: 2*c.B + 1}
+	}
+	return refs
+}
 
 // labelCandidates converts scored candidates into labeled pairs using
 // entity-id equality as ground truth.

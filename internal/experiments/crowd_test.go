@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCrowdCostHeadline pins the crowdcost headline: on the seeded DS-like
+// bundle the CrowdER-style pipeline meets the same quality requirement as
+// the flat batcher (success 100%) with strictly fewer HITs, and the saving
+// is the exact figure below — the table is bit-identical for every worker
+// count, so these cells are stable.
+func TestCrowdCostHeadline(t *testing.T) {
+	tables, err := Run(tinyEnv(), "crowdcost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("crowdcost rows = %d, want 3", len(tbl.Rows))
+	}
+	rows := make(map[string][]string, len(tbl.Rows))
+	for _, row := range tbl.Rows {
+		rows[row[0]] = row
+	}
+
+	// DS columns: 1 flat HITs, 2 crowd HITs, 3 HITs saved %, 4 votes
+	// saved %, 5 success %.
+	cell := func(row []string, col int) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	for _, level := range []string{"a=b=0.90", "a=b=0.95"} {
+		row := rows[level]
+		if row == nil {
+			t.Fatalf("crowdcost has no %s row", level)
+		}
+		flat, crowd := cell(row, 1), cell(row, 2)
+		if crowd >= flat {
+			t.Errorf("%s: crowd HITs %.1f not strictly below flat %.1f", level, crowd, flat)
+		}
+		if row[5] != "100" {
+			t.Errorf("%s: crowd success %s%%, want 100 (same requirement met as flat)", level, row[5])
+		}
+	}
+
+	// The headline row, pinned cell by cell. If a legitimate change to the
+	// generator, the search, or the crowd pipeline moves these, re-pin them
+	// — but understand which stage moved first.
+	headline := rows["a=b=0.90"]
+	want := []string{"a=b=0.90", "181.0", "146.0", "19.34", "10.30", "100"}
+	for i, w := range want {
+		if headline[i] != w {
+			t.Errorf("headline DS cell %d = %q, want %q (row %v)", i, headline[i], w, headline[:6])
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"humo/internal/core"
+	"humo/internal/crowd"
 	"humo/internal/datagen"
 	"humo/internal/metrics"
 	"humo/internal/oracle"
@@ -133,11 +134,15 @@ func NewEnv(scale Scale, runs int, seed int64) *Env {
 }
 
 // workloadBundle couples a workload with its ground truth in both layouts.
+// refs carries the pair→record mapping for crowd-workforce experiments; it
+// is populated only for the DS/AB bundles (synthetic bundles have no record
+// identities to cluster on).
 type workloadBundle struct {
 	name     string
 	w        *core.Workload
 	truthMap map[int]bool
 	truth    []bool // aligned with sorted pair positions
+	refs     []crowd.PairRef
 }
 
 func newBundle(name string, pairs []datagen.LabeledPair, subsetSize int) (*workloadBundle, error) {
@@ -206,6 +211,9 @@ func (e *Env) dsBundle() (*workloadBundle, error) {
 			return
 		}
 		e.dsW, e.dsWErr = newBundle("DS", ds.Pairs, e.subsetSize())
+		if e.dsWErr == nil {
+			e.dsW.refs = ds.CrowdRefs()
+		}
 	})
 	return e.dsW, e.dsWErr
 }
@@ -218,6 +226,9 @@ func (e *Env) abBundle() (*workloadBundle, error) {
 			return
 		}
 		e.abW, e.abWErr = newBundle("AB", ab.Pairs, e.subsetSize())
+		if e.abWErr == nil {
+			e.abW.refs = ab.CrowdRefs()
+		}
 	})
 	return e.abW, e.abWErr
 }

@@ -20,7 +20,7 @@ func TestIDsRegistered(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"ablation-window", "ablation-subset", "ablation-allsamp", "ablation-eps",
-		"ablation-human-error",
+		"ablation-human-error", "riskcost", "crowdcost",
 	}
 	ids := IDs()
 	have := make(map[string]bool, len(ids))

@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func crowdTruth(n int) (map[int]bool, []int) {
+	truth := make(map[int]bool, n)
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		truth[i] = i%3 == 0
+		ids = append(ids, i)
+	}
+	return truth, ids
+}
+
+func newTestCrowd(t *testing.T, truth map[int]bool) *Crowd {
+	t.Helper()
+	o, err := NewCrowd(truth, 3, 0.3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestCrowdVoteDeterminism pins the Crowd determinism contract: for the same
+// seed, a pair's adjudicated answer is identical whether pairs are labeled
+// one by one, as one batch, split across batches, or in reverse order.
+func TestCrowdVoteDeterminism(t *testing.T) {
+	truth, ids := crowdTruth(200)
+
+	oneByOne := newTestCrowd(t, truth)
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = oneByOne.Label(id)
+	}
+
+	batched := newTestCrowd(t, truth)
+	for i, got := range batched.LabelAll(ids) {
+		if got != want[ids[i]] {
+			t.Fatalf("pair %d: batched answer %v, one-by-one %v", ids[i], got, want[ids[i]])
+		}
+	}
+
+	split := newTestCrowd(t, truth)
+	for start := 0; start < len(ids); start += 37 {
+		chunk := ids[start:min(start+37, len(ids))]
+		for i, got := range split.LabelAll(chunk) {
+			if got != want[chunk[i]] {
+				t.Fatalf("pair %d: split answer %v, one-by-one %v", chunk[i], got, want[chunk[i]])
+			}
+		}
+	}
+
+	reversed := newTestCrowd(t, truth)
+	for i := len(ids) - 1; i >= 0; i-- {
+		if got := reversed.Label(ids[i]); got != want[ids[i]] {
+			t.Fatalf("pair %d: reverse-order answer %v, forward %v", ids[i], got, want[ids[i]])
+		}
+	}
+}
+
+// TestCrowdEmptyAndMemoizedBatchesFree pins the Batches accounting: only a
+// call adjudicating at least one fresh pair submits a crowdsourcing batch.
+func TestCrowdEmptyAndMemoizedBatchesFree(t *testing.T) {
+	truth, _ := crowdTruth(10)
+	o := newTestCrowd(t, truth)
+
+	o.LabelAll(nil)
+	o.LabelAll([]int{})
+	if got := o.Batches(); got != 0 {
+		t.Fatalf("empty batches cost %d, want 0", got)
+	}
+	if got := o.Votes(); got != 0 {
+		t.Fatalf("empty batches cast %d votes, want 0", got)
+	}
+
+	o.LabelAll([]int{0, 1, 2})
+	if got := o.Batches(); got != 1 {
+		t.Fatalf("after one fresh batch Batches = %d, want 1", got)
+	}
+	o.LabelAll([]int{0, 1, 2}) // fully memoized: free
+	o.LabelAll(nil)
+	if got := o.Batches(); got != 1 {
+		t.Fatalf("memoized/empty batches charged: Batches = %d, want 1", got)
+	}
+	if got := o.Votes(); got != 9 {
+		t.Fatalf("Votes = %d, want 9 (3 fresh pairs x 3 workers)", got)
+	}
+
+	o.LabelAll([]int{1, 2, 3}) // one fresh pair: one more batch, 3 more votes
+	if got := o.Batches(); got != 2 {
+		t.Fatalf("Batches = %d, want 2", got)
+	}
+	if got := o.Votes(); got != 12 {
+		t.Fatalf("Votes = %d, want 12", got)
+	}
+	if got := o.Cost(); got != 4 {
+		t.Fatalf("Cost = %d, want 4 distinct pairs", got)
+	}
+}

@@ -185,19 +185,26 @@ func (o *Noisy) Truth(id int) (bool, error) {
 // way HUMO's human workload would be processed on a crowdsourcing platform
 // (§IX future work). Each worker answers independently with the per-worker
 // error rate; cost counts worker answers, not pairs.
+//
+// Determinism contract: a base seed is drawn once from the constructor rng,
+// and each pair's votes come from a private stream seeded by (base seed,
+// pair id) alone. For the same construction, a pair therefore receives
+// identical votes whether it is labeled one by one, in one batch, split
+// across batches, or in any request order.
 type Crowd struct {
 	mu         sync.Mutex
 	truth      map[int]bool
 	answers    map[int]bool
 	workers    int
 	errorRate  float64
-	rng        *rand.Rand
+	baseSeed   int64
 	totalVotes int
 	batches    int
 }
 
 // NewCrowd builds a crowdsourced oracle with the given odd worker count per
-// pair and per-worker error rate in [0, 0.5).
+// pair and per-worker error rate in [0, 0.5). The rng is consumed exactly
+// once, for the base seed of the per-pair vote streams.
 func NewCrowd(truth map[int]bool, workers int, errorRate float64, rng *rand.Rand) (*Crowd, error) {
 	if workers < 1 || workers%2 == 0 {
 		return nil, fmt.Errorf("oracle: workers %d must be odd and >= 1", workers)
@@ -212,7 +219,23 @@ func NewCrowd(truth map[int]bool, workers int, errorRate float64, rng *rand.Rand
 	for id, v := range truth {
 		copied[id] = v
 	}
-	return &Crowd{truth: copied, answers: make(map[int]bool), workers: workers, errorRate: errorRate, rng: rng}, nil
+	o := &Crowd{truth: copied, answers: make(map[int]bool), workers: workers, errorRate: errorRate}
+	if rng != nil {
+		o.baseSeed = rng.Int63()
+	}
+	return o, nil
+}
+
+// pairSeed disperses (baseSeed, id) into the seed of the pair's private vote
+// stream (splitmix64-style finalizer).
+func pairSeed(baseSeed int64, id int) int64 {
+	z := uint64(baseSeed)*0x9e3779b97f4a7c15 ^ uint64(int64(id))*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Label returns the majority vote over the workers for the pair. A fresh
@@ -231,8 +254,10 @@ func (o *Crowd) Label(id int) bool {
 // are submitted to the crowd as one batch (the HIT-group model of
 // crowdsourced ER: workers vote on a page of pairs, not one pair at a time),
 // so Batches counts one unit per call instead of one per pair, while Votes
-// still counts every per-pair worker answer. Vote randomness is consumed per
-// pair in id order, bit-identical to pair-by-pair submission.
+// still counts every per-pair worker answer. A call with no fresh pair —
+// empty, or entirely memoized — submits nothing and is free. Votes come from
+// per-pair seeded streams, bit-identical to pair-by-pair submission in any
+// order or split.
 func (o *Crowd) LabelAll(ids []int) []bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -261,14 +286,14 @@ func (o *Crowd) labelLocked(id int) bool {
 	if !ok {
 		panic(fmt.Sprintf("%v: %d", ErrUnknownPair, id))
 	}
-	agree := 0
-	for i := 0; i < o.workers; i++ {
-		ans := v
-		if o.errorRate > 0 && o.rng.Float64() < o.errorRate {
-			ans = !ans
-		}
-		if ans == v {
-			agree++
+	agree := o.workers
+	if o.errorRate > 0 {
+		agree = 0
+		rng := rand.New(rand.NewSource(pairSeed(o.baseSeed, id)))
+		for i := 0; i < o.workers; i++ {
+			if rng.Float64() >= o.errorRate {
+				agree++
+			}
 		}
 	}
 	o.totalVotes += o.workers

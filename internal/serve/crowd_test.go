@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"humo"
+)
+
+// crowdTestSpec returns a hybrid spec whose batches are answered by a
+// server-side crowd with near-perfect workers (so the outcome is comparable
+// against a perfect-oracle run).
+func crowdTestSpec(pairs []SpecPair, truth map[int]bool) Spec {
+	sp := testSpec(pairs)
+	labels := make([]CrowdLabel, 0, len(truth))
+	for id, match := range truth {
+		labels = append(labels, CrowdLabel{ID: id, Match: match})
+	}
+	sp.Crowd = &CrowdSpec{Seed: 3, WorkerErrorHigh: 1e-9, Truth: labels}
+	return sp
+}
+
+func waitDone(t *testing.T, s *ManagedSession) {
+	t.Helper()
+	select {
+	case <-s.Session().DoneChan():
+	case <-time.After(30 * time.Second):
+		t.Fatal("crowd-driven session did not terminate")
+	}
+}
+
+// TestCrowdSessionEndToEnd creates a crowd-driven session and watches the
+// server resolve it with no client answers at all: the driver packs, votes
+// and propagates until the division lands, the status carries the crowd
+// ledger, and the /metrics counters account the work.
+func TestCrowdSessionEndToEnd(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, truth := testWorkload(t, 1200, 11)
+	spec := crowdTestSpec(pairs, truth)
+
+	s, err := m.Create("crowd", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s)
+	if err := s.Session().Err(); err != nil {
+		t.Fatalf("session failed: %v", err)
+	}
+
+	st := s.Status()
+	if !st.Done || st.Solution == nil {
+		t.Fatalf("status %+v, want done with solution", st)
+	}
+	if st.Crowd == nil || st.Crowd.HITs == 0 || st.Crowd.Votes == 0 {
+		t.Fatalf("crowd ledger %+v, want HITs and Votes > 0", st.Crowd)
+	}
+	if got := m.Metrics().Counter("crowd_hits_total").Value(); got != st.Crowd.HITs {
+		t.Fatalf("crowd_hits_total = %d, status says %d", got, st.Crowd.HITs)
+	}
+	if got := m.Metrics().Counter("crowd_votes_total").Value(); got != st.Crowd.Votes {
+		t.Fatalf("crowd_votes_total = %d, status says %d", got, st.Crowd.Votes)
+	}
+
+	// The crowd-driven server run must land on the same division as a local
+	// session driven by an identically configured pipeline.
+	w, err := spec.workload(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := spec.Crowd.crowdLabeler(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := humo.NewSession(w, spec.requirement(), spec.sessionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Run(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol := s.Session().Solution(); sol.Lo != want.Lo || sol.Hi != want.Hi {
+		t.Fatalf("server division [%d,%d], local twin [%d,%d]", sol.Lo, sol.Hi, want.Lo, want.Hi)
+	}
+}
+
+// TestCrowdSessionRecoversMidRun kills the manager while the crowd driver is
+// mid-resolution and reopens the state directory: the session must resume
+// crowd-driven — primed with the journaled answers, never re-voting on them
+// — and complete.
+func TestCrowdSessionRecoversMidRun(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := testWorkload(t, 1200, 13)
+	spec := crowdTestSpec(pairs, truth)
+	s, err := m.Create("crowd-rec", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(s.Session().Answered()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("crowd driver answered nothing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	answered := len(s.Session().Answered())
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, err := m2.Get("crowd-rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s2)
+	if err := s2.Session().Err(); err != nil {
+		t.Fatalf("recovered session failed: %v", err)
+	}
+	st := s2.Status()
+	if !st.Done || st.Solution == nil {
+		t.Fatalf("recovered status %+v, want done with solution", st)
+	}
+	if st.Answered < answered {
+		t.Fatalf("recovered session lost answers: %d < %d", st.Answered, answered)
+	}
+}
+
+// TestCrowdSpecRejected pins the 400 path for bad crowd specs.
+func TestCrowdSpecRejected(t *testing.T) {
+	pairs, truth := testWorkload(t, 300, 7)
+	base := func() Spec { return crowdTestSpec(pairs, truth) }
+
+	cases := map[string]func(*Spec){
+		"no truth":        func(sp *Spec) { sp.Crowd.Truth = nil },
+		"two truths":      func(sp *Spec) { sp.Crowd.TruthFile = "t.csv" },
+		"absolute file":   func(sp *Spec) { sp.Crowd.Truth = nil; sp.Crowd.TruthFile = "/etc/passwd" },
+		"escaping file":   func(sp *Spec) { sp.Crowd.CandidatesFile = "../c.csv" },
+		"duplicate truth": func(sp *Spec) { sp.Crowd.Truth = append(sp.Crowd.Truth, sp.Crowd.Truth[0]) },
+		"flat even votes": func(sp *Spec) { sp.Crowd.Flat = true; sp.Crowd.VotesPerPair = 2 },
+		"bad error range": func(sp *Spec) { sp.Crowd.WorkerErrorLow = 0.4; sp.Crowd.WorkerErrorHigh = 0.3 },
+		"bad floor":       func(sp *Spec) { sp.Crowd.ConfidenceFloor = 0.2 },
+	}
+	for name, mutate := range cases {
+		sp := base()
+		mutate(&sp)
+		if err := sp.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Fatalf("%s: Validate = %v, want ErrBadSpec", name, err)
+		}
+	}
+
+	// And over the wire: a bad crowd spec is a 400, never a 500.
+	srv, _ := testServer(t)
+	sp := base()
+	sp.Crowd.Truth = nil
+	if code := doJSON(t, "POST", srv.URL+"/v1/sessions", CreateRequest{ID: "bad", Spec: sp}, nil); code != http.StatusBadRequest {
+		t.Fatalf("create with bad crowd spec: status %d, want 400", code)
+	}
+}

@@ -174,6 +174,7 @@ func Open(cfg Config) (*Manager, error) {
 		sh.sessions[id] = s
 		m.count.Add(1)
 		m.metrics.Counter("sessions_recovered_total").Inc()
+		s.startCrowd()
 	}
 	return m, nil
 }
@@ -289,6 +290,9 @@ func (m *Manager) Create(id string, spec Spec) (*ManagedSession, error) {
 		m.metrics.Counter("sessions_created_total").Inc()
 	}
 	sh.mu.Unlock()
+	if err == nil {
+		s.startCrowd()
+	}
 	return s, err
 }
 
@@ -304,6 +308,12 @@ func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 		return nil, err
 	}
 	s := m.newManagedSession(id, spec, w, sess)
+	if spec.Crowd != nil {
+		if s.crowd, err = spec.Crowd.crowdLabeler(m.dataDir); err != nil {
+			sess.Cancel()
+			return nil, err
+		}
+	}
 	if err := writeBase(m.specPath(id), func(f io.Writer) error {
 		return writeJSON(f, spec)
 	}); err != nil {
@@ -388,6 +398,21 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	}
 	s := m.newManagedSession(id, spec, w, sess)
 	s.jr.seq = lines
+	if spec.Crowd != nil {
+		if s.crowd, err = spec.Crowd.crowdLabeler(m.dataDir); err != nil {
+			sess.Cancel()
+			return nil, err
+		}
+		// Seed the pipeline with the journaled answers so recovery never
+		// re-asks the crowd for pairs the session already holds; worker
+		// posteriors restart from their prior (the honest scope of the
+		// recovery guarantee — the division replays bit-identically, the
+		// accuracy estimates are re-learned).
+		if err := s.crowd.Prime(sess.Answered()); err != nil {
+			sess.Cancel()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -505,6 +530,12 @@ type ManagedSession struct {
 	compactEvery int
 	metrics      *obs.Registry
 
+	// crowd is the server-side workforce of a Spec.Crowd session (nil
+	// otherwise); crowdLast is the stats snapshot after the driver's
+	// previous batch, touched only by the driver goroutine.
+	crowd     *humo.CrowdLabeler
+	crowdLast humo.CrowdStats
+
 	mu          sync.Mutex
 	jr          *deltaJournal
 	unjournaled bool          // labels applied in memory but persisted nowhere (a journal append failed)
@@ -572,6 +603,50 @@ func (s *ManagedSession) Answer(labels map[int]bool) error {
 	}
 	s.bumpLocked()
 	return nil
+}
+
+// startCrowd launches the crowd driver of a Spec.Crowd session: a goroutine
+// that resolves every surfaced batch through the crowd pipeline and answers
+// it via the journaled Answer path, so a crowd session persists and recovers
+// exactly like a client-driven one. The driver exits when the session
+// terminates (including Cancel from Delete/Close, which unblocks Next).
+func (s *ManagedSession) startCrowd() {
+	if s.crowd == nil {
+		return
+	}
+	go s.runCrowd()
+}
+
+func (s *ManagedSession) runCrowd() {
+	ctx := context.Background()
+	for {
+		b, err := s.sess.Next(ctx)
+		if err != nil || b.Empty() {
+			return
+		}
+		ans, err := s.crowd.LabelBatch(ctx, b.IDs)
+		if err != nil {
+			// The pipeline refused the batch (e.g. a pair outside the truth
+			// set): the resolution cannot proceed and must fail loudly, not
+			// hang — clients observe the canceled session via status/labels.
+			s.metrics.Counter("crowd_failures_total").Inc()
+			s.sess.Cancel()
+			s.bump()
+			return
+		}
+		stats := s.crowd.Stats()
+		s.metrics.Counter("crowd_hits_total").Add(stats.HITs - s.crowdLast.HITs)
+		s.metrics.Counter("crowd_votes_total").Add(stats.Votes - s.crowdLast.Votes)
+		s.metrics.Counter("crowd_inferred_total").Add(stats.Inferred - s.crowdLast.Inferred)
+		s.metrics.Counter("crowd_conflicts_total").Add(stats.Conflicts - s.crowdLast.Conflicts)
+		s.crowdLast = stats
+		if err := s.Answer(ans); err != nil {
+			s.metrics.Counter("crowd_failures_total").Inc()
+			s.sess.Cancel()
+			s.bump()
+			return
+		}
+	}
 }
 
 // compactLocked folds the delta journal into the base snapshot: the full
@@ -655,6 +730,18 @@ type RiskStatus struct {
 	BudgetExhausted bool `json:"budget_exhausted"`
 }
 
+// CrowdStatus is the JSON shape of a crowd session's work counters: the
+// task pages issued, the worker votes cast, the pairs answered for free by
+// transitive closure, the conflicts surfaced, and the extra votes requested
+// below the confidence floor.
+type CrowdStatus struct {
+	HITs        int64 `json:"hits"`
+	Votes       int64 `json:"votes"`
+	Inferred    int64 `json:"inferred"`
+	Conflicts   int64 `json:"conflicts"`
+	Escalations int64 `json:"escalations"`
+}
+
 // SolutionStatus is the JSON shape of a finished division.
 type SolutionStatus struct {
 	Method       string `json:"method"`
@@ -682,6 +769,9 @@ type Status struct {
 	// once the schedule completed its first re-estimation round.
 	Risk *RiskStatus `json:"risk,omitempty"`
 
+	// Crowd is the live work ledger of a Spec.Crowd session.
+	Crowd *CrowdStatus `json:"crowd,omitempty"`
+
 	// Solution is set once the session terminated successfully.
 	Solution *SolutionStatus `json:"solution,omitempty"`
 	// Matches counts matching pairs of the full resolution (Resolve specs
@@ -700,6 +790,16 @@ func (s *ManagedSession) Status() Status {
 		Cost:          s.sess.Cost(),
 		Done:          s.sess.Done(),
 		Pending:       s.sess.Pending(),
+	}
+	if s.crowd != nil {
+		cs := s.crowd.Stats()
+		st.Crowd = &CrowdStatus{
+			HITs:        cs.HITs,
+			Votes:       cs.Votes,
+			Inferred:    cs.Inferred,
+			Conflicts:   cs.Conflicts,
+			Escalations: cs.Escalations,
+		}
 	}
 	if p, ok := s.sess.RiskProgress(); ok {
 		st.Risk = &RiskStatus{

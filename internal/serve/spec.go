@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 
 	"humo"
@@ -57,6 +58,59 @@ type Spec struct {
 
 	Pairs        []SpecPair `json:"pairs,omitempty"`
 	WorkloadFile string     `json:"workload_file,omitempty"`
+
+	// Crowd attaches a server-side crowd workforce to the session: instead
+	// of external clients answering over the HTTP API, a driver goroutine
+	// resolves every surfaced batch through the crowd pipeline (HIT packing,
+	// noisy voting with escalation, transitive-closure propagation) against
+	// the spec's ground truth. Clients watch progress through the usual
+	// status/labels endpoints.
+	Crowd *CrowdSpec `json:"crowd,omitempty"`
+}
+
+// CrowdLabel is one ground-truth answer of an inline crowd truth set.
+type CrowdLabel struct {
+	ID    int  `json:"id"`
+	Match bool `json:"match"`
+}
+
+// CrowdSpec configures the server-side crowd workforce of a session. The
+// zero knobs select the crowd package defaults. Exactly one of Truth and
+// TruthFile supplies the simulated pool's ground truth (TruthFile names a
+// `pair_id,label` CSV under the data directory). CandidatesFile optionally
+// names a `pair_id,record_a,record_b,similarity` CSV (the humogen
+// candidates format) providing the record identities behind the pairs, so
+// record-sharing pairs pack into one HIT and answers propagate by
+// transitive closure; without it every pair is treated as record-disjoint.
+type CrowdSpec struct {
+	MaxRecordsPerHIT int     `json:"max_records_per_hit,omitempty"`
+	VotesPerPair     int     `json:"votes_per_pair,omitempty"`
+	MaxVotesPerPair  int     `json:"max_votes_per_pair,omitempty"`
+	ConfidenceFloor  float64 `json:"confidence_floor,omitempty"`
+	PoolSize         int     `json:"pool_size,omitempty"`
+	WorkerErrorLow   float64 `json:"worker_error_low,omitempty"`
+	WorkerErrorHigh  float64 `json:"worker_error_high,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+	Flat             bool    `json:"flat,omitempty"`
+
+	Truth          []CrowdLabel `json:"truth,omitempty"`
+	TruthFile      string       `json:"truth_file,omitempty"`
+	CandidatesFile string       `json:"candidates_file,omitempty"`
+}
+
+// labelerConfig returns the crowd pipeline configuration the spec encodes.
+func (cs *CrowdSpec) labelerConfig() humo.CrowdLabelerConfig {
+	return humo.CrowdLabelerConfig{
+		MaxRecordsPerHIT: cs.MaxRecordsPerHIT,
+		VotesPerPair:     cs.VotesPerPair,
+		MaxVotesPerPair:  cs.MaxVotesPerPair,
+		ConfidenceFloor:  cs.ConfidenceFloor,
+		PoolSize:         cs.PoolSize,
+		WorkerErrorLow:   cs.WorkerErrorLow,
+		WorkerErrorHigh:  cs.WorkerErrorHigh,
+		Seed:             cs.Seed,
+		Flat:             cs.Flat,
+	}
 }
 
 // Validate checks everything a session build would refuse — the workload
@@ -91,6 +145,38 @@ func (sp Spec) Validate() error {
 	if sp.AnytimeBudget > 0 && sp.Method != string(humo.MethodRisk) {
 		return fmt.Errorf("%w: anytime_budget applies to method risk only", ErrBadSpec)
 	}
+	if sp.Crowd != nil {
+		if err := sp.Crowd.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks a crowd spec the way Spec.Validate checks the rest: every
+// refusal a labeler build would produce surfaces here as ErrBadSpec (400).
+func (cs *CrowdSpec) validate() error {
+	if len(cs.Truth) == 0 && cs.TruthFile == "" {
+		return fmt.Errorf("%w: crowd needs one of truth or truth_file", ErrBadSpec)
+	}
+	if len(cs.Truth) > 0 && cs.TruthFile != "" {
+		return fmt.Errorf("%w: crowd truth and truth_file are mutually exclusive", ErrBadSpec)
+	}
+	for _, f := range []string{cs.TruthFile, cs.CandidatesFile} {
+		if f != "" && (filepath.IsAbs(f) || strings.Contains(f, "..")) {
+			return fmt.Errorf("%w: crowd files must be relative paths inside the data directory", ErrBadSpec)
+		}
+	}
+	seen := make(map[int]struct{}, len(cs.Truth))
+	for _, l := range cs.Truth {
+		if _, dup := seen[l.ID]; dup {
+			return fmt.Errorf("%w: crowd truth repeats pair id %d", ErrBadSpec, l.ID)
+		}
+		seen[l.ID] = struct{}{}
+	}
+	if err := cs.labelerConfig().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
 	return nil
 }
 
@@ -115,6 +201,65 @@ func (sp Spec) workload(dataDir string) (*humo.Workload, error) {
 		}
 	}
 	return humo.NewWorkload(pairs, sp.SubsetSize)
+}
+
+// crowdLabeler materializes the spec's crowd workforce, reading its files
+// relative to dataDir. Build refusals wrap ErrBadSpec: a crowd spec that
+// cannot produce a labeler is a client error, like any other bad spec.
+func (cs *CrowdSpec) crowdLabeler(dataDir string) (*humo.CrowdLabeler, error) {
+	truth := make(map[int]bool, len(cs.Truth))
+	if cs.TruthFile != "" {
+		f, err := os.Open(filepath.Join(dataDir, filepath.Clean(cs.TruthFile)))
+		if err != nil {
+			return nil, fmt.Errorf("%w: opening crowd truth file: %v", ErrBadSpec, err)
+		}
+		defer f.Close()
+		labels, err := dataio.ReadLabels(f)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		truth = labels
+	} else {
+		for _, l := range cs.Truth {
+			truth[l.ID] = l.Match
+		}
+	}
+	var refs []humo.CrowdRef
+	if cs.CandidatesFile != "" {
+		f, err := os.Open(filepath.Join(dataDir, filepath.Clean(cs.CandidatesFile)))
+		if err != nil {
+			return nil, fmt.Errorf("%w: opening crowd candidates file: %v", ErrBadSpec, err)
+		}
+		defer f.Close()
+		cands, err := dataio.ReadCandidates(f)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		refs = make([]humo.CrowdRef, len(cands))
+		for i, c := range cands {
+			// The repository's two-table record-key convention: A-side
+			// records at 2*recordID, B-side at 2*recordID+1.
+			refs[i] = humo.CrowdRef{ID: i, A: 2 * c.A, B: 2*c.B + 1}
+		}
+	} else {
+		// No record identities known: every pair gets two private records,
+		// so packing still amortizes page overhead but nothing co-rides and
+		// nothing is inferable.
+		ids := make([]int, 0, len(truth))
+		for id := range truth {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		refs = make([]humo.CrowdRef, len(ids))
+		for i, id := range ids {
+			refs[i] = humo.CrowdRef{ID: id, A: 2 * id, B: 2*id + 1}
+		}
+	}
+	l, err := humo.NewCrowdLabeler(refs, truth, cs.labelerConfig())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return l, nil
 }
 
 // requirement returns the quality requirement encoded in the spec.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"humo/internal/core"
+	"humo/internal/crowd"
 )
 
 // BatchOracle is an Oracle that can label several pairs in one call. The
@@ -129,6 +130,41 @@ func (o *OracleFromLabeler) LabelAll(ids []int) []bool {
 		out[i] = o.known[id] // false for pairs lost to a latched error
 	}
 	return out
+}
+
+// Crowd-scale labeling. CrowdLabeler is the package's crowd-workforce
+// Labeler: batches are packed into cluster-based HITs of bounded record
+// count, answered by a simulated pool of noisy workers under per-worker
+// quality posteriors with escalation, and propagated through transitive
+// closure so inferred pairs never cost a vote. See package
+// humo/internal/crowd for the full model and its determinism contract.
+
+type (
+	// CrowdRef ties a workload pair id to its two record keys (A-side
+	// records at 2*recordID, B-side at 2*recordID+1);
+	// ERDataset.CrowdRefs builds these for generated datasets.
+	CrowdRef = crowd.PairRef
+	// CrowdLabelerConfig tunes the crowd pipeline (HIT capacity, votes,
+	// escalation, simulated pool, seed, flat baseline mode).
+	CrowdLabelerConfig = crowd.Config
+	// CrowdLabeler resolves label batches through the crowd pipeline; it
+	// implements Labeler and can drive a Session.
+	CrowdLabeler = crowd.Labeler
+	// CrowdStats counts the human work a CrowdLabeler consumed and saved:
+	// HITs, votes, inferred pairs, conflicts, escalations.
+	CrowdStats = crowd.Stats
+	// CrowdHIT is one packed task page: pair ids plus the distinct records
+	// a worker must read to answer them.
+	CrowdHIT = crowd.HIT
+)
+
+// NewCrowdLabeler builds the crowd pipeline over the workload's pair
+// references and the simulated pool's ground truth. The zero
+// CrowdLabelerConfig selects the documented defaults; Config.Flat selects
+// the flat baseline (no clustering, no closure, fixed-R majority) for cost
+// comparisons against the same pool and seed.
+func NewCrowdLabeler(refs []CrowdRef, truth map[int]bool, cfg CrowdLabelerConfig) (*CrowdLabeler, error) {
+	return crowd.NewLabeler(refs, truth, cfg)
 }
 
 // Err returns the first Labeler failure, or nil when every answer so far
