@@ -2,7 +2,7 @@
 // driving the human-in-the-loop through a resumable resolution session.
 //
 // The pipeline blocks and scores candidate pairs (humo.GenerateWorkload:
-// -block cross/token/sorted, fanned out over -workers goroutines with
+// -block cross/token/sorted/lsh, fanned out over -workers goroutines with
 // deterministic output; or -candidates to load a humogen-generated
 // candidates CSV instead), then starts the requested optimization as a
 // humo.Session. Whenever the optimizer needs human answers, the session
@@ -84,10 +84,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		aPath       = fs.String("a", "", "CSV file of the first table (header row = attributes)")
 		bPath       = fs.String("b", "", "CSV file of the second table")
 		spec        = fs.String("spec", "", "attribute specs: name:kind[,name:kind...]; kinds: jaccard, jarowinkler, levenshtein, cosine")
-		blockMode   = fs.String("block", "cross", "candidate generation: cross, token or sorted")
-		blockAttr   = fs.String("block-attr", "", "token/sorted blocking attribute (default: first spec attribute)")
+		blockMode   = fs.String("block", "cross", "candidate generation: cross, token, sorted or lsh")
+		blockAttr   = fs.String("block-attr", "", "token/sorted/lsh blocking attribute (default: first spec attribute)")
 		minShared   = fs.Int("min-shared", 1, "token blocking: minimum shared tokens")
 		window      = fs.Int("window", 10, "sorted blocking: window size")
+		rows        = fs.Int("rows", 2, "lsh blocking: sketch depth per band (candidates share at least this many tokens)")
+		bands       = fs.Int("bands", 32, "lsh blocking: band count (more bands, higher recall)")
 		workers     = fs.Int("workers", 0, "candidate generation worker goroutines (<= 0 = all cores; results are identical at any count)")
 		candsPath   = fs.String("candidates", "", "pre-generated candidates CSV (humogen -cands output); skips blocking and scoring")
 		threshold   = fs.Float64("threshold", 0.1, "keep candidate pairs with aggregated similarity >= threshold (in [0,1))")
@@ -129,7 +131,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	for _, c := range []struct {
 		name string
 		v    int
-	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}, {"-window", *window}, {"-anytime", *anytime}} {
+	}{{"-min-shared", *minShared}, {"-budget", *budget}, {"-subset", *subsetSize}, {"-window", *window}, {"-rows", *rows}, {"-bands", *bands}, {"-anytime", *anytime}} {
 		if err := cliutil.ValidateNonNegative(c.name, c.v); err != nil {
 			return usageErr(stderr, err)
 		}
@@ -187,6 +189,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			BlockAttribute: *blockAttr,
 			MinShared:      *minShared,
 			Window:         *window,
+			Rows:           *rows,
+			Bands:          *bands,
 			Threshold:      *threshold,
 			Workers:        *workers,
 			SubsetSize:     *subsetSize,

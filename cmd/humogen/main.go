@@ -19,6 +19,13 @@
 //	        -block token -min-shared 2 -threshold 0.3 -workers 0 \
 //	        -out workload.csv -cands candidates.csv
 //
+// At million-record scale, -block lsh swaps the inverted-index join for a
+// banded MinHash join (-rows R -bands B) that only verifies colliding
+// pairs:
+//
+//	humogen -a huge_a.csv -b huge_b.csv -spec "name:jaccard" \
+//	        -block lsh -rows 2 -bands 32 -threshold 0.3 -out workload.csv
+//
 // -out receives the `pair_id,similarity` CSV (with a `.fp` fingerprint
 // sidecar) and -cands the full `pair_id,record_a,record_b,similarity`
 // candidates file. Generation is deterministic: the same tables and flags
@@ -55,10 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		aPath     = fs.String("a", "", "generate mode: CSV file of the first table (header row = attributes)")
 		bPath     = fs.String("b", "", "generate mode: CSV file of the second table")
 		spec      = fs.String("spec", "", "generate mode: attribute specs name:kind[,name:kind...]")
-		blockMode = fs.String("block", "token", "generate mode: cross, token or sorted")
+		blockMode = fs.String("block", "token", "generate mode: cross, token, sorted or lsh")
 		blockAttr = fs.String("block-attr", "", "generate mode: blocking attribute (default: first spec attribute)")
 		minShared = fs.Int("min-shared", 1, "generate mode: token blocking minimum shared tokens")
 		window    = fs.Int("window", 10, "generate mode: sorted blocking window size")
+		rows      = fs.Int("rows", 2, "generate mode: lsh sketch depth per band (candidates share at least this many tokens)")
+		bands     = fs.Int("bands", 32, "generate mode: lsh band count (more bands, higher recall)")
 		threshold = fs.Float64("threshold", 0.1, "generate mode: keep pairs with similarity >= threshold (in [0,1))")
 		workers   = fs.Int("workers", 0, "generate mode: worker goroutines (<= 0 = all cores; output is identical at any count)")
 		outPath   = fs.String("out", "", "generate mode: where to write the pair_id,similarity workload CSV (required)")
@@ -79,18 +88,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runGenerate(stdout, stderr, genArgs{
 			aPath: *aPath, bPath: *bPath, spec: *spec,
 			block: *blockMode, blockAttr: *blockAttr,
-			minShared: *minShared, window: *window, threshold: *threshold,
-			workers: *workers, outPath: *outPath, candsPath: *candsPath,
+			minShared: *minShared, window: *window, rows: *rows, bands: *bands,
+			threshold: *threshold,
+			workers:   *workers, outPath: *outPath, candsPath: *candsPath,
 		})
 	}
 	return runDataset(stdout, stderr, *dataset, *seed, *buckets, *n, *tau, *sigma)
 }
 
 type genArgs struct {
-	aPath, bPath, spec, block, blockAttr string
-	minShared, window, workers           int
-	threshold                            float64
-	outPath, candsPath                   string
+	aPath, bPath, spec, block, blockAttr    string
+	minShared, window, rows, bands, workers int
+	threshold                               float64
+	outPath, candsPath                      string
 }
 
 // runGenerate is the table-to-workload pipeline around humo.GenerateWorkload.
@@ -133,6 +143,8 @@ func runGenerate(stdout, stderr io.Writer, a genArgs) int {
 		BlockAttribute: a.blockAttr,
 		MinShared:      a.minShared,
 		Window:         a.window,
+		Rows:           a.rows,
+		Bands:          a.bands,
 		Threshold:      a.threshold,
 		Workers:        a.workers,
 	})

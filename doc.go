@@ -205,11 +205,29 @@
 // scoring. Scoring fans out over internal/parallel in contiguous record
 // shards merged in order.
 //
+// BlockLSH is the million-record path. The inverted index is exact but its
+// cost sums count_A(t)*count_B(t) over tokens — skewed vocabularies make
+// hot postings quadratic. BlockLSH keys each record, per band, on its Rows
+// smallest token hashes under the band's seeded 64-bit function (bottom-Rows
+// MinHash), so a band collision requires the Rows smallest hashes of the
+// pair's union to all be shared tokens: probability ~ jaccard^Rows per
+// band, 1-(1-s^Rows)^Bands over Bands bands, and pairs sharing fewer than
+// Rows tokens never collide at all. Colliding pairs are verified against
+// the full sorted token lists — candidates always share at least
+// max(MinShared, Rows) tokens — before the same sharded scoring. Hash
+// seeds are fixed constants, so LSH output is as deterministic as the
+// exact modes; recall against BlockToken at the same threshold is measured
+// and pinned by test (>= 0.95 on the seeded short-attribute fixture, 1.0
+// on the long-title benchmark fixture).
+//
 // Determinism contract: for fixed tables and GenConfig, GenerateWorkload
 // returns the same candidate pairs with bit-identical similarities — and
 // therefore the same workload fingerprint — at any Workers value; the
-// worker count changes wall-clock time, never output. All-zero spec
-// weights select the paper's distinct-value weighting rule (§VIII-A).
+// worker count changes wall-clock time, never output. This holds for every
+// blocking mode including BlockLSH (fixed hash seeds, order-stable merges).
+// Distinct Generate calls may also share one Scorer concurrently: the
+// scorer is read-only after construction, pinned by a -race test. All-zero
+// spec weights select the paper's distinct-value weighting rule (§VIII-A).
 // The equivalence tests in internal/blocking hold the whole rebuilt path
 // bit-identical to the straightforward map-based reference implementation.
 //

@@ -48,13 +48,17 @@ const (
 	BlockToken = blocking.ModeToken
 	// BlockSorted is classical sorted-neighborhood blocking.
 	BlockSorted = blocking.ModeSorted
+	// BlockLSH joins the tables through banded MinHash signatures and only
+	// verifies colliding pairs — the sub-quadratic path for 1M+ records.
+	BlockLSH = blocking.ModeLSH
 )
 
 // ParseSimilarityKind parses a similarity kind name (jaccard, jarowinkler,
 // levenshtein, cosine).
 func ParseSimilarityKind(s string) (SimilarityKind, error) { return blocking.ParseKind(s) }
 
-// ParseBlockingMode parses a blocking mode name (cross, token, sorted).
+// ParseBlockingMode parses a blocking mode name (cross, token, sorted,
+// lsh).
 func ParseBlockingMode(s string) (BlockingMode, error) { return blocking.ParseMode(s) }
 
 // ErrNoCandidates reports a generation run whose threshold left no
@@ -69,13 +73,26 @@ type GenConfig struct {
 	Specs []AttributeSpec
 	// Block selects the strategy (default BlockToken).
 	Block BlockingMode
-	// BlockAttribute is the blocking key of BlockToken and BlockSorted
-	// (default: the first spec's attribute).
+	// BlockAttribute is the blocking key of BlockToken, BlockSorted and
+	// BlockLSH (default: the first spec's attribute).
 	BlockAttribute string
-	// MinShared is BlockToken's minimum shared-token count (default 1).
+	// MinShared is BlockToken's minimum shared-token count (default 1). It
+	// also floors BlockLSH verification: colliding pairs sharing fewer than
+	// max(MinShared, Rows) blocking-attribute tokens are dropped before
+	// scoring.
 	MinShared int
 	// Window is BlockSorted's window size (default 10).
 	Window int
+	// Rows is BlockLSH's sketch depth per band (default 2): a band keys on
+	// a record's Rows smallest token hashes, so more rows make a collision
+	// more selective, and candidates always share at least Rows
+	// blocking-attribute tokens.
+	Rows int
+	// Bands is BlockLSH's band count (default 32); more bands raise recall
+	// at the cost of more verification work. A pair of blocking-attribute
+	// Jaccard similarity s becomes a candidate with probability
+	// 1-(1-s^Rows)^Bands.
+	Bands int
 	// Threshold keeps candidates with aggregated similarity >= Threshold.
 	Threshold float64
 	// Workers bounds the generation fan-out (<= 0 selects GOMAXPROCS).
@@ -142,6 +159,8 @@ func GenerateWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*Gener
 		Attribute: cfg.BlockAttribute,
 		MinShared: cfg.MinShared,
 		Window:    cfg.Window,
+		Rows:      cfg.Rows,
+		Bands:     cfg.Bands,
 		Threshold: cfg.Threshold,
 		Workers:   cfg.Workers,
 	}
@@ -156,6 +175,12 @@ func GenerateWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*Gener
 	}
 	if opt.Window == 0 {
 		opt.Window = 10
+	}
+	if opt.Rows == 0 {
+		opt.Rows = 2
+	}
+	if opt.Bands == 0 {
+		opt.Bands = 32
 	}
 	cands, err := blocking.Generate(ctx, scorer, opt)
 	if err != nil {

@@ -185,6 +185,117 @@ func TestGenerateWorkloadModes(t *testing.T) {
 	if _, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg); err != nil {
 		t.Fatal(err)
 	}
+
+	cfg.Block = humo.BlockLSH // default Rows/Bands
+	lsh, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsh.Candidates) == 0 {
+		t.Fatal("no lsh candidates")
+	}
+	for _, c := range lsh.Candidates {
+		if sim, ok := inCross[[2]int{c.A, c.B}]; !ok || sim != c.Sim {
+			t.Fatalf("lsh candidate %+v not bit-identical in cross output", c)
+		}
+	}
+}
+
+// TestGenerateWorkloadLSHDeterminism pins BlockLSH's public determinism
+// guarantee: identical fingerprints and candidates at any worker count and
+// across runs — the MinHash seeds are fixed, so so are the sketches.
+func TestGenerateWorkloadLSHDeterminism(t *testing.T) {
+	ta, tb := genTables(250, 200, 5)
+	cfg := genConfig()
+	cfg.Block = humo.BlockLSH
+	cfg.Workers = 1
+	want, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, workers := range []int{2, 3, 7, 0, 1} {
+		cfg.Workers = workers
+		got, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint != want.Fingerprint {
+			t.Fatalf("workers=%d: fingerprint %s, want %s", workers, got.Fingerprint, want.Fingerprint)
+		}
+		if len(got.Candidates) != len(want.Candidates) {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got.Candidates), len(want.Candidates))
+		}
+		for i := range got.Candidates {
+			if got.Candidates[i] != want.Candidates[i] {
+				t.Fatalf("workers=%d: candidate %d = %+v, want %+v", workers, i, got.Candidates[i], want.Candidates[i])
+			}
+		}
+	}
+}
+
+// TestGenerateWorkloadLSHRecall pins the banded-sketch recall on the seeded
+// fixture: at the default Rows/Bands, BlockLSH recovers at least 95% of the
+// BlockToken baseline (measured: 98.3%). Both runs are deterministic, so
+// the measured recall is a constant of the fixture, not a flaky sample.
+func TestGenerateWorkloadLSHRecall(t *testing.T) {
+	ta, tb := genTables(5000, 5000, 42)
+	cfg := genConfig()
+	tok, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTok := make(map[[2]int]bool, len(tok.Candidates))
+	for _, c := range tok.Candidates {
+		inTok[[2]int{c.A, c.B}] = true
+	}
+	cfg.Block = humo.BlockLSH // default Rows/Bands
+	lsh, err := humo.GenerateWorkload(context.Background(), ta, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for _, c := range lsh.Candidates {
+		if inTok[[2]int{c.A, c.B}] {
+			hit++
+		}
+	}
+	recall := float64(hit) / float64(len(tok.Candidates))
+	if recall < 0.95 {
+		t.Fatalf("lsh recall %.4f of %d token candidates, want >= 0.95", recall, len(tok.Candidates))
+	}
+}
+
+// TestBenchFixtureLSHRecall pins recall on the long-text benchmark fixture
+// at the benchmark's own Rows/Bands: every match is found (measured recall
+// 1.0 — long titles put even weak matches far up the banding S-curve), so
+// the >= 10x of BenchmarkBlocked100k is not bought with misses.
+func TestBenchFixtureLSHRecall(t *testing.T) {
+	ta, tb := benchTables(20000, 20000, 42)
+	tok, err := humo.GenerateWorkload(context.Background(), ta, tb, benchConfig(humo.BlockToken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTok := make(map[[2]int]bool, len(tok.Candidates))
+	for _, c := range tok.Candidates {
+		inTok[[2]int{c.A, c.B}] = true
+	}
+	lsh, err := humo.GenerateWorkload(context.Background(), ta, tb, benchConfig(humo.BlockLSH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for _, c := range lsh.Candidates {
+		if inTok[[2]int{c.A, c.B}] {
+			hit++
+		}
+	}
+	recall := float64(hit) / float64(len(tok.Candidates))
+	if recall < 0.95 {
+		t.Fatalf("lsh recall %.4f of %d token candidates, want >= 0.95", recall, len(tok.Candidates))
+	}
 }
 
 // TestGenerateWorkloadAutoWeights: all-zero weights select the paper's

@@ -8,12 +8,17 @@
 // a shared dictionary and preprocesses each record once — sorted token-id
 // sets for linear-merge Jaccard, term-frequency vectors with precomputed
 // norms for Cosine, rune slices for the edit-distance measures — so scoring
-// a pair allocates nothing and never re-tokenizes. Generate fans candidate
-// generation out over internal/parallel with a deterministic order-stable
-// merge: the same pairs with the same similarity bits come back at any
-// worker count. Three strategies are provided: an exhaustive cross product,
-// an inverted-index token join with size and prefix filtering (the scalable
-// path), and a classical sorted-neighborhood pass.
+// a pair allocates nothing and never re-tokenizes. A Scorer is read-only
+// after construction, so any number of Generate calls may share one
+// concurrently. Generate fans candidate generation out over
+// internal/parallel with a deterministic order-stable merge: the same pairs
+// with the same similarity bits come back at any worker count — ModeLSH
+// included, its hash seeds being fixed constants. Four strategies are
+// provided: an exhaustive cross product, an inverted-index token join with
+// size and prefix filtering (exact and scalable), banded bottom-Rows
+// MinHash sketches (ModeLSH, the sub-quadratic path for million-record
+// tables with skewed vocabularies; see lsh.go), and a classical
+// sorted-neighborhood pass.
 package blocking
 
 import (
@@ -108,11 +113,25 @@ type Scorer struct {
 	dict    *similarity.Interner
 	repA    []colRep // per spec
 	repB    []colRep
+	// blockTok holds the sorted distinct token-id lists of every attribute
+	// shared by both tables, keyed by attribute name — the precomputed form
+	// every blocking strategy reads. Building it eagerly makes the scorer
+	// immutable after construction, so Generate is safe for concurrent use.
+	blockTok map[string]blockCols
+}
+
+// blockCols is the interned token-set view of one shared attribute in both
+// tables.
+type blockCols struct {
+	a, b [][]int32
 }
 
 // NewScorer validates the specs against both tables and preprocesses every
-// record. Weights must be non-negative with positive sum; they are
-// normalized.
+// record — including the token sets of every attribute both tables share,
+// so any blocking attribute is ready up front. Weights must be non-negative
+// with positive sum; they are normalized. The returned scorer is never
+// mutated afterwards: Score, ScoreWith (with per-goroutine scratch) and
+// Generate are all safe for concurrent use.
 func NewScorer(ta, tb *records.Table, specs []AttributeSpec) (*Scorer, error) {
 	if err := ta.Validate(); err != nil {
 		return nil, err
@@ -154,7 +173,59 @@ func NewScorer(ta, tb *records.Table, specs []AttributeSpec) (*Scorer, error) {
 		s.repA[i] = s.buildRep(ta, s.colA[i], spec.Kind)
 		s.repB[i] = s.buildRep(tb, s.colB[i], spec.Kind)
 	}
+	s.buildBlockTokens()
 	return s, nil
+}
+
+// buildBlockTokens interns the token sets of every attribute shared by both
+// tables, reusing the representations the specs already interned (Jaccard
+// token sets verbatim; Cosine term-frequency ids, which are the same sorted
+// distinct id lists). Eager construction here is what makes concurrent
+// Generate calls race-free: the dictionary is never extended after
+// NewScorer returns.
+func (s *Scorer) buildBlockTokens() {
+	s.blockTok = make(map[string]blockCols, len(s.ta.Attributes))
+	for _, name := range s.ta.Attributes {
+		colA, err := s.ta.AttributeIndex(name)
+		if err != nil {
+			continue
+		}
+		colB, err := s.tb.AttributeIndex(name)
+		if err != nil {
+			continue // not shared; blocking on it fails at Generate time
+		}
+		s.blockTok[name] = blockCols{
+			a: s.tokenColumn(s.ta, colA, s.repA, func(k int) bool { return s.colA[k] == colA }),
+			b: s.tokenColumn(s.tb, colB, s.repB, func(k int) bool { return s.colB[k] == colB }),
+		}
+	}
+}
+
+// tokenColumn returns the sorted distinct token ids of one table column,
+// reusing a spec's interned representation when one covers the column.
+func (s *Scorer) tokenColumn(t *records.Table, col int, reps []colRep, covers func(k int) bool) [][]int32 {
+	for k, spec := range s.specs {
+		if !covers(k) {
+			continue
+		}
+		switch spec.Kind {
+		case KindJaccard:
+			return reps[k].tokens
+		case KindCosine:
+			// TFVec.IDs are sorted distinct ids — the same list InternTokens
+			// would produce.
+			toks := make([][]int32, len(t.Records))
+			for i := range reps[k].tf {
+				toks[i] = reps[k].tf[i].IDs
+			}
+			return toks
+		}
+	}
+	toks := make([][]int32, len(t.Records))
+	for i, r := range t.Records {
+		toks[i] = s.dict.InternTokens(r.Values[col])
+	}
+	return toks
 }
 
 func (s *Scorer) buildRep(t *records.Table, col int, kind Kind) colRep {

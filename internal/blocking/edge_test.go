@@ -174,6 +174,75 @@ func TestEdgeThresholdBoundary(t *testing.T) {
 	}
 }
 
+// TestEdgeMinSharedExactTokens: a record with exactly MinShared tokens sits
+// on the size-filter boundary and must still pair — the filter is
+// "fewer than", not "at most".
+func TestEdgeMinSharedExactTokens(t *testing.T) {
+	ta := oneRecordTable("a", "alpha beta gamma")
+	tb := oneRecordTable("b", "alpha beta gamma")
+	specs := synthSpecs()
+	s, err := NewScorer(ta, tb, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TokenBlocked(s, "name", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].A != 0 || got[0].B != 0 {
+		t.Fatalf("exact-MinShared pair not kept: %+v", got)
+	}
+}
+
+// TestEdgeEmptyAttributeValues: records whose blocking attribute is empty
+// tokenize to nothing, never enter the index, and generation still succeeds
+// with an empty result when every record is filtered out.
+func TestEdgeEmptyAttributeValues(t *testing.T) {
+	blank := func(name string, n int) *records.Table {
+		tbl := &records.Table{Name: name, Attributes: []string{"name", "description", "brand"}}
+		for i := 0; i < n; i++ {
+			tbl.Records = append(tbl.Records, records.Record{
+				ID: i, EntityID: i, Values: []string{"", "some description text", "acme"},
+			})
+		}
+		return tbl
+	}
+	ta, tb := blank("a", 4), blank("b", 3)
+	s, err := NewScorer(ta, tb, synthSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TokenBlocked(s, "name", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("pairs from empty blocking values: %+v", got)
+	}
+	// Same contract on the LSH path: no sketches, no candidates, no error.
+	got, err = LSHBlocked(s, "name", 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("LSH pairs from empty blocking values: %+v", got)
+	}
+	// A mixed table — one real record among blanks — still pairs normally.
+	ta.Records[2].Values[0] = "acme turbo widget"
+	tb.Records[1].Values[0] = "acme turbo widget"
+	s2, err := NewScorer(ta, tb, synthSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = TokenBlocked(s2, "name", 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].A != 2 || got[0].B != 1 {
+		t.Fatalf("mixed table pairs = %+v, want exactly (2,1)", got)
+	}
+}
+
 // TestEdgeMinSharedExceedsTokens: records with fewer tokens than MinShared
 // can never pair (the size filter), matching the reference.
 func TestEdgeMinSharedExceedsTokens(t *testing.T) {

@@ -3,6 +3,7 @@ package blocking
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"humo/internal/parallel"
@@ -24,15 +25,23 @@ const (
 	// ModeSorted slides a window over the union of both tables sorted by
 	// Options.Attribute (classical sorted-neighborhood blocking).
 	ModeSorted Mode = "sorted"
+	// ModeLSH joins the tables through banded bottom-Rows MinHash sketches
+	// over Options.Attribute: records colliding in at least one of Bands
+	// buckets (each keyed by the record's Rows smallest token hashes under
+	// the band's hash function) are verified by full token-list merge and
+	// scored. Colliding requires sharing at least Rows tokens, so the only
+	// per-pair work is on genuinely overlapping pairs — the path for 1M+
+	// records.
+	ModeLSH Mode = "lsh"
 )
 
 // ParseMode parses a generation-strategy name.
 func ParseMode(s string) (Mode, error) {
 	switch Mode(s) {
-	case ModeCross, ModeToken, ModeSorted:
+	case ModeCross, ModeToken, ModeSorted, ModeLSH:
 		return Mode(s), nil
 	default:
-		return "", fmt.Errorf("%w: unknown blocking mode %q (want cross, token or sorted)", ErrBadSpec, s)
+		return "", fmt.Errorf("%w: unknown blocking mode %q (want cross, token, sorted or lsh)", ErrBadSpec, s)
 	}
 }
 
@@ -40,12 +49,24 @@ func ParseMode(s string) (Mode, error) {
 type Options struct {
 	// Mode selects the strategy (default ModeCross).
 	Mode Mode
-	// Attribute is the blocking key of ModeToken and ModeSorted.
+	// Attribute is the blocking key of ModeToken, ModeSorted and ModeLSH.
 	Attribute string
-	// MinShared is ModeToken's minimum number of shared tokens (>= 1).
+	// MinShared is ModeToken's minimum number of shared tokens (>= 1). It
+	// also floors ModeLSH verification — colliding pairs sharing fewer than
+	// max(MinShared, Rows) tokens are dropped before scoring — keeping the
+	// two modes' candidate contracts aligned.
 	MinShared int
 	// Window is ModeSorted's window size (>= 2).
 	Window int
+	// Rows is ModeLSH's sketch depth per band (>= 1): a band keys on the
+	// record's Rows smallest token hashes, so more rows make a collision
+	// more selective, and candidates always share at least Rows tokens.
+	Rows int
+	// Bands is ModeLSH's band count (>= 1): more bands give
+	// middling-similarity pairs more chances to collide (higher recall,
+	// more verification). A pair of Jaccard similarity s collides in at
+	// least one band with probability about 1-(1-s^Rows)^Bands.
+	Bands int
 	// Threshold keeps candidates with aggregated similarity >= Threshold.
 	Threshold float64
 	// Workers bounds the scoring fan-out (<= 0 selects GOMAXPROCS). The
@@ -63,9 +84,9 @@ type Options struct {
 // record representations. ctx cancels a long generation (the partial work
 // is discarded and ctx's error returned).
 //
-// Generate may be called from multiple goroutines only with options whose
-// blocking attribute is already covered by a Jaccard spec; otherwise it
-// extends the scorer's token dictionary first, which is a write.
+// Generate is safe for concurrent use: the scorer is immutable after
+// NewScorer (every shared attribute's token sets are interned up front), so
+// any number of goroutines may generate over one scorer with any options.
 func Generate(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
 	if opt.Mode == "" {
 		opt.Mode = ModeCross
@@ -77,8 +98,10 @@ func Generate(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
 		return generateToken(ctx, s, opt)
 	case ModeSorted:
 		return generateSorted(ctx, s, opt)
+	case ModeLSH:
+		return generateLSH(ctx, s, opt)
 	default:
-		return nil, fmt.Errorf("%w: unknown blocking mode %q (want cross, token or sorted)", ErrBadSpec, opt.Mode)
+		return nil, fmt.Errorf("%w: unknown blocking mode %q (want cross, token, sorted or lsh)", ErrBadSpec, opt.Mode)
 	}
 }
 
@@ -154,31 +177,17 @@ func generateCross(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) 
 }
 
 // blockTokens returns the sorted distinct token-id lists of the named
-// attribute for both tables, reusing the representations a Jaccard spec on
-// the same attribute already interned.
+// attribute for both tables, precomputed at NewScorer time (so this is a
+// read-only lookup, safe under concurrent Generate calls).
 func (s *Scorer) blockTokens(attribute string) (tokA, tokB [][]int32, err error) {
-	colA, err := s.ta.AttributeIndex(attribute)
-	if err != nil {
+	if _, err := s.ta.AttributeIndex(attribute); err != nil {
 		return nil, nil, err
 	}
-	colB, err := s.tb.AttributeIndex(attribute)
-	if err != nil {
+	if _, err := s.tb.AttributeIndex(attribute); err != nil {
 		return nil, nil, err
 	}
-	for k, spec := range s.specs {
-		if spec.Kind == KindJaccard && s.colA[k] == colA && s.colB[k] == colB {
-			return s.repA[k].tokens, s.repB[k].tokens, nil
-		}
-	}
-	tokA = make([][]int32, len(s.ta.Records))
-	for i, r := range s.ta.Records {
-		tokA[i] = s.dict.InternTokens(r.Values[colA])
-	}
-	tokB = make([][]int32, len(s.tb.Records))
-	for j, r := range s.tb.Records {
-		tokB[j] = s.dict.InternTokens(r.Values[colB])
-	}
-	return tokA, tokB, nil
+	bt := s.blockTok[attribute]
+	return bt.a, bt.b, nil
 }
 
 // generateToken is the inverted-index join. For a shared-token requirement
@@ -310,10 +319,12 @@ func generateSorted(ctx context.Context, s *Scorer, opt Options) ([]Pair, error)
 		}
 		return entries[x].idx < entries[y].idx
 	})
-	// Enumerate the distinct cross-table pairs of common windows, then
-	// score the deduplicated list in parallel shards.
-	seen := make(map[[2]int]struct{})
-	var cands [][2]int
+	// Enumerate the cross-table pairs of common windows as packed
+	// (A<<32)|B keys on a flat slice, then sort and compact to dedupe —
+	// the packed sort order is exactly (A, B), so the output is identical
+	// to the old map-based dedup without its ~50 bytes/entry of map
+	// overhead (gigabytes at 1M records).
+	var cands []uint64
 	for x := range entries {
 		hi := x + opt.Window
 		if hi > len(entries) {
@@ -327,20 +338,10 @@ func generateSorted(ctx context.Context, s *Scorer, opt Options) ([]Pair, error)
 			if a.table == 1 {
 				a, b = b, a
 			}
-			key := [2]int{a.idx, b.idx}
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-			cands = append(cands, key)
+			cands = append(cands, uint64(a.idx)<<32|uint64(b.idx))
 		}
 	}
-	sort.Slice(cands, func(x, y int) bool {
-		if cands[x][0] != cands[y][0] {
-			return cands[x][0] < cands[y][0]
-		}
-		return cands[x][1] < cands[y][1]
-	})
+	cands = sortCompact(cands)
 	return fanOut(ctx, s, opt.Workers, len(cands), func(sc *Scratch, lo, hi int) ([]Pair, error) {
 		var out []Pair
 		for c := lo; c < hi; c++ {
@@ -349,11 +350,25 @@ func generateSorted(ctx context.Context, s *Scorer, opt Options) ([]Pair, error)
 					return nil, err
 				}
 			}
-			a, b := cands[c][0], cands[c][1]
+			a, b := int(cands[c]>>32), int(cands[c]&0xffffffff)
 			if sim := s.ScoreWith(sc, a, b); sim >= opt.Threshold {
 				out = append(out, Pair{A: a, B: b, Sim: sim})
 			}
 		}
 		return out, nil
 	})
+}
+
+// sortCompact sorts a packed-pair slice ascending and removes duplicates in
+// place.
+func sortCompact(cands []uint64) []uint64 {
+	slices.Sort(cands)
+	w := 0
+	for i, c := range cands {
+		if i == 0 || c != cands[w-1] {
+			cands[w] = c
+			w++
+		}
+	}
+	return cands[:w]
 }

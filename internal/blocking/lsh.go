@@ -1,0 +1,267 @@
+package blocking
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"humo/internal/parallel"
+	"humo/internal/similarity"
+)
+
+// MinHash/LSH candidate generation. Every record's token set (over the
+// blocking attribute, interned at NewScorer time) is summarized by Bands
+// bottom-Rows MinHash sketches from a splitmix64-seeded hash family: band b
+// hashes every token once with the band's own function and keeps the Rows
+// smallest values — the record's bottom-r sketch — folded into one 32-bit
+// bucket key. Two records collide in a band exactly when their r smallest
+// token hashes coincide, which requires the r tokens themselves to be
+// shared; a pair of Jaccard similarity s = I/U therefore collides with
+// probability C(I,r)/C(U,r) ~= s^r per band, and 1-(1-s^r)^b overall — the
+// same sharp S-curve as classic r-row banding, with two structural bonuses.
+// Pairs sharing fewer than Rows tokens can never collide at all, so the
+// enormous population of near-duplicate-free pairs that share one
+// ubiquitous hot token costs nothing (classic r-row signatures flood the
+// buckets with exactly those pairs on skewed data, and scoring or even
+// counting them swamps the join). And each band needs one hash per token
+// rather than Rows, so signature construction is Rows times cheaper.
+//
+// Colliding pairs are verified: a token-list intersection count against the
+// MinShared floor first — one linear merge of two short sorted id lists,
+// which also drops spurious hash collisions — then the ordinary ScoreWith
+// threshold.
+//
+// Everything is flat arrays: band keys are contiguous uint32 slices, each
+// band joins two sorted (key<<32|record) packed uint64 slices by linear
+// merge with the intersection floor applied inline, and only floor-passing
+// pairs — a small set — are materialized, deduped across bands by the same
+// packed sort-and-compact the sorted-neighborhood mode uses, and scored.
+// No per-record maps anywhere on the hot path.
+
+// maxLSHHashes caps Rows*Bands: 4096 minhashes per record is far past any
+// useful operating point and bounds the signature memory a request can
+// demand.
+const maxLSHHashes = 4096
+
+// lshSeedBase seeds the hash family. Fixed, so signatures — and therefore
+// candidates — are deterministic across runs and machines.
+const lshSeedBase = 0x68756d6f6c736800 // "humolsh\0"
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, high-quality 64-bit
+// mixer (Steele et al., "Fast splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lshBandKeys returns the flat n×bands band-key matrix of one table's token
+// lists: keys[i*bands+b] is record i's bucket key in band b — the record's
+// bottom-rows sketch under the band's hash function, folded to the top 32
+// bits of a final mix (32-bit keys keep the matrix at 4 bytes per record
+// per band; the rare cross-key collision is harmless because every
+// colliding pair is verified against the real token lists). Records with
+// fewer than rows tokens have no bottom-rows sketch; they never become
+// candidates — the size analogue of ModeToken's MinShared filter — and the
+// caller skips them the same way. The build shards over contiguous record
+// ranges; each key depends only on the record's tokens, so the matrix is
+// identical at any worker count.
+func lshBandKeys(ctx context.Context, workers int, toks [][]int32, seeds []uint64, rows, bands int) ([]uint32, error) {
+	keys := make([]uint32, len(toks)*bands)
+	ranges := chunkRanges(len(toks), parallel.Workers(workers)*4)
+	err := parallel.ForEach(workers, len(ranges), func(c int) error {
+		bot := make([]uint64, rows)
+		for i := ranges[c][0]; i < ranges[c][1]; i++ {
+			if (i-ranges[c][0])%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if len(toks[i]) < rows {
+				continue
+			}
+			for b := 0; b < bands; b++ {
+				seed := seeds[b]
+				for k := range bot {
+					bot[k] = ^uint64(0)
+				}
+				for _, t := range toks[i] {
+					v := splitmix64(uint64(uint32(t)) ^ seed)
+					if v >= bot[rows-1] {
+						continue
+					}
+					// Insert into the sorted bottom-rows buffer (rows is
+					// tiny, so a shift beats any cleverness).
+					k := rows - 1
+					for k > 0 && v < bot[k-1] {
+						bot[k] = bot[k-1]
+						k--
+					}
+					bot[k] = v
+				}
+				key := splitmix64(uint64(b))
+				for _, v := range bot {
+					key = splitmix64(key ^ v)
+				}
+				keys[i*bands+b] = uint32(key >> 32)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// lshBandEntries packs one band's (key, record) entries of a table into
+// sorted uint64s — key in the top 32 bits, record id below — ready for the
+// linear merge join. Records too short to have a sketch are excluded.
+func lshBandEntries(toks [][]int32, keys []uint32, rows, bands, band, capacity int) []uint64 {
+	out := make([]uint64, 0, capacity)
+	for i := range toks {
+		if len(toks[i]) < rows {
+			continue
+		}
+		out = append(out, uint64(keys[i*bands+band])<<32|uint64(uint32(i)))
+	}
+	slices.Sort(out)
+	return out
+}
+
+func generateLSH(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
+	rows, bands := opt.Rows, opt.Bands
+	if rows < 1 {
+		return nil, fmt.Errorf("%w: rows=%d must be >= 1", ErrBadSpec, rows)
+	}
+	if bands < 1 {
+		return nil, fmt.Errorf("%w: bands=%d must be >= 1", ErrBadSpec, bands)
+	}
+	if rows*bands > maxLSHHashes {
+		return nil, fmt.Errorf("%w: rows*bands=%d exceeds the %d-minhash cap", ErrBadSpec, rows*bands, maxLSHHashes)
+	}
+	tokA, tokB, err := s.blockTokens(opt.Attribute)
+	if err != nil {
+		return nil, err
+	}
+	seeds := make([]uint64, bands)
+	for k := range seeds {
+		seeds[k] = splitmix64(lshSeedBase + uint64(k))
+	}
+	keysA, err := lshBandKeys(ctx, opt.Workers, tokA, seeds, rows, bands)
+	if err != nil {
+		return nil, err
+	}
+	keysB, err := lshBandKeys(ctx, opt.Workers, tokB, seeds, rows, bands)
+	if err != nil {
+		return nil, err
+	}
+	sketched := func(toks [][]int32) int {
+		n := 0
+		for i := range toks {
+			if len(toks[i]) >= rows {
+				n++
+			}
+		}
+		return n
+	}
+	capA, capB := sketched(tokA), sketched(tokB)
+	// Colliding pairs share their bottom-rows tokens by construction; the
+	// floor makes that structural guarantee exact (it also holds across
+	// 32-bit key accidents) and layers the caller's MinShared on top.
+	floor := opt.MinShared
+	if floor < rows {
+		floor = rows
+	}
+
+	// Per-band bucket join, bands in parallel: sort both tables' packed
+	// (key, record) entries, linear-merge equal-key runs, and intersect the
+	// token lists of every colliding pair right there — the intersection
+	// floor kills the one-shared-token flood at the cost of a short merge
+	// per collision, and only floor-passing pairs are kept as packed
+	// (A<<32)|B candidates. A pair colliding in several bands is counted
+	// again in each; survivors are few, so the duplicates are cheaper than
+	// tracking per-pair state across bands.
+	perBand, err := parallel.Map(opt.Workers, bands, func(b int) ([]uint64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ea := lshBandEntries(tokA, keysA, rows, bands, b, capA)
+		eb := lshBandEntries(tokB, keysB, rows, bands, b, capB)
+		var pairs []uint64
+		x, y := 0, 0
+		for x < len(ea) && y < len(eb) {
+			ka, kb := ea[x]>>32, eb[y]>>32
+			switch {
+			case ka < kb:
+				x++
+			case ka > kb:
+				y++
+			default:
+				x2 := x
+				for x2 < len(ea) && ea[x2]>>32 == ka {
+					x2++
+				}
+				y2 := y
+				for y2 < len(eb) && eb[y2]>>32 == ka {
+					y2++
+				}
+				for ; x < x2; x++ {
+					i := int32(uint32(ea[x]))
+					ta := tokA[i]
+					for yy := y; yy < y2; yy++ {
+						j := int32(uint32(eb[yy]))
+						if similarity.IntersectCount(ta, tokB[j]) >= floor {
+							pairs = append(pairs, uint64(i)<<32|uint64(uint32(j)))
+						}
+					}
+				}
+				y = y2
+			}
+		}
+		return pairs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range perBand {
+		total += len(p)
+	}
+	cands := make([]uint64, 0, total)
+	for _, p := range perBand {
+		cands = append(cands, p...)
+	}
+	// Dedupe across bands: packed sort order is exactly (A, B), so the
+	// scored output comes back sorted like every other mode.
+	cands = sortCompact(cands)
+
+	// Score surviving candidates in contiguous ranges (fanOut's order-stable
+	// merge keeps the output identical at any worker count).
+	return fanOut(ctx, s, opt.Workers, len(cands), func(sc *Scratch, lo, hi int) ([]Pair, error) {
+		var out []Pair
+		for c := lo; c < hi; c++ {
+			if (c-lo)%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			i, j := int(cands[c]>>32), int(cands[c]&0xffffffff)
+			if sim := s.ScoreWith(sc, i, j); sim >= opt.Threshold {
+				out = append(out, Pair{A: i, B: j, Sim: sim})
+			}
+		}
+		return out, nil
+	})
+}
+
+// LSHBlocked generates candidates via banded MinHash signatures on the
+// named attribute: pairs colliding in at least one band are verified
+// (shared-token check, then the similarity threshold). Equivalent to
+// Generate with ModeLSH.
+func LSHBlocked(s *Scorer, attribute string, rows, bands int, threshold float64) ([]Pair, error) {
+	return Generate(context.Background(), s, Options{
+		Mode: ModeLSH, Attribute: attribute, Rows: rows, Bands: bands, Threshold: threshold,
+	})
+}

@@ -1,17 +1,75 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"time"
 )
 
+// counterObject serializes a sorted counter snapshot as one flat JSON
+// object, emitting keys in slice order. encoding/json would sort map keys
+// too, but marshaling the slices directly keeps the byte layout pinned to
+// Snapshot's contract rather than to a map-iteration workaround.
+type counterObject []NamedCounter
+
+func (cs counterObject) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, c := range cs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		name, err := json.Marshal(c.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(name)
+		buf.WriteByte(':')
+		value, err := json.Marshal(c.Value)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(value)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// histogramObject serializes a sorted histogram snapshot the same way.
+type histogramObject []NamedHistogram
+
+func (hs histogramObject) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, h := range hs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		name, err := json.Marshal(h.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(name)
+		buf.WriteByte(':')
+		hist, err := json.Marshal(h.Hist)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(hist)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
 // metricsBody is the JSON body of GET /metrics: expvar-style, one flat
-// object per instrument kind plus process uptime.
+// object per instrument kind plus process uptime. Instruments render in
+// Snapshot's sorted order, so the body is byte-stable across requests for
+// the same instrument values (only uptime_seconds moves).
 type metricsBody struct {
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	Counters      map[string]int64             `json:"counters"`
-	Latencies     map[string]HistogramSnapshot `json:"latencies"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Counters      counterObject   `json:"counters"`
+	Latencies     histogramObject `json:"latencies"`
 }
 
 // Handler returns the GET /metrics handler: the registry snapshot as

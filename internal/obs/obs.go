@@ -180,28 +180,34 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot returns every instrument's current value, with deterministic
-// (sorted) key order inside each section.
-func (r *Registry) Snapshot() (counters map[string]int64, histograms map[string]HistogramSnapshot) {
+// NamedCounter is one counter's snapshot entry.
+type NamedCounter struct {
+	Name  string
+	Value int64
+}
+
+// NamedHistogram is one histogram's snapshot entry.
+type NamedHistogram struct {
+	Name string
+	Hist HistogramSnapshot
+}
+
+// Snapshot returns every instrument's current value, sorted by name. The
+// order is part of the contract: /metrics serializes the slices as
+// returned, so two snapshots of the same instruments at the same values
+// render byte-identically.
+func (r *Registry) Snapshot() (counters []NamedCounter, histograms []NamedHistogram) {
 	r.mu.Lock()
-	cs := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		cs = append(cs, name)
+	counters = make([]NamedCounter, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, NamedCounter{Name: name, Value: c.Value()})
 	}
-	hs := make([]string, 0, len(r.histograms))
-	for name := range r.histograms {
-		hs = append(hs, name)
-	}
-	counters = make(map[string]int64, len(cs))
-	for _, name := range cs {
-		counters[name] = r.counters[name].Value()
-	}
-	histograms = make(map[string]HistogramSnapshot, len(hs))
-	for _, name := range hs {
-		histograms[name] = r.histograms[name].Snapshot()
+	histograms = make([]NamedHistogram, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms = append(histograms, NamedHistogram{Name: name, Hist: h.Snapshot()})
 	}
 	r.mu.Unlock()
-	sort.Strings(cs)
-	sort.Strings(hs)
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(histograms, func(i, j int) bool { return histograms[i].Name < histograms[j].Name })
 	return counters, histograms
 }

@@ -78,6 +78,37 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileBounds pins the edges of the Quantile contract: p=0
+// and p=1 on a single observation both report that observation (the bucket
+// upper bound clamps to the observed max), and out-of-range p clamps into
+// [0,1] instead of panicking or extrapolating.
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(p); got != 5*time.Millisecond {
+			t.Fatalf("Quantile(%v) with one sample = %v, want 5ms", p, got)
+		}
+	}
+	if got := h.Quantile(-0.5); got != 5*time.Millisecond {
+		t.Fatalf("Quantile(-0.5) = %v, want clamp to p=0", got)
+	}
+	if got := h.Quantile(2); got != 5*time.Millisecond {
+		t.Fatalf("Quantile(2) = %v, want clamp to p=1", got)
+	}
+	// p=0 still means "smallest observation's bucket", not zero: with two
+	// samples in different buckets it reports the lower one.
+	var h2 Histogram
+	h2.Observe(1 * time.Millisecond)
+	h2.Observe(60 * time.Millisecond)
+	if p0 := h2.Quantile(0); p0 > 2*time.Millisecond {
+		t.Fatalf("Quantile(0) = %v, want the low bucket (<= ~1ms bound)", p0)
+	}
+	if p1 := h2.Quantile(1); p1 != 60*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want the 60ms max", p1)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup
@@ -110,11 +141,35 @@ func TestRegistryInterning(t *testing.T) {
 	r.Counter("a").Add(3)
 	r.Histogram("h").Observe(2 * time.Millisecond)
 	counters, hists := r.Snapshot()
-	if counters["a"] != 3 {
+	if len(counters) != 1 || counters[0].Name != "a" || counters[0].Value != 3 {
 		t.Fatalf("counters %v", counters)
 	}
-	if hists["h"].Count != 1 {
+	if len(hists) != 1 || hists[0].Name != "h" || hists[0].Hist.Count != 1 {
 		t.Fatalf("histograms %v", hists)
+	}
+}
+
+// TestRegistrySnapshotOrdered: Snapshot returns instruments sorted by name
+// regardless of interning order — the order /metrics serializes.
+func TestRegistrySnapshotOrdered(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		r.Counter(name).Inc()
+		r.Histogram(name + ".lat").Observe(time.Millisecond)
+	}
+	counters, hists := r.Snapshot()
+	for i := 1; i < len(counters); i++ {
+		if counters[i-1].Name >= counters[i].Name {
+			t.Fatalf("counters out of order at %d: %v", i, counters)
+		}
+	}
+	for i := 1; i < len(hists); i++ {
+		if hists[i-1].Name >= hists[i].Name {
+			t.Fatalf("histograms out of order at %d: %v", i, hists)
+		}
+	}
+	if len(counters) != 4 || counters[0].Name != "alpha" || counters[3].Name != "zeta" {
+		t.Fatalf("counters %v", counters)
 	}
 }
 
@@ -127,7 +182,11 @@ func TestMetricsHandler(t *testing.T) {
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
-	var body metricsBody
+	var body struct {
+		UptimeSeconds float64                      `json:"uptime_seconds"`
+		Counters      map[string]int64             `json:"counters"`
+		Latencies     map[string]HistogramSnapshot `json:"latencies"`
+	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
 	}
@@ -137,6 +196,54 @@ func TestMetricsHandler(t *testing.T) {
 	if body.Counters["reqs"] != 7 || body.Latencies["lat"].Count != 1 {
 		t.Fatalf("body %+v", body)
 	}
+}
+
+// TestMetricsHandlerByteStable pins the /metrics byte layout: with the same
+// instrument values, two renders differ only in the uptime_seconds line, and
+// instruments appear in sorted name order in the raw bytes.
+func TestMetricsHandlerByteStable(t *testing.T) {
+	r := NewRegistry()
+	// Intern in shuffled order; the body must still render sorted.
+	for _, name := range []string{"writes", "reads", "errors"} {
+		r.Counter(name).Add(int64(len(name)))
+	}
+	for _, name := range []string{"store", "apply"} {
+		r.Histogram(name).Observe(4 * time.Millisecond)
+	}
+	h := r.Handler(time.Now())
+
+	render := func() []string {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		var kept []string
+		sc := bufio.NewScanner(rec.Body)
+		for sc.Scan() {
+			if bytes.Contains(sc.Bytes(), []byte("uptime_seconds")) {
+				continue
+			}
+			kept = append(kept, sc.Text())
+		}
+		return kept
+	}
+
+	first, second := render(), render()
+	if len(first) == 0 {
+		t.Fatal("empty body")
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("body not byte-stable:\n%v\n%v", first, second)
+	}
+	joined := fmt.Sprint(first)
+	for _, ordered := range [][2]string{{`"errors"`, `"reads"`}, {`"reads"`, `"writes"`}, {`"apply"`, `"store"`}} {
+		a, b := indexOf(joined, ordered[0]), indexOf(joined, ordered[1])
+		if a < 0 || b < 0 || a > b {
+			t.Fatalf("%s does not precede %s in body:\n%s", ordered[0], ordered[1], joined)
+		}
+	}
+}
+
+func indexOf(s, sub string) int {
+	return bytes.Index([]byte(s), []byte(sub))
 }
 
 // readLines decodes every JSON log line in the buffer.

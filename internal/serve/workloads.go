@@ -64,6 +64,8 @@ type WorkloadRequest struct {
 	BlockAttribute string         `json:"block_attribute,omitempty"`
 	MinShared      int            `json:"min_shared,omitempty"`
 	Window         int            `json:"window,omitempty"`
+	Rows           int            `json:"rows,omitempty"`
+	Bands          int            `json:"bands,omitempty"`
 	Threshold      float64        `json:"threshold,omitempty"`
 	Workers        int            `json:"workers,omitempty"`
 }
@@ -108,6 +110,14 @@ func DecodeWorkloadRequest(data []byte) (WorkloadRequest, error) {
 	}
 	if req.MinShared < 0 || req.Window < 0 {
 		return WorkloadRequest{}, fmt.Errorf("%w: min_shared and window must be >= 0", ErrBadSpec)
+	}
+	if req.Rows < 0 || req.Bands < 0 {
+		return WorkloadRequest{}, fmt.Errorf("%w: rows and bands must be >= 0", ErrBadSpec)
+	}
+	// The blocking engine caps rows*bands too, but rejecting an absurd
+	// signature-memory demand here keeps it out of BuildWorkload entirely.
+	if req.Rows*req.Bands > 4096 {
+		return WorkloadRequest{}, fmt.Errorf("%w: rows*bands=%d exceeds the 4096-minhash cap", ErrBadSpec, req.Rows*req.Bands)
 	}
 	return req, nil
 }
@@ -182,6 +192,8 @@ func (m *Manager) BuildWorkload(ctx context.Context, req WorkloadRequest) (Workl
 		BlockAttribute: req.BlockAttribute,
 		MinShared:      req.MinShared,
 		Window:         req.Window,
+		Rows:           req.Rows,
+		Bands:          req.Bands,
 		Threshold:      req.Threshold,
 		Workers:        workers,
 	})
