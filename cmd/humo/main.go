@@ -25,6 +25,14 @@
 // from a real review — results never contain guessed labels — and the run
 // reports the human cost (distinct pairs reviewed) of the resolution.
 //
+// Streaming mode: with -append, humo does not resolve anything locally.
+// Instead the -a/-b CSVs are uploaded to a running humod server
+// (POST /v1/workloads/{name}/records), which journals the rows, grows the
+// named live workload's candidate set incrementally, and extends every
+// session resolving that workload in place:
+//
+//	humo -append -server http://127.0.0.1:8080 -workload orders -a new-rows.csv
+//
 // Example:
 //
 //	humo -a dblp.csv -b scholar.csv \
@@ -36,11 +44,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -105,6 +116,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "seed for all sampling decisions (keep fixed across review rounds)")
 		interactive = fs.Bool("interactive", false, "label pending pairs live on stdin instead of exiting for a file review round")
 		anytime     = fs.Int("anytime", 0, "-method risk: stop the risk schedule after at most this many labels (0 = run to convergence)")
+		appendMode  = fs.Bool("append", false, "append the -a/-b records to a live humod workload (-server, -workload) instead of resolving locally")
+		serverURL   = fs.String("server", "", "with -append: humod base URL, e.g. http://127.0.0.1:8080")
+		workload    = fs.String("workload", "", "with -append: name of the server-built workload to append to")
 		version     = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +130,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *version {
 		fmt.Fprintln(stdout, cliutil.VersionString("humo"))
 		return exitOK
+	}
+	if *appendMode {
+		return runAppend(*serverURL, *workload, *aPath, *bPath, stdout, stderr)
 	}
 	if *aPath == "" || *bPath == "" || *spec == "" {
 		return usageErr(stderr, errors.New("-a, -b and -spec are required; see -help"))
@@ -203,13 +220,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	known := dataio.Labels{}
+	fingerprint := humo.WorkloadFingerprint(w)
 	if *labelsIn != "" {
 		// Labels are keyed by positional candidate id, which means nothing
 		// if the candidate set changes (different -threshold, -spec, -block
-		// or edited input tables). A fingerprint sidecar written on the
-		// first round refuses such a mismatch instead of silently attaching
-		// answers to different record pairs.
-		if err := guardLabelFile(*labelsIn, humo.WorkloadFingerprint(w)); err != nil {
+		// or edited input tables). A fingerprint embedded in the label file
+		// on the first save refuses such a mismatch instead of silently
+		// attaching answers to different record pairs.
+		if err := guardLabelFile(*labelsIn, fingerprint); err != nil {
 			return fail(stderr, err)
 		}
 		if f, err := os.Open(*labelsIn); err == nil {
@@ -240,7 +258,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	env := &cliEnv{
 		sess: sess, w: w, cands: cands, ta: ta, tb: tb,
-		known: known, labelsPath: *labelsIn, pendingPath: *pending, outPath: *outPath,
+		known: known, fingerprint: fingerprint,
+		labelsPath: *labelsIn, pendingPath: *pending, outPath: *outPath,
 		stdout: stdout, stderr: stderr,
 	}
 	if *interactive {
@@ -256,6 +275,7 @@ type cliEnv struct {
 	cands       []blocking.Pair
 	ta, tb      *records.Table
 	known       dataio.Labels
+	fingerprint string
 	labelsPath  string
 	pendingPath string
 	outPath     string
@@ -411,39 +431,64 @@ func (e *cliEnv) saveLabels(ans map[int]bool) error {
 		return nil
 	}
 	return dataio.WriteFileAtomic(e.labelsPath, func(w io.Writer) error {
-		return dataio.WriteLabels(w, e.known)
+		return dataio.WriteLabelsGuarded(w, e.known, e.fingerprint)
 	})
 }
 
-// guardLabelFile pins the label file to the candidate set it was collected
-// for, via a fingerprint sidecar. The guard is only enforced while the
-// label file actually exists: until the first answer is on disk there is
-// nothing to protect, so blocking flags may be tuned freely and the sidecar
-// re-pins on every run. Once labels exist, a missing sidecar is adopted
-// (labels may predate the guard or be hand-built) and a mismatching one is
-// an error.
+// guardLabelFile pins the label file to the candidate set it is collected
+// for. The guard is a workload fingerprint embedded in the file itself
+// (`# workload: ...`), so label data and guard land in one atomic write —
+// there is no sidecar to fall out of sync with the data. The first round
+// writes an empty guarded file, so even answers appended by hand are
+// protected from the start; while the file holds no answers yet there is
+// nothing to protect, and a changed candidate set re-pins instead of
+// erroring (blocking flags may be tuned freely before labeling). Legacy
+// files guarded by a `.workload` sidecar keep working; a file with neither
+// guard but existing labels is adopted (it may predate the guard or be
+// hand-built) and re-pinned on the next save.
 func guardLabelFile(labelsPath, fingerprint string) error {
-	guard := labelsPath + ".workload"
-	pin := func() error {
-		return dataio.WriteFileAtomic(guard, func(w io.Writer) error {
-			_, err := fmt.Fprintln(w, fingerprint)
+	labels, got, err := readLabelGuard(labelsPath)
+	if err != nil {
+		return err
+	}
+	if len(labels) == 0 {
+		if err := dataio.WriteFileAtomic(labelsPath, func(w io.Writer) error {
+			return dataio.WriteLabelsGuarded(w, nil, fingerprint)
+		}); err != nil {
 			return err
-		})
-	}
-	if _, err := os.Stat(labelsPath); os.IsNotExist(err) {
-		return pin()
-	} else if err != nil {
-		return err
-	}
-	if b, err := os.ReadFile(guard); err == nil {
-		if got := strings.TrimSpace(string(b)); got != fingerprint {
-			return fmt.Errorf("label file %s was collected for a different candidate set (workload %s, now %s): blocking inputs changed between review rounds — restore the original -spec/-block/-threshold and tables, or start over with a fresh -labels file", labelsPath, got, fingerprint)
 		}
+		os.Remove(labelsPath + ".workload") // superseded legacy sidecar
 		return nil
-	} else if !os.IsNotExist(err) {
-		return err
 	}
-	return pin()
+	if got != "" && got != fingerprint {
+		return fmt.Errorf("label file %s was collected for a different candidate set (workload %s, now %s): blocking inputs changed between review rounds — restore the original -spec/-block/-threshold and tables, or start over with a fresh -labels file", labelsPath, got, fingerprint)
+	}
+	return nil
+}
+
+// readLabelGuard reads a label file's answers and its guard fingerprint,
+// falling back to the legacy `.workload` sidecar when no guard is embedded.
+func readLabelGuard(labelsPath string) (dataio.Labels, string, error) {
+	f, err := os.Open(labelsPath)
+	if os.IsNotExist(err) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	labels, got, err := dataio.ReadLabelsWorkload(f)
+	f.Close()
+	if err != nil {
+		return nil, "", err
+	}
+	if got == "" {
+		if b, err := os.ReadFile(labelsPath + ".workload"); err == nil {
+			got = strings.TrimSpace(string(b))
+		} else if !os.IsNotExist(err) {
+			return nil, "", err
+		}
+	}
+	return labels, got, nil
 }
 
 func (e *cliEnv) writePending(ids []int) error {
@@ -540,6 +585,87 @@ func readCandidates(path string, ta, tb *records.Table) ([]humo.Candidate, error
 		}
 	}
 	return cands, nil
+}
+
+// runAppend is the -append mode: instead of resolving locally, the -a/-b
+// rows are POSTed to a humod server's live workload, which journals them,
+// grows the candidate set through its delta indexes, and extends running
+// sessions in place. Either table may be omitted to append one-sided.
+func runAppend(server, workload, aPath, bPath string, stdout, stderr io.Writer) int {
+	if server == "" || workload == "" {
+		return usageErr(stderr, errors.New("-append needs -server and -workload"))
+	}
+	if aPath == "" && bPath == "" {
+		return usageErr(stderr, errors.New("-append needs records to send: -a and/or -b CSVs"))
+	}
+	readRows := func(path, name string) ([][]string, error) {
+		if path == "" {
+			return nil, nil
+		}
+		t, err := readTable(path, name)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]string, len(t.Records))
+		for i, rec := range t.Records {
+			rows[i] = rec.Values
+		}
+		return rows, nil
+	}
+	rowsA, err := readRows(aPath, "a")
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rowsB, err := readRows(bPath, "b")
+	if err != nil {
+		return fail(stderr, err)
+	}
+	req := map[string]any{}
+	if len(rowsA) > 0 {
+		req["rows_a"] = rowsA
+	}
+	if len(rowsB) > 0 {
+		req["rows_b"] = rowsB
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	url := strings.TrimRight(server, "/") + "/v1/workloads/" + workload + "/records"
+	res, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if res.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fail(stderr, fmt.Errorf("server refused the append (status %d): %s", res.StatusCode, e.Error))
+		}
+		return fail(stderr, fmt.Errorf("server refused the append: status %d", res.StatusCode))
+	}
+	var info struct {
+		RecordsA         int    `json:"records_a"`
+		RecordsB         int    `json:"records_b"`
+		Epoch            int    `json:"epoch"`
+		NewPairs         int    `json:"new_pairs"`
+		TotalPairs       int    `json:"total_pairs"`
+		Fingerprint      string `json:"fingerprint"`
+		SessionsExtended int    `json:"sessions_extended"`
+	}
+	if err := json.Unmarshal(data, &info); err != nil {
+		return fail(stderr, fmt.Errorf("decoding server response: %w", err))
+	}
+	fmt.Fprintf(stdout, "appended %d+%d records to %s (epoch %d): %d new candidate pairs, %d total, %d sessions extended\n",
+		info.RecordsA, info.RecordsB, workload, info.Epoch, info.NewPairs, info.TotalPairs, info.SessionsExtended)
+	fmt.Fprintf(stdout, "workload fingerprint: %s\n", info.Fingerprint)
+	return exitOK
 }
 
 func readTable(path, name string) (*records.Table, error) {

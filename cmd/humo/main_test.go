@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/csv"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"humo"
 	"humo/internal/dataio"
+	"humo/internal/serve"
 )
 
 // writeFixture builds a small two-table workload: token names drawn from a
@@ -286,8 +288,17 @@ func TestRunLabelGuard(t *testing.T) {
 	if code := run(args, strings.NewReader(""), &out, &errb); code != exitReview {
 		t.Fatalf("round 1: exit %d, stderr: %s", code, errb.String())
 	}
-	if _, err := os.Stat(filepath.Join(dir, "labels.csv.workload")); err != nil {
-		t.Fatalf("fingerprint sidecar not written: %v", err)
+	lf, err := os.Open(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatalf("guarded label file not written: %v", err)
+	}
+	_, guard, err := dataio.ReadLabelsWorkload(lf)
+	lf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guard == "" {
+		t.Fatal("label file carries no embedded workload guard")
 	}
 	// No labels collected yet: blocking flags may still be tuned freely;
 	// the sidecar re-pins instead of erroring.
@@ -303,12 +314,24 @@ func TestRunLabelGuard(t *testing.T) {
 	if code := run(args, strings.NewReader(""), &out, &errb); code != exitReview {
 		t.Fatalf("re-pin round: exit %d, stderr: %s", code, errb.String())
 	}
+	// Append answers to the guarded file, the workflow the CLI prompts for.
 	ans := readPendingAnswers(t, filepath.Join(dir, "pending.csv"))
-	f, err := os.Create(filepath.Join(dir, "labels.csv"))
+	f, err := os.OpenFile(filepath.Join(dir, "labels.csv"), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dataio.WriteLabels(f, ans); err != nil {
+	cw := csv.NewWriter(f)
+	for id, v := range ans {
+		label := "unmatch"
+		if v {
+			label = "match"
+		}
+		if err := cw.Write([]string{strconv.Itoa(id), label}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -572,4 +595,106 @@ func TestRunRiskMethod(t *testing.T) {
 		}
 	}
 	t.Fatalf("risk resolution did not converge; last output %q", lastOut)
+}
+
+// TestRunAppendMode drives -append against an in-process humod: a live
+// token workload is built server-side, then the CLI uploads two small CSVs
+// and the workload's candidate set must grow by the reported delta.
+func TestRunAppendMode(t *testing.T) {
+	dir := t.TempDir()
+	m, err := serve.Open(serve.Config{StateDir: dir, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(serve.NewHandler(m))
+	defer srv.Close()
+
+	row := func(i int) []string {
+		toks := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+		return []string{toks[i%len(toks)] + " " + toks[(i+1)%len(toks)]}
+	}
+	req := serve.WorkloadRequest{
+		Name:   "orders",
+		TableA: serve.TableSpec{Attributes: []string{"name"}},
+		TableB: serve.TableSpec{Attributes: []string{"name"}},
+		Specs:  []serve.WorkloadAttr{{Attribute: "name", Kind: "jaccard"}},
+		Block:  "token", MinShared: 1, Threshold: 0.1, Workers: 1,
+	}
+	for i := 0; i < 8; i++ {
+		req.TableA.Rows = append(req.TableA.Rows, row(i))
+		req.TableB.Rows = append(req.TableB.Rows, row(i+1))
+	}
+	info, err := m.BuildWorkload(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name string, rows [][]string) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw := csv.NewWriter(f)
+		cw.Write([]string{"name"}) //nolint:errcheck
+		for _, r := range rows {
+			cw.Write(r) //nolint:errcheck
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	aPath := write("append-a.csv", [][]string{row(3), row(5)})
+	bPath := write("append-b.csv", [][]string{row(4)})
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-append", "-server", srv.URL, "-workload", "orders",
+		"-a", aPath, "-b", bPath,
+	}, strings.NewReader(""), &out, &errb)
+	if code != exitOK {
+		t.Fatalf("append exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "appended 2+1 records to orders") {
+		t.Errorf("append transcript: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "workload fingerprint: ") {
+		t.Errorf("append transcript lacks fingerprint: %q", out.String())
+	}
+	wf, err := os.Open(filepath.Join(dir, info.File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := dataio.ReadPairsFingerprint(wf)
+	wf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) <= info.Pairs {
+		t.Errorf("append did not grow the workload: %d -> %d pairs", info.Pairs, len(pairs))
+	}
+
+	// Usage errors: missing server/workload, and no rows at all.
+	if code := run([]string{"-append", "-a", aPath}, strings.NewReader(""), &out, &errb); code != exitUsage {
+		t.Errorf("missing -server/-workload: exit %d", code)
+	}
+	if code := run([]string{"-append", "-server", srv.URL, "-workload", "orders"}, strings.NewReader(""), &out, &errb); code != exitUsage {
+		t.Errorf("missing -a/-b: exit %d", code)
+	}
+	// Server-side rejection surfaces as a runtime error with the envelope.
+	errb.Reset()
+	if code := run([]string{
+		"-append", "-server", srv.URL, "-workload", "no-such",
+		"-a", aPath,
+	}, strings.NewReader(""), &out, &errb); code != exitError {
+		t.Errorf("unknown workload: exit %d", code)
+	} else if !strings.Contains(errb.String(), "status 404") {
+		t.Errorf("unknown workload stderr: %q", errb.String())
+	}
 }

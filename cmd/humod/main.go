@@ -93,14 +93,16 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		logEvery     = fs.Int("log-sample", 10, "with -log-requests, keep every Nth steady-state line (errors always log)")
 		version      = fs.Bool("version", false, "print version information and exit")
 
-		loadtest  = fs.Bool("loadtest", false, "run as a load generator instead of a server")
-		target    = fs.String("target", "", "with -loadtest: server URL to drive (empty self-hosts a throwaway server)")
-		clients   = fs.Int("clients", 4, "with -loadtest: concurrent clients")
-		sessions  = fs.Int("load-sessions", 8, "with -loadtest: total sessions driven")
-		pairs     = fs.Int("pairs", 800, "with -loadtest: workload pairs per session")
-		loadSeed  = fs.Int64("load-seed", 1, "with -loadtest: base seed (session i uses seed+i)")
-		p99Max    = fs.Duration("p99-max", 0, "with -loadtest: fail (exit 1) if hot-path p99 exceeds this bound (0 disables)")
-		loadState = fs.String("load-state", "", "with -loadtest and no -target: state dir of the self-hosted server (default temp dir)")
+		loadtest    = fs.Bool("loadtest", false, "run as a load generator instead of a server")
+		target      = fs.String("target", "", "with -loadtest: server URL to drive (empty self-hosts a throwaway server)")
+		clients     = fs.Int("clients", 4, "with -loadtest: concurrent clients")
+		sessions    = fs.Int("load-sessions", 8, "with -loadtest: total sessions driven")
+		pairs       = fs.Int("pairs", 800, "with -loadtest: workload pairs per session")
+		loadSeed    = fs.Int64("load-seed", 1, "with -loadtest: base seed (session i uses seed+i)")
+		p99Max      = fs.Duration("p99-max", 0, "with -loadtest: fail (exit 1) if hot-path p99 exceeds this bound (0 disables)")
+		loadState   = fs.String("load-state", "", "with -loadtest and no -target: state dir of the self-hosted server (default temp dir)")
+		appendEvery = fs.Int("append-every", 0, "with -loadtest: streaming scenario — append records to each session's server-built workload every N answer rounds (0 = static scenario)")
+		appendRows  = fs.Int("append-rows", 4, "with -loadtest and -append-every: records appended per table per append")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -116,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 		"-max-sessions": *maxSessions, "-shards": *shards, "-max-polls": *maxPolls,
 		"-compact-every": *compactEvery, "-clients": *clients,
 		"-load-sessions": *sessions, "-pairs": *pairs, "-log-sample": *logEvery,
+		"-append-every": *appendEvery, "-append-rows": *appendRows,
 	} {
 		if err := cliutil.ValidateNonNegative(name, v); err != nil {
 			fmt.Fprintln(stderr, "humod:", err)
@@ -127,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 			target: *target, clients: *clients, sessions: *sessions,
 			pairs: *pairs, seed: *loadSeed, p99Max: *p99Max,
 			state: *loadState, shards: *shards, maxPolls: *maxPolls,
+			appendEvery: *appendEvery, appendRows: *appendRows,
 		}, stdout, stderr)
 	}
 
@@ -209,15 +213,17 @@ func run(args []string, stdout, stderr io.Writer, shutdown <-chan os.Signal) int
 
 // loadtestConfig carries the -loadtest flags.
 type loadtestConfig struct {
-	target   string
-	clients  int
-	sessions int
-	pairs    int
-	seed     int64
-	p99Max   time.Duration
-	state    string
-	shards   int
-	maxPolls int
+	target      string
+	clients     int
+	sessions    int
+	pairs       int
+	seed        int64
+	p99Max      time.Duration
+	state       string
+	shards      int
+	maxPolls    int
+	appendEvery int
+	appendRows  int
 }
 
 // runLoadtest drives loadgen against cfg.target, self-hosting a throwaway
@@ -237,6 +243,7 @@ func runLoadtest(cfg loadtestConfig, stdout, stderr io.Writer) int {
 		}
 		m, err := serve.Open(serve.Config{
 			StateDir:         state,
+			DataDir:          state,
 			MaxSessions:      cfg.sessions + 1,
 			Shards:           cfg.shards,
 			MaxPollsPerShard: cfg.maxPolls,
@@ -258,11 +265,13 @@ func runLoadtest(cfg loadtestConfig, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "humod: self-hosted load target on %s (state %s)\n", target, state)
 	}
 	rep, err := loadgen.Run(context.Background(), loadgen.Config{
-		BaseURL:  target,
-		Clients:  cfg.clients,
-		Sessions: cfg.sessions,
-		Pairs:    cfg.pairs,
-		Seed:     cfg.seed,
+		BaseURL:     target,
+		Clients:     cfg.clients,
+		Sessions:    cfg.sessions,
+		Pairs:       cfg.pairs,
+		Seed:        cfg.seed,
+		AppendEvery: cfg.appendEvery,
+		AppendRows:  cfg.appendRows,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "humod: loadtest:", err)

@@ -26,9 +26,10 @@
 //	humogen -a huge_a.csv -b huge_b.csv -spec "name:jaccard" \
 //	        -block lsh -rows 2 -bands 32 -threshold 0.3 -out workload.csv
 //
-// -out receives the `pair_id,similarity` CSV (with a `.fp` fingerprint
-// sidecar) and -cands the full `pair_id,record_a,record_b,similarity`
-// candidates file. Generation is deterministic: the same tables and flags
+// -out receives the `pair_id,similarity` CSV with the workload fingerprint
+// embedded as a leading `# fingerprint: ...` comment (plus a legacy `.fp`
+// sidecar, written after the data as a convenience), and -cands the full
+// `pair_id,record_a,record_b,similarity` candidates file. Generation is deterministic: the same tables and flags
 // produce byte-identical outputs at any -workers value.
 package main
 
@@ -153,8 +154,12 @@ func runGenerate(stdout, stderr io.Writer, a genArgs) int {
 	}
 	elapsed := time.Since(start)
 
+	// The fingerprint rides inside the workload CSV (one atomic write, no
+	// kill window between data and identity); the .fp sidecar is written
+	// after it purely as a convenience for shell pipelines, so a crash
+	// between the two can never leave data attributed by a stale sidecar.
 	if err := dataio.WriteFileAtomic(a.outPath, func(w io.Writer) error {
-		return dataio.WritePairs(w, g.CorePairs())
+		return dataio.WritePairsFingerprinted(w, g.CorePairs(), g.Fingerprint)
 	}); err != nil {
 		return fail(err)
 	}

@@ -146,25 +146,31 @@
 // its own human workforce answering asynchronously. internal/serve provides
 // that serving layer and cmd/humod exposes it over an HTTP JSON API:
 //
-//	POST   /v1/sessions               create (inline pairs or workload_file)
-//	GET    /v1/sessions               list
-//	GET    /v1/sessions/{id}          status / solution / cost
-//	GET    /v1/sessions/{id}/next     long-poll the pending batch
-//	POST   /v1/sessions/{id}/answers  submit (partial) answers
-//	GET    /v1/sessions/{id}/labels   long-poll the answered-label log
-//	DELETE /v1/sessions/{id}          cancel and forget
+//	POST   /v1/sessions                  create (inline pairs or workload_file)
+//	GET    /v1/sessions                  list
+//	GET    /v1/sessions/{id}             status / solution / cost
+//	GET    /v1/sessions/{id}/next        long-poll the pending batch
+//	POST   /v1/sessions/{id}/answers     submit (partial) answers
+//	GET    /v1/sessions/{id}/labels      long-poll the answered-label log
+//	DELETE /v1/sessions/{id}             cancel and forget
+//	POST   /v1/workloads                 build a workload from uploaded tables
+//	POST   /v1/workloads/{name}/records  append records to a live workload
+//	GET    /metrics                      counters + latency histograms
 //
 // The serve.Manager owns the sessions (create/get/list/delete, bounded by
-// a configurable cap, one mutex per session) and journals: every answers
-// call is applied to the session and then checkpointed to an atomic
-// per-session file under the state directory before it is acknowledged.
-// The recovery guarantee follows from Checkpoint/RestoreSession's replay
-// semantics: a humod killed at ANY point — between two batches, mid-batch,
-// mid-write (the temp-file-plus-rename makes a torn checkpoint impossible)
-// — restarts on the same state directory with every live session restored,
-// and each resolution completes with the bit-identical Solution and human
-// cost of a run that was never interrupted. The cmd/humod e2e tests kill a
-// server mid-resolution and assert exactly that.
+// a configurable cap, partitioned by id hash across independent shard lock
+// domains) and journals: every answers call is applied to the session and
+// fsynced as one delta line appended to the session's journal — on top of
+// a base checkpoint rewritten atomically every CompactEvery deltas —
+// before it is acknowledged. The recovery guarantee follows from
+// Checkpoint/RestoreSession's replay semantics plus the journal replay
+// rules (internal/serve): a humod killed at ANY point — between two
+// batches, mid-batch, mid-append (a torn journal line is dropped and
+// truncated away), mid-compaction — restarts on the same state directory
+// with every live session restored, and each resolution completes with the
+// bit-identical Solution and human cost of a run that was never
+// interrupted. The cmd/humod e2e tests kill a server mid-resolution and
+// assert exactly that.
 //
 // HTTPLabeler closes the loop from the client side: it implements Labeler
 // against the labels endpoint, so a local Session.Run can label through a
@@ -232,12 +238,47 @@
 // bit-identical to the straightforward map-based reference implementation.
 //
 // GenerateWorkload is wired into the binaries three ways: cmd/humogen
-// (generate mode: -a/-b/-spec/-block/-workers, writing the workload CSV +
-// fingerprint sidecar and optionally the full candidates CSV), cmd/humod
+// (generate mode: -a/-b/-spec/-block/-workers, writing the workload CSV
+// with its fingerprint embedded as a leading comment line — one atomic
+// artifact — and optionally the full candidates CSV), cmd/humod
 // (POST /v1/workloads builds a workload server-side from uploaded tables
 // and persists it under -data for sessions to reference by file name), and
 // cmd/humo (in-process generation, or -candidates to consume a humogen
 // candidates file directly).
+//
+// # Streaming: live tables, workload deltas, session extension
+//
+// Production tables are not static. The incremental path keeps a
+// resolution live while records arrive:
+//
+//   - Table.Append grows a record table in versioned snapshots (ids
+//     continue the existing numbering; earlier snapshots stay valid).
+//   - IncrementalWorkload retains the blocking state a from-scratch
+//     generation would rebuild — the inverted token index for BlockToken,
+//     the band tables for BlockLSH — and Sync emits only the delta:
+//     candidates pairing a new record with an old one or two new records
+//     with each other. The union of the initial pairs and every Sync delta
+//     is bit-identical (same pair set, same similarity bits, any worker
+//     count) to generating from scratch over the final tables, and delta
+//     pair ids continue the cumulative numbering, so each epoch's pair
+//     list is a strict prefix of the next.
+//   - Session.Extend absorbs a candidate delta into a running session
+//     without restarting it, re-certifying only the strata the new pairs
+//     touch. Extending a canceled or terminated session returns
+//     ErrSessionDone with the answered-label log intact; extending with
+//     zero new candidates is a no-op.
+//
+// Identity under appends is a monotone fingerprint chain, not a single
+// hash: element e of IncrementalWorkload.Chain is the workload fingerprint
+// after append epoch e, Extend appends to the session's copy of the chain,
+// and Checkpoint records it. RestoreSession accepts a checkpoint whose
+// workload hash appears anywhere in the current chain — the session
+// restores at that epoch and absorbs the missing suffix through Extend —
+// and refuses (ErrCheckpointMismatch) one that appears nowhere, so answers
+// can never silently reattach to a different candidate set. humod wires
+// this through POST /v1/workloads/{name}/records (appends are journaled
+// before they are applied and replayed one Sync epoch per journal line on
+// restart) and cmd/humo's -append mode.
 //
 // Package-level generators (Logistic, DSLike, ABLike) reproduce the paper's
 // evaluation workloads for benchmarking; cmd/humoexp regenerates every table

@@ -1,0 +1,204 @@
+package humo
+
+// Docs rot guards, run by the CI docs job (go test -run 'TestDocs').
+// TestDocsMarkdownLinks keeps every relative link and in-page anchor of the
+// markdown docs resolvable; TestDocsExportedComments keeps every exported
+// identifier of the public package and the serving layer documented, so
+// docs/ARCHITECTURE.md can defer to the package docs without them rotting.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown documents under the link checker: the root
+// *.md files plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, sub...)
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; is the test running from the repo root?")
+	}
+	return files
+}
+
+// mdLink matches inline markdown links [text](target); images share the
+// syntax and are checked the same way.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingAnchor reduces a markdown heading to its GitHub-style anchor id:
+// lowercase, punctuation dropped, spaces to hyphens.
+func headingAnchor(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf collects the anchor ids of every heading in a markdown file,
+// skipping fenced code blocks (a # inside a transcript is not a heading).
+func anchorsOf(content string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[headingAnchor(strings.TrimLeft(line, "# "))] = true
+	}
+	return anchors
+}
+
+// TestDocsMarkdownLinks fails on any relative link whose target file does
+// not exist or whose in-page anchor matches no heading. External links
+// (http, https, mailto) are out of scope — CI must not depend on the
+// network.
+func TestDocsMarkdownLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := string(data)
+		anchors := anchorsOf(content)
+		for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, hasFrag := strings.Cut(target, "#")
+			if path == "" {
+				if hasFrag && !anchors[frag] {
+					t.Errorf("%s: anchor #%s matches no heading", file, frag)
+				}
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), path)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %s: %v", file, target, err)
+				continue
+			}
+			if hasFrag {
+				other, err := os.ReadFile(resolved)
+				if err != nil {
+					t.Errorf("%s: link target %s: %v", file, target, err)
+					continue
+				}
+				if !anchorsOf(string(other))[frag] {
+					t.Errorf("%s: anchor %s#%s matches no heading", file, path, frag)
+				}
+			}
+		}
+	}
+}
+
+// TestDocsExportedComments requires a doc comment on every exported
+// top-level identifier — functions, methods, types, and const/var groups —
+// of the public package and of internal/serve (the documented API surface
+// the architecture handbook links to). A const/var group is satisfied by a
+// group-level comment or per-spec comments on its exported names.
+func TestDocsExportedComments(t *testing.T) {
+	for _, dir := range []string{".", "internal/serve"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for name, file := range pkg.Files {
+				checkFileDocComments(t, fset, name, file)
+			}
+		}
+	}
+}
+
+func checkFileDocComments(t *testing.T, fset *token.FileSet, name string, file *ast.File) {
+	t.Helper()
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		t.Errorf("%s:%d: exported %s has no doc comment", p.Filename, p.Line, what)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				// Methods on unexported receivers are not API surface.
+				if !exportedReceiver(d.Recv.List[0].Type) {
+					continue
+				}
+			}
+			report(d.Pos(), "function "+d.Name.Name)
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "type "+ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							report(n.Pos(), "value "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method receiver type names an
+// exported type.
+func exportedReceiver(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return exportedReceiver(e.X)
+	case *ast.Ident:
+		return e.IsExported()
+	case *ast.IndexExpr: // generic receiver T[P]
+		return exportedReceiver(e.X)
+	case *ast.IndexListExpr:
+		return exportedReceiver(e.X)
+	}
+	return false
+}

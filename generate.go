@@ -133,9 +133,26 @@ func (g *GeneratedWorkload) CorePairs() []Pair {
 // the same workload fingerprint — at any Workers value. ctx cancels a long
 // generation.
 func GenerateWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*GeneratedWorkload, error) {
+	scorer, opt, err := resolveGen(ta, tb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := blocking.Generate(ctx, scorer, opt)
+	if err != nil {
+		return nil, err
+	}
+	return buildGenerated(cands, cfg.SubsetSize)
+}
+
+// resolveGen applies GenConfig's defaulting rules — distinct-value weights
+// when every spec weight is zero, then the per-mode option defaults — and
+// builds the scorer. It is the one place the config-to-engine translation
+// lives, shared by the one-shot and incremental entry points so both see
+// exactly the same resolved generation.
+func resolveGen(ta, tb *Table, cfg GenConfig) (*blocking.Scorer, blocking.Options, error) {
 	specs := cfg.Specs
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("humo: GenConfig.Specs is required")
+		return nil, blocking.Options{}, fmt.Errorf("humo: GenConfig.Specs is required")
 	}
 	allZero := true
 	for _, sp := range specs {
@@ -147,12 +164,12 @@ func GenerateWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*Gener
 	if allZero {
 		var err error
 		if specs, err = blocking.DistinctValueSpecs(ta, tb, specs); err != nil {
-			return nil, err
+			return nil, blocking.Options{}, err
 		}
 	}
 	scorer, err := blocking.NewScorer(ta, tb, specs)
 	if err != nil {
-		return nil, err
+		return nil, blocking.Options{}, err
 	}
 	opt := blocking.Options{
 		Mode:      cfg.Block,
@@ -182,17 +199,129 @@ func GenerateWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*Gener
 	if opt.Bands == 0 {
 		opt.Bands = 32
 	}
-	cands, err := blocking.Generate(ctx, scorer, opt)
-	if err != nil {
-		return nil, err
-	}
+	return scorer, opt, nil
+}
+
+// buildGenerated wraps scored candidates into a GeneratedWorkload.
+func buildGenerated(cands []Candidate, subsetSize int) (*GeneratedWorkload, error) {
 	if len(cands) == 0 {
 		return nil, ErrNoCandidates
 	}
 	g := &GeneratedWorkload{Candidates: cands}
-	if g.Workload, err = NewWorkload(g.CorePairs(), cfg.SubsetSize); err != nil {
+	var err error
+	if g.Workload, err = NewWorkload(g.CorePairs(), subsetSize); err != nil {
 		return nil, err
 	}
 	g.Fingerprint = WorkloadFingerprint(g.Workload)
 	return g, nil
 }
+
+// IncrementalWorkload is the streaming form of GenerateWorkload: built once
+// over the current tables, it absorbs later records.Table Append growth
+// through Sync, which emits only the delta pairs (new-vs-old and
+// new-vs-new candidates) and maintains the cumulative workload plus a
+// monotone fingerprint chain — one fingerprint per epoch, each covering the
+// cumulative pair set at that point.
+//
+// Epoch 0 is bit-identical to GenerateWorkload over the same tables and
+// config: same candidates, same similarity bits, same fingerprint. Delta
+// candidates are appended after all existing ones, so every epoch's pair
+// list is a strict prefix of every later epoch's — the property session
+// recovery leans on to restore a checkpoint taken at an earlier epoch and
+// replay the remaining deltas.
+//
+// Weights resolved by the distinct-value rule are pinned at construction:
+// appends change value-distinctness counts, so re-deriving weights per
+// epoch would silently rescore old pairs. Only BlockToken and BlockLSH
+// support incremental maintenance, and cosine specs trade away the
+// bit-exact equivalence guarantee (see internal/blocking.Incremental).
+//
+// An IncrementalWorkload is not safe for concurrent use, and Sync must not
+// run concurrently with reads of the tables or the generated workload.
+type IncrementalWorkload struct {
+	ta, tb     *Table
+	subsetSize int
+	inc        *blocking.Incremental
+	g          *GeneratedWorkload
+	lenA, lenB int
+	chain      []string
+	bounds     []int
+}
+
+// NewIncrementalWorkload generates the initial workload (bit-identical to
+// GenerateWorkload with the same inputs) and retains the blocking state
+// future Sync calls maintain. The tables must be the live ones the caller
+// will Append to.
+func NewIncrementalWorkload(ctx context.Context, ta, tb *Table, cfg GenConfig) (*IncrementalWorkload, error) {
+	scorer, opt, err := resolveGen(ta, tb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	inc, cands, err := blocking.NewIncremental(ctx, scorer, opt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := buildGenerated(cands, cfg.SubsetSize)
+	if err != nil {
+		return nil, err
+	}
+	return &IncrementalWorkload{
+		ta: ta, tb: tb, subsetSize: cfg.SubsetSize,
+		inc: inc, g: g,
+		lenA: ta.Len(), lenB: tb.Len(),
+		chain:  []string{g.Fingerprint},
+		bounds: []int{len(g.Candidates)},
+	}, nil
+}
+
+// Sync absorbs table growth since construction or the previous Sync. It
+// returns the delta as core pairs whose IDs continue the cumulative
+// candidate numbering (delta pair i refers to Candidates()[id]), appends a
+// new epoch to the fingerprint chain, and rebuilds the cumulative
+// Generated workload. With no table growth Sync returns nil and appends no
+// epoch; growth that yields no new candidates still appends an epoch (the
+// chain records that those records were absorbed) and returns an empty
+// non-nil slice.
+func (iw *IncrementalWorkload) Sync(ctx context.Context) ([]Pair, error) {
+	if iw.ta.Len() == iw.lenA && iw.tb.Len() == iw.lenB {
+		return nil, nil
+	}
+	delta, err := iw.inc.Sync(ctx)
+	if err != nil {
+		return nil, err
+	}
+	iw.lenA, iw.lenB = iw.ta.Len(), iw.tb.Len()
+	base := len(iw.g.Candidates)
+	cands := append(iw.g.Candidates, delta...)
+	g, err := buildGenerated(cands, iw.subsetSize)
+	if err != nil {
+		return nil, err
+	}
+	iw.g = g
+	iw.chain = append(iw.chain, g.Fingerprint)
+	iw.bounds = append(iw.bounds, len(cands))
+	out := make([]Pair, len(delta))
+	for i, c := range delta {
+		out[i] = Pair{ID: base + i, Sim: c.Sim}
+	}
+	return out, nil
+}
+
+// Generated returns the cumulative workload as of the latest epoch.
+func (iw *IncrementalWorkload) Generated() *GeneratedWorkload { return iw.g }
+
+// Fingerprint returns the latest epoch's workload fingerprint.
+func (iw *IncrementalWorkload) Fingerprint() string { return iw.chain[len(iw.chain)-1] }
+
+// Chain returns a copy of the fingerprint chain: element e is the
+// fingerprint of the cumulative workload at epoch e.
+func (iw *IncrementalWorkload) Chain() []string { return append([]string(nil), iw.chain...) }
+
+// Boundaries returns a copy of the per-epoch cumulative candidate counts:
+// element e is how many candidates existed at epoch e, so epoch e's pair
+// list is Candidates()[:Boundaries()[e]].
+func (iw *IncrementalWorkload) Boundaries() []int { return append([]int(nil), iw.bounds...) }
+
+// Epoch returns the latest epoch number (0 after construction, +1 per
+// growth-absorbing Sync).
+func (iw *IncrementalWorkload) Epoch() int { return len(iw.chain) - 1 }

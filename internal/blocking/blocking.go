@@ -10,15 +10,22 @@
 // norms for Cosine, rune slices for the edit-distance measures — so scoring
 // a pair allocates nothing and never re-tokenizes. A Scorer is read-only
 // after construction, so any number of Generate calls may share one
-// concurrently. Generate fans candidate generation out over
-// internal/parallel with a deterministic order-stable merge: the same pairs
-// with the same similarity bits come back at any worker count — ModeLSH
-// included, its hash seeds being fixed constants. Four strategies are
-// provided: an exhaustive cross product, an inverted-index token join with
-// size and prefix filtering (exact and scalable), banded bottom-Rows
-// MinHash sketches (ModeLSH, the sub-quadratic path for million-record
-// tables with skewed vocabularies; see lsh.go), and a classical
-// sorted-neighborhood pass.
+// concurrently; the one sanctioned mutation is the streaming path —
+// Incremental.Sync extends a scorer over appended records, and must be
+// serialized with every other use of that scorer. Generate fans candidate
+// generation out over internal/parallel with a deterministic order-stable
+// merge: the same pairs with the same similarity bits come back at any
+// worker count — ModeLSH included, its hash seeds being fixed constants and
+// its per-token hashing content-based (independent of interning order).
+// Four strategies are provided: an exhaustive cross product, an
+// inverted-index token join with size and prefix filtering (exact and
+// scalable), banded bottom-Rows MinHash sketches (ModeLSH, the
+// sub-quadratic path for million-record tables with skewed vocabularies;
+// see lsh.go), and a classical sorted-neighborhood pass. ModeToken and
+// ModeLSH additionally support delta maintenance under table appends
+// (incremental.go): Incremental retains the inverted index / band tables
+// and emits only the new-vs-old and new-vs-new candidates, bit-identical in
+// union to a from-scratch rebuild.
 package blocking
 
 import (
@@ -226,6 +233,44 @@ func (s *Scorer) tokenColumn(t *records.Table, col int, reps []colRep, covers fu
 		toks[i] = s.dict.InternTokens(r.Values[col])
 	}
 	return toks
+}
+
+// extend brings the scorer's preprocessed representations up to date with
+// records appended to its tables since construction (or since the last
+// extend): new records' columns are interned into the existing dictionary
+// (ids of already-seen tokens are stable, so every old representation keeps
+// meaning exactly what it meant) and the blocking token sets are rebuilt.
+// Appended records are trusted to be schema-valid — Table.Append enforces
+// that. extend mutates the scorer and is not safe to run concurrently with
+// Generate or scoring calls; Incremental serializes it behind Sync.
+func (s *Scorer) extend() {
+	for k, spec := range s.specs {
+		s.extendRep(s.ta, s.colA[k], spec.Kind, &s.repA[k])
+		s.extendRep(s.tb, s.colB[k], spec.Kind, &s.repB[k])
+	}
+	// Rebuilding from scratch re-interns old tokens (id-stable, so the
+	// result is identical for existing records) and picks up the new ones;
+	// O(total tokens) per extend keeps this simple and obviously correct.
+	s.buildBlockTokens()
+}
+
+// extendRep appends the preprocessed representation of records past the
+// rep's current length. A no-op when the table has not grown.
+func (s *Scorer) extendRep(t *records.Table, col int, kind Kind, rep *colRep) {
+	switch kind {
+	case KindJaccard:
+		for i := len(rep.tokens); i < len(t.Records); i++ {
+			rep.tokens = append(rep.tokens, s.dict.InternTokens(t.Records[i].Values[col]))
+		}
+	case KindCosine:
+		for i := len(rep.tf); i < len(t.Records); i++ {
+			rep.tf = append(rep.tf, s.dict.InternTermFreq(t.Records[i].Values[col]))
+		}
+	case KindJaroWinkler, KindLevenshtein:
+		for i := len(rep.runes); i < len(t.Records); i++ {
+			rep.runes = append(rep.runes, []rune(t.Records[i].Values[col]))
+		}
+	}
 }
 
 func (s *Scorer) buildRep(t *records.Table, col int, kind Kind) colRep {

@@ -31,6 +31,13 @@ import (
 // which also drops spurious hash collisions — then the ordinary ScoreWith
 // threshold.
 //
+// Token hashing is content-based: each band's hash mixes the interner's
+// per-token content hash (a function of the token string only) with the
+// band seed, never the token id. Interning order therefore cannot leak into
+// sketches, which is what makes the incremental path (Incremental, whose
+// extended dictionary assigns ids in arrival order) produce candidates
+// bit-identical to a from-scratch build over the final tables.
+//
 // Everything is flat arrays: band keys are contiguous uint32 slices, each
 // band joins two sorted (key<<32|record) packed uint64 slices by linear
 // merge with the intersection floor applied inline, and only floor-passing
@@ -56,18 +63,32 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// lshSeeds derives the fixed per-band hash seeds.
+func lshSeeds(bands int) []uint64 {
+	seeds := make([]uint64, bands)
+	for k := range seeds {
+		seeds[k] = splitmix64(lshSeedBase + uint64(k))
+	}
+	return seeds
+}
+
 // lshBandKeys returns the flat n×bands band-key matrix of one table's token
 // lists: keys[i*bands+b] is record i's bucket key in band b — the record's
 // bottom-rows sketch under the band's hash function, folded to the top 32
 // bits of a final mix (32-bit keys keep the matrix at 4 bytes per record
 // per band; the rare cross-key collision is harmless because every
-// colliding pair is verified against the real token lists). Records with
+// colliding pair is verified against the real token lists). Per-token
+// hashing starts from the interner's content hash (hashes[t], a pure
+// function of the token string), not the token id: ids depend on interning
+// order, which differs between a dictionary built from scratch and one
+// extended incrementally, while content hashes — and therefore sketches,
+// bucket keys and candidates — are identical either way. Records with
 // fewer than rows tokens have no bottom-rows sketch; they never become
 // candidates — the size analogue of ModeToken's MinShared filter — and the
 // caller skips them the same way. The build shards over contiguous record
 // ranges; each key depends only on the record's tokens, so the matrix is
 // identical at any worker count.
-func lshBandKeys(ctx context.Context, workers int, toks [][]int32, seeds []uint64, rows, bands int) ([]uint32, error) {
+func lshBandKeys(ctx context.Context, workers int, toks [][]int32, hashes []uint64, seeds []uint64, rows, bands int) ([]uint32, error) {
 	keys := make([]uint32, len(toks)*bands)
 	ranges := chunkRanges(len(toks), parallel.Workers(workers)*4)
 	err := parallel.ForEach(workers, len(ranges), func(c int) error {
@@ -87,7 +108,7 @@ func lshBandKeys(ctx context.Context, workers int, toks [][]int32, seeds []uint6
 					bot[k] = ^uint64(0)
 				}
 				for _, t := range toks[i] {
-					v := splitmix64(uint64(uint32(t)) ^ seed)
+					v := splitmix64(hashes[t] ^ seed)
 					if v >= bot[rows-1] {
 						continue
 					}
@@ -117,17 +138,58 @@ func lshBandKeys(ctx context.Context, workers int, toks [][]int32, seeds []uint6
 
 // lshBandEntries packs one band's (key, record) entries of a table into
 // sorted uint64s — key in the top 32 bits, record id below — ready for the
-// linear merge join. Records too short to have a sketch are excluded.
-func lshBandEntries(toks [][]int32, keys []uint32, rows, bands, band, capacity int) []uint64 {
+// linear merge join. Records too short to have a sketch are excluded. base
+// offsets the packed record ids, so the incremental path can build entries
+// for an appended suffix of a table (toks and keys covering only the new
+// records) that slot straight into the full table's id space.
+func lshBandEntries(toks [][]int32, keys []uint32, rows, bands, band, base, capacity int) []uint64 {
 	out := make([]uint64, 0, capacity)
 	for i := range toks {
 		if len(toks[i]) < rows {
 			continue
 		}
-		out = append(out, uint64(keys[i*bands+band])<<32|uint64(uint32(i)))
+		out = append(out, uint64(keys[i*bands+band])<<32|uint64(uint32(base+i)))
 	}
 	slices.Sort(out)
 	return out
+}
+
+// lshJoin merge-joins two sorted packed (key<<32|record) entry lists,
+// appending every colliding cross pair that passes the shared-token floor to
+// dst as a packed (A<<32)|B candidate. tokA and tokB are the full tables'
+// token lists — entries carry absolute record ids.
+func lshJoin(dst []uint64, ea, eb []uint64, tokA, tokB [][]int32, floor int) []uint64 {
+	x, y := 0, 0
+	for x < len(ea) && y < len(eb) {
+		ka, kb := ea[x]>>32, eb[y]>>32
+		switch {
+		case ka < kb:
+			x++
+		case ka > kb:
+			y++
+		default:
+			x2 := x
+			for x2 < len(ea) && ea[x2]>>32 == ka {
+				x2++
+			}
+			y2 := y
+			for y2 < len(eb) && eb[y2]>>32 == ka {
+				y2++
+			}
+			for ; x < x2; x++ {
+				i := int32(uint32(ea[x]))
+				ta := tokA[i]
+				for yy := y; yy < y2; yy++ {
+					j := int32(uint32(eb[yy]))
+					if similarity.IntersectCount(ta, tokB[j]) >= floor {
+						dst = append(dst, uint64(uint32(i))<<32|uint64(uint32(j)))
+					}
+				}
+			}
+			y = y2
+		}
+	}
+	return dst
 }
 
 func generateLSH(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
@@ -145,15 +207,13 @@ func generateLSH(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
 	if err != nil {
 		return nil, err
 	}
-	seeds := make([]uint64, bands)
-	for k := range seeds {
-		seeds[k] = splitmix64(lshSeedBase + uint64(k))
-	}
-	keysA, err := lshBandKeys(ctx, opt.Workers, tokA, seeds, rows, bands)
+	seeds := lshSeeds(bands)
+	hashes := s.dict.TokenHashes()
+	keysA, err := lshBandKeys(ctx, opt.Workers, tokA, hashes, seeds, rows, bands)
 	if err != nil {
 		return nil, err
 	}
-	keysB, err := lshBandKeys(ctx, opt.Workers, tokB, seeds, rows, bands)
+	keysB, err := lshBandKeys(ctx, opt.Workers, tokB, hashes, seeds, rows, bands)
 	if err != nil {
 		return nil, err
 	}
@@ -187,40 +247,9 @@ func generateLSH(ctx context.Context, s *Scorer, opt Options) ([]Pair, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ea := lshBandEntries(tokA, keysA, rows, bands, b, capA)
-		eb := lshBandEntries(tokB, keysB, rows, bands, b, capB)
-		var pairs []uint64
-		x, y := 0, 0
-		for x < len(ea) && y < len(eb) {
-			ka, kb := ea[x]>>32, eb[y]>>32
-			switch {
-			case ka < kb:
-				x++
-			case ka > kb:
-				y++
-			default:
-				x2 := x
-				for x2 < len(ea) && ea[x2]>>32 == ka {
-					x2++
-				}
-				y2 := y
-				for y2 < len(eb) && eb[y2]>>32 == ka {
-					y2++
-				}
-				for ; x < x2; x++ {
-					i := int32(uint32(ea[x]))
-					ta := tokA[i]
-					for yy := y; yy < y2; yy++ {
-						j := int32(uint32(eb[yy]))
-						if similarity.IntersectCount(ta, tokB[j]) >= floor {
-							pairs = append(pairs, uint64(i)<<32|uint64(uint32(j)))
-						}
-					}
-				}
-				y = y2
-			}
-		}
-		return pairs, nil
+		ea := lshBandEntries(tokA, keysA, rows, bands, b, 0, capA)
+		eb := lshBandEntries(tokB, keysB, rows, bands, b, 0, capB)
+		return lshJoin(nil, ea, eb, tokA, tokB, floor), nil
 	})
 	if err != nil {
 		return nil, err

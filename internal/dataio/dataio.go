@@ -6,6 +6,7 @@
 package dataio
 
 import (
+	"bufio"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 
 	"humo/internal/blocking"
 	"humo/internal/core"
@@ -22,6 +24,48 @@ import (
 
 // ErrBadFormat reports malformed input data.
 var ErrBadFormat = errors.New("dataio: bad format")
+
+// Metadata embedded in CSV artifacts rides in leading comment lines of the
+// form `# key: value`. Folding metadata into the data file itself — instead
+// of a sidecar written in a second syscall — makes artifact-plus-metadata a
+// single atomic rename: there is no kill window in which the data exists
+// without its fingerprint (or, worse, next to a stale one). Readers that
+// predate a given key skip comment lines wholesale, and the legacy sidecar
+// files remain readable, so both directions stay compatible.
+
+// readMeta consumes the leading `# key: value` comment lines of br and
+// returns them as a map (empty when the stream starts with data). Malformed
+// comment lines are skipped, not errors: comments are a metadata channel,
+// never load-bearing for parsing the data that follows.
+func readMeta(br *bufio.Reader) (map[string]string, error) {
+	meta := map[string]string{}
+	for {
+		b, err := br.Peek(1)
+		if err == io.EOF || (err == nil && b[0] != '#') {
+			return meta, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "#"))
+		if k, v, ok := strings.Cut(body, ":"); ok {
+			meta[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+		if err == io.EOF {
+			return meta, nil
+		}
+	}
+}
+
+// writeMeta writes one `# key: value` metadata comment line.
+func writeMeta(w io.Writer, key, value string) error {
+	_, err := fmt.Fprintf(w, "# %s: %s\n", key, value)
+	return err
+}
 
 // ReadTable parses a CSV with a header row into a record table: every
 // column is an attribute, every subsequent row a record (ids are row
@@ -89,6 +133,7 @@ type Labels map[int]bool
 func ReadLabels(r io.Reader) (Labels, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.Comment = '#' // workload metadata lines (WriteLabelsGuarded)
 	header, err := cr.Read()
 	if err == io.EOF {
 		return Labels{}, nil
@@ -139,6 +184,34 @@ func ParseLabel(s string) (bool, error) {
 		return false, fmt.Errorf("label %q not recognized", s)
 	}
 	return v, nil
+}
+
+// WriteLabelsGuarded writes a label CSV with the workload fingerprint the
+// labels were collected for folded into a leading `# workload: ...`
+// comment: one atomic write pins the labels to their candidate set, where
+// the `.workload` sidecar had a kill window between the label write and the
+// guard write. ReadLabelsWorkload reads the guard back; plain ReadLabels
+// skips it.
+func WriteLabelsGuarded(w io.Writer, labels Labels, workload string) error {
+	if workload != "" {
+		if err := writeMeta(w, "workload", workload); err != nil {
+			return err
+		}
+	}
+	return WriteLabels(w, labels)
+}
+
+// ReadLabelsWorkload reads a label CSV plus the workload fingerprint
+// embedded by WriteLabelsGuarded — empty when absent (legacy files guarded
+// by a sidecar, or hand-built ones).
+func ReadLabelsWorkload(r io.Reader) (Labels, string, error) {
+	br := bufio.NewReader(r)
+	meta, err := readMeta(br)
+	if err != nil {
+		return nil, "", err
+	}
+	labels, err := ReadLabels(br)
+	return labels, meta["workload"], err
 }
 
 // WriteLabels writes a label CSV, sorted by pair id.
@@ -213,6 +286,7 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 func ReadPairs(r io.Reader) ([]core.Pair, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.Comment = '#' // fingerprint metadata lines (WritePairsFingerprinted)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
@@ -260,6 +334,34 @@ func WritePairs(w io.Writer, pairs []core.Pair) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WritePairsFingerprinted writes a workload CSV with its fingerprint folded
+// into a leading `# fingerprint: ...` comment, so one atomic file write
+// carries both the data and its identity — the writers that used to pair
+// the CSV with an `.fp` sidecar had a kill window between the two syscalls
+// in which the pair disagreed. ReadPairs skips the comment; readers that
+// care about the fingerprint use ReadPairsFingerprint.
+func WritePairsFingerprinted(w io.Writer, pairs []core.Pair, fingerprint string) error {
+	if fingerprint != "" {
+		if err := writeMeta(w, "fingerprint", fingerprint); err != nil {
+			return err
+		}
+	}
+	return WritePairs(w, pairs)
+}
+
+// ReadPairsFingerprint reads a workload CSV plus the fingerprint embedded
+// by WritePairsFingerprinted. The fingerprint is empty — not an error — for
+// files without one (pre-fingerprint writers, hand-built CSVs).
+func ReadPairsFingerprint(r io.Reader) ([]core.Pair, string, error) {
+	br := bufio.NewReader(r)
+	meta, err := readMeta(br)
+	if err != nil {
+		return nil, "", err
+	}
+	pairs, err := ReadPairs(br)
+	return pairs, meta["fingerprint"], err
 }
 
 // WriteCandidates writes scored candidate pairs as CSV

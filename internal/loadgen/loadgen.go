@@ -43,6 +43,15 @@ type Config struct {
 	// StatusEvery interleaves one status poll every N answer rounds
 	// (default 2; 0 disables status polling).
 	StatusEvery int
+	// AppendEvery switches the run to the streaming-ingest scenario: each
+	// session resolves a server-built workload (POST /v1/workloads) and
+	// every N answer rounds a record batch is appended to it (POST
+	// /v1/workloads/{name}/records), so the session absorbs candidate
+	// deltas while resolving. 0 (the default) drives the static scenario.
+	AppendEvery int
+	// AppendRows is the records appended per table per append (default 4;
+	// only with AppendEvery > 0).
+	AppendRows int
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
 }
@@ -69,6 +78,12 @@ func (cfg *Config) setDefaults() error {
 	} else if cfg.StatusEvery == 0 {
 		cfg.StatusEvery = 2
 	}
+	if cfg.AppendEvery < 0 {
+		cfg.AppendEvery = 0
+	}
+	if cfg.AppendRows <= 0 {
+		cfg.AppendRows = 4
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
 	}
@@ -77,11 +92,13 @@ func (cfg *Config) setDefaults() error {
 
 // The operation names latencies are keyed by.
 const (
-	OpCreate = "create"
-	OpNext   = "next"
-	OpAnswer = "answer"
-	OpStatus = "status"
-	OpDelete = "delete"
+	OpCreate   = "create"
+	OpNext     = "next"
+	OpAnswer   = "answer"
+	OpStatus   = "status"
+	OpDelete   = "delete"
+	OpWorkload = "workload"
+	OpAppend   = "append"
 )
 
 // OpStats summarizes one operation across the run. Quantiles are upper
@@ -148,7 +165,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		lat:  make(map[string]*obs.Histogram),
 		errs: make(map[string]*obs.Counter),
 	}
-	for _, op := range []string{OpCreate, OpNext, OpAnswer, OpStatus, OpDelete} {
+	for _, op := range []string{OpCreate, OpNext, OpAnswer, OpStatus, OpDelete, OpWorkload, OpAppend} {
 		r.lat[op] = &obs.Histogram{}
 		r.errs[op] = &obs.Counter{}
 	}
@@ -167,6 +184,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	}
 	for op, h := range r.lat {
 		s := h.Snapshot()
+		if s.Count == 0 && r.errs[op].Value() == 0 {
+			continue // op not exercised by this scenario
+		}
 		rep.PerOp[op] = OpStats{
 			Count:  s.Count,
 			Errors: r.errs[op].Value(),
@@ -199,6 +219,9 @@ func (r Report) P99() time.Duration {
 
 // driveSession runs one session start to finish.
 func (r *runner) driveSession(ctx context.Context, i int) error {
+	if r.cfg.AppendEvery > 0 {
+		return r.driveStreamSession(ctx, i)
+	}
 	labeled, err := humo.Logistic(humo.LogisticConfig{N: r.cfg.Pairs, Tau: 14, Sigma: 0.1, Seed: r.cfg.Seed + int64(i)})
 	if err != nil {
 		return fmt.Errorf("loadgen: session %d workload: %w", i, err)
@@ -324,4 +347,155 @@ func (r *runner) do(ctx context.Context, op, method, path string, body any) (int
 		r.errs[op].Inc()
 	}
 	return res.StatusCode, data, nil
+}
+
+// streamVocab seeds token overlap between generated rows, so the server's
+// token blocking yields a dense candidate set and every append produces
+// fresh candidate pairs for the sessions to absorb.
+var streamVocab = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+	"golf", "hotel", "india", "juliett", "kilo", "lima",
+}
+
+// streamRow derives one deterministic record from a session-scoped salt
+// and row index.
+func streamRow(salt int64, i int) []string {
+	v := streamVocab
+	j := i + int(salt%int64(len(v)))
+	name := v[j%len(v)] + " " + v[(j*3+1)%len(v)]
+	desc := v[(j*5+2)%len(v)] + " " + v[(j*7+3)%len(v)]
+	return []string{name, desc}
+}
+
+// maxAppendsPerSession bounds how many appends a streaming session absorbs:
+// every append grows the workload and hence the rounds remaining, so
+// without a bound a session could chase its own tail.
+const maxAppendsPerSession = 3
+
+// driveStreamSession runs one streaming-ingest session: build a live
+// workload server-side, resolve it over the HTTP API, and append records
+// every AppendEvery answer rounds so the session absorbs candidate deltas
+// mid-resolution.
+func (r *runner) driveStreamSession(ctx context.Context, i int) error {
+	salt := r.cfg.Seed + int64(i)
+	name := fmt.Sprintf("load-%d-%d-w", r.cfg.Seed, i)
+	// Rows per base table: token blocking emits roughly O(rows^2 / vocab)
+	// candidates here, so size the tables toward the configured pair count.
+	n := 10
+	for ; n < 200 && n*n/len(streamVocab)*2 < r.cfg.Pairs; n++ {
+	}
+	wreq := serve.WorkloadRequest{
+		Name:   name,
+		TableA: serve.TableSpec{Attributes: []string{"name", "description"}},
+		TableB: serve.TableSpec{Attributes: []string{"name", "description"}},
+		Specs: []serve.WorkloadAttr{
+			{Attribute: "name", Kind: "jaccard"},
+			{Attribute: "description", Kind: "cosine"},
+		},
+		Block: "token", MinShared: 1, Threshold: 0.1,
+	}
+	for j := 0; j < n; j++ {
+		wreq.TableA.Rows = append(wreq.TableA.Rows, streamRow(salt, j))
+		wreq.TableB.Rows = append(wreq.TableB.Rows, streamRow(salt, j+1))
+	}
+	code, _, err := r.do(ctx, OpWorkload, "POST", "/v1/workloads", wreq)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("loadgen: session %d workload build: status %d", i, code)
+	}
+	id := fmt.Sprintf("load-%d-%d", r.cfg.Seed, i)
+	create := serve.CreateRequest{ID: id, Spec: serve.Spec{
+		Method: r.cfg.Method, Seed: salt,
+		Alpha: 0.85, Beta: 0.85, Theta: 0.85,
+		SubsetSize:   40,
+		WorkloadFile: name + ".csv",
+	}}
+	if r.cfg.Method == "budgeted" {
+		create.Spec.BudgetPairs = r.cfg.Pairs / 4
+	}
+	if code, _, err := r.do(ctx, OpCreate, "POST", "/v1/sessions", create); err != nil {
+		return err
+	} else if code != http.StatusCreated {
+		return fmt.Errorf("loadgen: session %d create: status %d", i, code)
+	}
+	rounds, appends, appended := 0, 0, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var next struct {
+			IDs   []int  `json:"ids"`
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		code, body, err := r.do(ctx, OpNext, "GET", "/v1/sessions/"+id+"/next?wait=30s", nil)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case http.StatusNoContent:
+			continue
+		case http.StatusTooManyRequests:
+			r.retried.Inc()
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		case http.StatusOK:
+		default:
+			return fmt.Errorf("loadgen: session %d next: status %d", i, code)
+		}
+		if err := json.Unmarshal(body, &next); err != nil {
+			return fmt.Errorf("loadgen: session %d next body: %w", i, err)
+		}
+		if next.Done {
+			if next.Error != "" {
+				return fmt.Errorf("loadgen: session %d failed server-side: %s", i, next.Error)
+			}
+			break
+		}
+		// Server-built candidates have no ground truth on the client; any
+		// pure function of the pair id is a deterministic stand-in oracle.
+		labels := make(map[string]bool, len(next.IDs))
+		for _, pid := range next.IDs {
+			labels[strconv.Itoa(pid)] = pid%3 == 0
+		}
+		if code, _, err := r.do(ctx, OpAnswer, "POST", "/v1/sessions/"+id+"/answers", map[string]any{"labels": labels}); err != nil {
+			return err
+		} else if code != http.StatusOK {
+			return fmt.Errorf("loadgen: session %d answer: status %d", i, code)
+		}
+		rounds++
+		if appends < maxAppendsPerSession && rounds%r.cfg.AppendEvery == 0 {
+			areq := serve.AppendRequest{}
+			for j := 0; j < r.cfg.AppendRows; j++ {
+				areq.RowsA = append(areq.RowsA, streamRow(salt+7, appended+j))
+				areq.RowsB = append(areq.RowsB, streamRow(salt+11, appended+j))
+			}
+			appended += r.cfg.AppendRows
+			appends++
+			if code, _, err := r.do(ctx, OpAppend, "POST", "/v1/workloads/"+name+"/records", areq); err != nil {
+				return err
+			} else if code != http.StatusOK {
+				return fmt.Errorf("loadgen: session %d append: status %d", i, code)
+			}
+		}
+		if r.cfg.StatusEvery > 0 && rounds%r.cfg.StatusEvery == 0 {
+			if code, _, err := r.do(ctx, OpStatus, "GET", "/v1/sessions/"+id, nil); err != nil {
+				return err
+			} else if code != http.StatusOK {
+				return fmt.Errorf("loadgen: session %d status: status %d", i, code)
+			}
+		}
+	}
+	if code, _, err := r.do(ctx, OpDelete, "DELETE", "/v1/sessions/"+id, nil); err != nil {
+		return err
+	} else if code != http.StatusNoContent {
+		return fmt.Errorf("loadgen: session %d delete: status %d", i, code)
+	}
+	return nil
 }

@@ -101,3 +101,48 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("empty config accepted")
 	}
 }
+
+// TestRunStreamSmoke drives the streaming-ingest scenario: server-built
+// workloads, appends interleaved with answer rounds, sessions absorbing the
+// candidate deltas without restarting.
+func TestRunStreamSmoke(t *testing.T) {
+	m, err := serve.Open(serve.Config{StateDir: t.TempDir(), DataDir: t.TempDir(), MaxSessions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(serve.NewHandler(m))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Clients:     2,
+		Sessions:    3,
+		Pairs:       300,
+		Seed:        7,
+		AppendEvery: 2,
+		AppendRows:  3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, rep.String())
+	}
+	builds := rep.PerOp[OpWorkload]
+	if builds.Count != 3 || builds.Errors != 0 {
+		t.Fatalf("workload builds %+v, want 3 clean", builds)
+	}
+	appends := rep.PerOp[OpAppend]
+	if appends.Count == 0 || appends.Errors != 0 {
+		t.Fatalf("appends %+v, want traffic and no errors", appends)
+	}
+	if deletes := rep.PerOp[OpDelete]; deletes.Count != 3 || deletes.Errors != 0 {
+		t.Fatalf("deletes %+v, want 3 clean", deletes)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("%d sessions left after the run", m.Len())
+	}
+	for _, want := range []string{OpWorkload, OpAppend} {
+		if !strings.Contains(rep.String(), want) {
+			t.Fatalf("report transcript lacks %q:\n%s", want, rep.String())
+		}
+	}
+}

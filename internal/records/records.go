@@ -24,10 +24,23 @@ type Record struct {
 }
 
 // Table is a named collection of records over a fixed attribute schema.
+//
+// A Table built once is immutable by convention; the streaming path grows
+// it through Append, which validates each batch and records a versioned
+// snapshot boundary so downstream consumers (incremental blocking, session
+// extension) can reason about "the table as of version v" as the prefix
+// Records[:SnapshotLen(v)].
 type Table struct {
 	Name       string
 	Attributes []string
 	Records    []Record
+
+	// verLens[v] is len(Records) as of version v. Nil until the first
+	// Append; a nil chain means version 0 covers all records.
+	verLens []int
+	// idSeen indexes Records by id for Append's duplicate check. Built
+	// lazily on first Append from the records present at that point.
+	idSeen map[int]struct{}
 }
 
 // Validate checks structural invariants: non-empty schema, per-record value
@@ -74,3 +87,68 @@ func (t *Table) Column(i int) []string {
 
 // Len returns the number of records.
 func (t *Table) Len() int { return len(t.Records) }
+
+// Append adds recs to the table as one atomic batch and returns the new
+// version number. Version 0 is the table as constructed; each successful
+// Append bumps the version by one, even for an empty batch. Every record is
+// validated against the schema and the table's id set before anything is
+// appended, so a failed Append leaves the table untouched.
+//
+// Append is not safe for concurrent use with itself or with readers.
+func (t *Table) Append(recs ...Record) (version int, err error) {
+	if len(t.Attributes) == 0 {
+		return 0, fmt.Errorf("%w: table %q has no attributes", ErrBadTable, t.Name)
+	}
+	if t.idSeen == nil {
+		t.idSeen = make(map[int]struct{}, len(t.Records)+len(recs))
+		for _, r := range t.Records {
+			t.idSeen[r.ID] = struct{}{}
+		}
+	}
+	// Validate the whole batch (against the table and within itself)
+	// before mutating anything, so a failed Append leaves no trace.
+	batch := make(map[int]struct{}, len(recs))
+	for i, r := range recs {
+		if len(r.Values) != len(t.Attributes) {
+			return 0, fmt.Errorf("%w: table %q appended record %d has %d values, want %d", ErrBadTable, t.Name, i, len(r.Values), len(t.Attributes))
+		}
+		if _, dup := t.idSeen[r.ID]; dup {
+			return 0, fmt.Errorf("%w: table %q append would duplicate record id %d", ErrBadTable, t.Name, r.ID)
+		}
+		if _, dup := batch[r.ID]; dup {
+			return 0, fmt.Errorf("%w: table %q append batch duplicates record id %d", ErrBadTable, t.Name, r.ID)
+		}
+		batch[r.ID] = struct{}{}
+	}
+	for id := range batch {
+		t.idSeen[id] = struct{}{}
+	}
+	if t.verLens == nil {
+		t.verLens = []int{len(t.Records)}
+	}
+	t.Records = append(t.Records, recs...)
+	t.verLens = append(t.verLens, len(t.Records))
+	return len(t.verLens) - 1, nil
+}
+
+// Version returns the table's current version: 0 as constructed, bumped by
+// one per Append.
+func (t *Table) Version() int {
+	if t.verLens == nil {
+		return 0
+	}
+	return len(t.verLens) - 1
+}
+
+// SnapshotLen returns len(Records) as of version v, so Records[:SnapshotLen(v)]
+// is the table's state when that version was current. It panics on a version
+// the table never had.
+func (t *Table) SnapshotLen(v int) int {
+	if v == 0 && t.verLens == nil {
+		return len(t.Records)
+	}
+	if v < 0 || v >= len(t.verLens) {
+		panic(fmt.Sprintf("records: table %q has no version %d", t.Name, v))
+	}
+	return t.verLens[v]
+}

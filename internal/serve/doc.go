@@ -44,4 +44,33 @@
 // Sharding (Config.Shards) is a runtime concurrency knob only: it never
 // affects results or the on-disk layout, so a state directory written
 // under one shard count reopens under any other.
+//
+// # Live workloads and the append journal
+//
+// Token- and LSH-blocked workloads built through BuildWorkload are live:
+// the manager retains a humo.IncrementalWorkload and accepts record
+// appends (AppendRecords, POST /v1/workloads/{name}/records) that grow the
+// candidate set and extend every session resolving that workload in place.
+// A live workload's on-disk form, under the data directory:
+//
+//	<name>.build.json     the WorkloadRequest, written before the CSV
+//	<name>.csv            the pair list, fingerprint embedded as a leading
+//	                      "# fingerprint:" comment — one atomic artifact
+//	<name>.appends.jsonl  one fsynced JSON line per accepted append, a
+//	                      strict seq chain; NEVER compacted — the file IS
+//	                      the epoch history
+//
+// Ordering is journal-before-apply: an append is fsynced to the journal
+// first, then applied (tables grow, Sync emits the delta and advances the
+// fingerprint chain, the CSV is rewritten, sessions are extended and
+// re-checkpointed at the new epoch). Appends beyond a bounded in-flight
+// queue are shed with ErrOverloaded (429). Recovery replays the build
+// journal, then the append journal one Sync epoch per line — reproducing
+// the fingerprint chain bit-identically — and truncates a torn final line
+// (that append was never acknowledged). A session checkpoint whose
+// workload hash sits at an older epoch of the chain restores there and is
+// caught up through Session.Extend with the missing pair suffix; a hash on
+// no epoch of the chain refuses recovery loudly. If applying a journaled
+// append fails midway, the workload is marked broken and refuses further
+// appends until a restart replays it to a consistent state.
 package serve

@@ -51,6 +51,7 @@ type HandlerConfig struct {
 //	GET    /v1/sessions/{id}/labels   long-poll answered labels (?ids=1,2&wait=30s)
 //	DELETE /v1/sessions/{id}          cancel the session and drop its journal
 //	POST   /v1/workloads              build a workload server-side (WorkloadRequest body)
+//	POST   /v1/workloads/{name}/records  append records to a live workload (AppendRequest body)
 //	GET    /metrics                   counters + latency histograms (JSON)
 //
 // Every error is the JSON envelope {"error": "...", "code": <status>} with
@@ -82,6 +83,7 @@ func NewObservedHandler(m *Manager, hc HandlerConfig) http.Handler {
 	route("GET /v1/sessions/{id}/labels", h.labels)
 	route("DELETE /v1/sessions/{id}", h.delete)
 	route("POST /v1/workloads", h.createWorkload)
+	route("POST /v1/workloads/{name}/records", h.appendRecords)
 	mux.Handle("GET /metrics", m.Metrics().Handler(h.start))
 	return mux
 }
@@ -176,7 +178,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadSpec):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrSessionNotFound):
+	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrWorkloadNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrTooManySessions),
 		errors.Is(err, ErrWorkloadExists), errors.Is(err, humo.ErrSessionDone):
@@ -443,6 +445,28 @@ func (h *handler) createWorkload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSONResponse(w, http.StatusCreated, info)
+}
+
+// appendRecords feeds live records into an append-capable workload: the
+// rows are journaled, the delta indexes emit the new candidate pairs, and
+// running sessions on the workload absorb them without restarting.
+func (h *handler) appendRecords(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, maxWorkloadBodyBytes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req, err := DecodeAppendRequest(body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := h.m.AppendRecords(r.PathValue("name"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONResponse(w, http.StatusOK, info)
 }
 
 func (h *handler) delete(w http.ResponseWriter, r *http.Request) {

@@ -109,6 +109,9 @@ type Manager struct {
 
 	wmu       sync.Mutex
 	workloads map[string]struct{} // workload names with a build in flight (BuildWorkload)
+
+	lwmu sync.Mutex
+	live map[string]*workloadState // append-capable workloads, by name (ingest.go)
 }
 
 // Open creates the state directory if needed, recovers every session
@@ -130,6 +133,7 @@ func Open(cfg Config) (*Manager, error) {
 		compactEvery: cfg.CompactEvery,
 		metrics:      cfg.Metrics,
 		workloads:    make(map[string]struct{}),
+		live:         make(map[string]*workloadState),
 	}
 	if m.dataDir == "" {
 		m.dataDir = "."
@@ -157,6 +161,13 @@ func Open(cfg Config) (*Manager, error) {
 			sessions: make(map[string]*ManagedSession),
 			polls:    make(chan struct{}, polls),
 		}
+	}
+	// Workloads recover before sessions: a session checkpointed at an
+	// earlier append epoch is restored against that epoch's pair prefix of
+	// the recovered chain and then caught up.
+	if err := m.recoverWorkloads(); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	specs, err := filepath.Glob(filepath.Join(cfg.StateDir, "*"+specSuffix))
 	if err != nil {
@@ -307,7 +318,7 @@ func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := m.newManagedSession(id, spec, w, sess)
+	s := m.newManagedSession(id, spec, sess)
 	if spec.Crowd != nil {
 		if s.crowd, err = spec.Crowd.crowdLabeler(m.dataDir); err != nil {
 			sess.Cancel()
@@ -328,11 +339,10 @@ func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 	return s, nil
 }
 
-func (m *Manager) newManagedSession(id string, spec Spec, w *humo.Workload, sess *humo.Session) *ManagedSession {
+func (m *Manager) newManagedSession(id string, spec Spec, sess *humo.Session) *ManagedSession {
 	return &ManagedSession{
 		id:           id,
 		spec:         spec,
-		w:            w,
 		sess:         sess,
 		cpPath:       m.checkpointPath(id),
 		jr:           newDeltaJournal(m.journalPath(id)),
@@ -343,7 +353,10 @@ func (m *Manager) newManagedSession(id string, spec Spec, w *humo.Workload, sess
 }
 
 // recoverSession rebuilds one session from its journaled spec, base
-// checkpoint and answer deltas.
+// checkpoint and answer deltas. For sessions on an append-capable workload
+// file the workload restored against is the epoch of the append chain the
+// checkpoint fingerprints (ws non-nil), and after the replay the session is
+// caught up through any epochs appended since.
 func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	data, err := os.ReadFile(m.specPath(id))
 	if err != nil {
@@ -356,7 +369,7 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	w, err := spec.workload(m.dataDir)
+	w, ws, err := m.recoveryWorkload(id, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +409,7 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := m.newManagedSession(id, spec, w, sess)
+	s := m.newManagedSession(id, spec, sess)
 	s.jr.seq = lines
 	if spec.Crowd != nil {
 		if s.crowd, err = spec.Crowd.crowdLabeler(m.dataDir); err != nil {
@@ -409,6 +422,12 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 		// recovery guarantee — the division replays bit-identically, the
 		// accuracy estimates are re-learned).
 		if err := s.crowd.Prime(sess.Answered()); err != nil {
+			sess.Cancel()
+			return nil, err
+		}
+	}
+	if ws != nil {
+		if err := s.settleRecovered(ws); err != nil {
 			sess.Cancel()
 			return nil, err
 		}
@@ -506,6 +525,15 @@ func (m *Manager) Close() error {
 		s.sess.Cancel()
 		s.bump()
 	}
+	m.lwmu.Lock()
+	for _, ws := range m.live {
+		ws.mu.Lock()
+		if err := ws.jr.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ws.mu.Unlock()
+	}
+	m.lwmu.Unlock()
 	return firstErr
 }
 
@@ -524,7 +552,6 @@ func generateID() string {
 type ManagedSession struct {
 	id           string
 	spec         Spec
-	w            *humo.Workload
 	sess         *humo.Session
 	cpPath       string
 	compactEvery int
@@ -785,7 +812,7 @@ func (s *ManagedSession) Status() Status {
 		ID:            s.id,
 		Method:        s.spec.Method,
 		Seed:          s.spec.Seed,
-		WorkloadPairs: s.w.Len(),
+		WorkloadPairs: s.sess.Workload().Len(),
 		Answered:      len(s.sess.Answered()),
 		Cost:          s.sess.Cost(),
 		Done:          s.sess.Done(),
@@ -824,7 +851,7 @@ func (s *ManagedSession) Status() Status {
 		Lo:           sol.Lo,
 		Hi:           sol.Hi,
 		Empty:        sol.Empty(),
-		HumanPairs:   sol.HumanPairs(s.w),
+		HumanPairs:   sol.HumanPairs(s.sess.Workload()),
 		SampledPairs: sol.SampledPairs,
 	}
 	if labels := s.sess.Labels(); labels != nil {

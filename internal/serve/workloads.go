@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -52,9 +53,9 @@ type WorkloadAttr struct {
 
 // WorkloadRequest is the body of POST /v1/workloads: two inline tables plus
 // the candidate-generation configuration. The built workload is persisted
-// under the manager's data directory as <name>.csv (with a <name>.csv.fp
-// fingerprint sidecar), so sessions can reference it via
-// Spec.WorkloadFile = "<name>.csv".
+// under the manager's data directory as <name>.csv with its fingerprint
+// embedded, so sessions can reference it via Spec.WorkloadFile =
+// "<name>.csv".
 type WorkloadRequest struct {
 	Name           string         `json:"name"`
 	TableA         TableSpec      `json:"table_a"`
@@ -147,27 +148,27 @@ func (m *Manager) releaseWorkload(name string) {
 	m.wmu.Unlock()
 }
 
+// clampWorkers clamps a client-supplied worker count to the server's
+// cores: the output is identical at any worker count (the determinism
+// contract), so the clamp only bounds resource use — without it a request
+// could demand one goroutine per uploaded record.
+func clampWorkers(workers int) int {
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // BuildWorkload runs candidate generation server-side and persists the
-// resulting workload under the data directory. The write is atomic and the
-// fingerprint sidecar lands before the workload file, so a file that
-// exists is always complete and attributable.
+// resulting workload under the data directory. The workload CSV embeds its
+// own fingerprint (one atomic write — a file that exists is always complete
+// and attributable). Workloads built with an incremental-capable blocking
+// mode (token or lsh) additionally persist the build request as
+// <name>.build.json and stay live: POST /v1/workloads/{name}/records
+// appends records to them — see ingest.go. Static modes (sorted-neighbor)
+// keep writing a .fp sidecar for legacy tooling, after the data so a crash
+// between the two can only lose the redundant copy.
 func (m *Manager) BuildWorkload(ctx context.Context, req WorkloadRequest) (WorkloadInfo, error) {
-	ta, err := req.TableA.table("a")
-	if err != nil {
-		return WorkloadInfo{}, err
-	}
-	tb, err := req.TableB.table("b")
-	if err != nil {
-		return WorkloadInfo{}, err
-	}
-	specs := make([]humo.AttributeSpec, len(req.Specs))
-	for i, sp := range req.Specs {
-		kind, err := humo.ParseSimilarityKind(sp.Kind)
-		if err != nil {
-			return WorkloadInfo{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
-		}
-		specs[i] = humo.AttributeSpec{Attribute: sp.Attribute, Kind: kind, Weight: sp.Weight}
-	}
 	file := req.Name + ".csv"
 	path := filepath.Join(m.dataDir, file)
 	// Reserve the name before the (possibly long) generation: the
@@ -178,39 +179,36 @@ func (m *Manager) BuildWorkload(ctx context.Context, req WorkloadRequest) (Workl
 		return WorkloadInfo{}, err
 	}
 	defer m.releaseWorkload(req.Name)
-	// Clamp the client-supplied worker count to the server's cores: the
-	// output is identical at any worker count (the determinism contract),
-	// so the clamp only bounds resource use — without it a request could
-	// demand one goroutine per uploaded record.
-	workers := req.Workers
-	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
+	if req.incrementalCapable() {
+		return m.buildLiveWorkload(ctx, req, file, path)
 	}
-	g, err := humo.GenerateWorkload(ctx, ta, tb, humo.GenConfig{
-		Specs:          specs,
-		Block:          humo.BlockingMode(req.Block),
-		BlockAttribute: req.BlockAttribute,
-		MinShared:      req.MinShared,
-		Window:         req.Window,
-		Rows:           req.Rows,
-		Bands:          req.Bands,
-		Threshold:      req.Threshold,
-		Workers:        workers,
-	})
+	ta, err := req.TableA.table("a")
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	tb, err := req.TableB.table("b")
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	cfg, err := req.genConfig(clampWorkers(req.Workers))
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	g, err := humo.GenerateWorkload(ctx, ta, tb, cfg)
 	if err != nil {
 		// Generation is pure computation over the request: every failure
 		// (bad specs, unknown attributes, empty result, client-canceled
 		// context) is input-derived, a 400.
 		return WorkloadInfo{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	if err := dataio.WriteFileAtomic(path+".fp", func(w io.Writer) error {
-		_, err := fmt.Fprintln(w, g.Fingerprint)
-		return err
+	if err := dataio.WriteFileAtomic(path, func(w io.Writer) error {
+		return dataio.WritePairsFingerprinted(w, g.CorePairs(), g.Fingerprint)
 	}); err != nil {
 		return WorkloadInfo{}, err
 	}
-	if err := dataio.WriteFileAtomic(path, func(w io.Writer) error {
-		return dataio.WritePairs(w, g.CorePairs())
+	if err := dataio.WriteFileAtomic(path+".fp", func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, g.Fingerprint)
+		return err
 	}); err != nil {
 		return WorkloadInfo{}, err
 	}
@@ -219,5 +217,40 @@ func (m *Manager) BuildWorkload(ctx context.Context, req WorkloadRequest) (Workl
 		File:        file,
 		Pairs:       len(g.Candidates),
 		Fingerprint: g.Fingerprint,
+	}, nil
+}
+
+// buildLiveWorkload builds an append-capable workload: generation runs
+// through the incremental generator so later appends continue its epoch
+// chain, the build request is journaled before the CSV (so a crash between
+// the two is recovered by regenerating the CSV from the request), and the
+// live state is registered for ingest.
+func (m *Manager) buildLiveWorkload(ctx context.Context, req WorkloadRequest, file, path string) (WorkloadInfo, error) {
+	ws, err := m.newWorkloadState(ctx, req.Name, req)
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	buildPath := m.buildPath(req.Name)
+	if err := dataio.WriteFileAtomic(buildPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(req)
+	}); err != nil {
+		return WorkloadInfo{}, err
+	}
+	if err := dataio.WriteFileAtomic(path, func(w io.Writer) error {
+		return dataio.WritePairsFingerprinted(w, ws.iw.Generated().CorePairs(), ws.iw.Fingerprint())
+	}); err != nil {
+		// Without the CSV the build failed from the client's view; drop the
+		// build journal so a restart does not resurrect a workload the
+		// client was told does not exist.
+		os.Remove(buildPath)
+		return WorkloadInfo{}, err
+	}
+	m.registerWorkload(ws)
+	return WorkloadInfo{
+		Name:        req.Name,
+		File:        file,
+		Pairs:       len(ws.iw.Generated().Candidates),
+		Fingerprint: ws.iw.Fingerprint(),
 	}, nil
 }

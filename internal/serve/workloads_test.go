@@ -93,12 +93,19 @@ func TestWorkloadEndpoint(t *testing.T) {
 	if got := humo.WorkloadFingerprint(w); got != info.Fingerprint {
 		t.Fatalf("stored workload fingerprint %s, response said %s", got, info.Fingerprint)
 	}
-	sidecar, err := os.ReadFile(filepath.Join(dataDir, info.File+".fp"))
+	// The fingerprint is embedded in the file itself (one atomic artifact —
+	// there is no sidecar to fall out of sync with the data).
+	f, err = os.Open(filepath.Join(dataDir, info.File))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(string(sidecar)) != info.Fingerprint {
-		t.Fatalf("sidecar %q does not match fingerprint %s", sidecar, info.Fingerprint)
+	_, embedded, err := dataio.ReadPairsFingerprint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embedded != info.Fingerprint {
+		t.Fatalf("embedded fingerprint %q does not match response %s", embedded, info.Fingerprint)
 	}
 
 	// Sessions can reference the built workload by file name.

@@ -21,8 +21,9 @@ import (
 // concurrent mutation; build it once during preprocessing and share it
 // read-only afterwards.
 type Interner struct {
-	ids  map[string]int32
-	toks []string
+	ids    map[string]int32
+	toks   []string
+	hashes []uint64
 }
 
 // NewInterner returns an empty dictionary.
@@ -38,8 +39,34 @@ func (in *Interner) Intern(tok string) int32 {
 	id := int32(len(in.toks))
 	in.ids[tok] = id
 	in.toks = append(in.toks, tok)
+	in.hashes = append(in.hashes, tokenContentHash(tok))
 	return id
 }
+
+// tokenContentHash is FNV-64a over the token bytes: a stable function of the
+// token's content alone, independent of interning order.
+func tokenContentHash(tok string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint64(tok[i])
+		h *= prime64
+	}
+	return h
+}
+
+// TokenHash returns a 64-bit content hash of the token behind id. Two
+// interners that assigned different ids to the same token string return the
+// same hash, which is what lets LSH sketches built on an incrementally
+// extended dictionary match those of a dictionary built from scratch.
+func (in *Interner) TokenHash(id int32) uint64 { return in.hashes[id] }
+
+// TokenHashes returns the content hashes of all interned tokens, indexed by
+// id. The slice is the interner's own backing array — treat it read-only.
+func (in *Interner) TokenHashes() []uint64 { return in.hashes }
 
 // Lookup returns the id of tok without assigning one.
 func (in *Interner) Lookup(tok string) (int32, bool) {

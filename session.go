@@ -113,15 +113,28 @@ func (b Batch) Empty() bool { return len(b.IDs) == 0 }
 //		s.Answer(askTheHumans(b.IDs))   // partial answers allowed
 //	}
 //
-// Next, Answer, Checkpoint, Cancel and the accessors are safe for
+// Next, Answer, Extend, Checkpoint, Cancel and the accessors are safe for
 // concurrent use. A session that is abandoned before terminating must be
 // Canceled, or its search goroutine stays parked forever.
+//
+// A live session can absorb workload growth without restarting: Extend
+// merges delta pairs (from IncrementalWorkload.Sync or any other source of
+// new candidates) into the workload and transparently re-runs the search
+// over the extended workload — the answered-label log is kept, so the
+// replay races through everything already asked and only the strata the
+// delta actually touched cost new questions. Each Extend starts a new
+// epoch; the per-epoch workload fingerprints form a monotone chain
+// (WorkloadChain) that checkpoints embed, so recovery can identify which
+// epoch a checkpoint was taken at and replay later appends
+// deterministically.
 type Session struct {
-	w   *Workload
 	req Requirement
 	cfg SessionConfig
 
 	mu       sync.Mutex
+	w        *Workload        // current-epoch workload; replaced by Extend
+	epoch    int              // bumped per Extend
+	chain    []string         // workload fingerprint per epoch; chain[0] is the initial one
 	answered map[int]bool     // the label log: Known + everything Answered
 	consumed map[int]struct{} // distinct ids the search asked — the cost ledger
 	pending  []int            // unanswered remainder of the surfaced batch
@@ -131,9 +144,15 @@ type Session struct {
 	err      error
 	riskProg *RiskProgress // latest MethodRisk schedule snapshot
 
-	reqCh     chan []int    // search -> Next: a batch of unknown ids
-	ansCh     chan struct{} // Answer/Next -> search: the batch is fully answered
-	doneCh    chan struct{} // closed when the search goroutine exits
+	// The search/caller rendezvous channels are per-epoch: Extend replaces
+	// all three under mu and closes the superseded epoch's extendCh, which
+	// unparks — and unwinds — every goroutine still blocked on the old
+	// channels. doneCh and abort span the whole session.
+	reqCh    chan []int    // search -> Next: a batch of unknown ids
+	ansCh    chan struct{} // Answer/Next -> search: the batch is fully answered
+	extendCh chan struct{} // closed when this epoch is superseded by Extend
+
+	doneCh    chan struct{} // closed when the search goroutine exits for good
 	abort     chan struct{} // closed by Cancel
 	abortOnce sync.Once
 }
@@ -142,6 +161,14 @@ type Session struct {
 // validation happens here — not deep inside the first Next — so a bad
 // Alpha/Beta/Theta fails fast. MethodBudgeted ignores req.
 func NewSession(w *Workload, req Requirement, cfg SessionConfig) (*Session, error) {
+	return newSession(w, req, cfg, nil)
+}
+
+// newSession is NewSession with an optional pre-existing fingerprint chain:
+// nil starts epoch 0 fresh; a restore passes the checkpointed chain so the
+// session resumes at the epoch the checkpoint was taken at (the chain's
+// last element must fingerprint w).
+func newSession(w *Workload, req Requirement, cfg SessionConfig, chain []string) (*Session, error) {
 	if w == nil {
 		return nil, errors.New("humo: nil workload")
 	}
@@ -159,14 +186,22 @@ func NewSession(w *Workload, req Requirement, cfg SessionConfig) (*Session, erro
 	if cfg.Risk.Progress != nil {
 		return nil, errors.New("humo: Risk.Progress must be nil in sessions; read progress back via Session.RiskProgress")
 	}
+	if len(chain) == 0 {
+		chain = []string{workloadFingerprint(w)}
+	} else {
+		chain = append([]string(nil), chain...)
+	}
 	s := &Session{
 		w:        w,
 		req:      req,
 		cfg:      cfg,
+		epoch:    len(chain) - 1,
+		chain:    chain,
 		answered: make(map[int]bool, len(cfg.Known)),
 		consumed: make(map[int]struct{}),
 		reqCh:    make(chan []int),
 		ansCh:    make(chan struct{}),
+		extendCh: make(chan struct{}),
 		doneCh:   make(chan struct{}),
 		abort:    make(chan struct{}),
 	}
@@ -181,69 +216,118 @@ func NewSession(w *Workload, req Requirement, cfg SessionConfig) (*Session, erro
 // Cancel fires while the search is parked.
 var errSessionAborted = errors.New("humo: internal session abort")
 
+// errSessionExtended is the sentinel the oracle adapter panics with when
+// Extend supersedes the epoch a parked search belongs to; run catches it
+// and restarts the search over the extended workload.
+var errSessionExtended = errors.New("humo: internal session extend")
+
+// run drives the search to a terminal state, restarting it whenever an
+// Extend supersedes the epoch it was running over. The terminal commit and
+// Extend serialize on mu: either Extend saw done first (and returned
+// ErrSessionDone) or the commit sees the bumped epoch and loops.
 func (s *Session) run() {
-	sol, labels, err := s.search()
-	s.mu.Lock()
-	s.done = true
-	s.sol, s.labels, s.err = sol, labels, err
-	s.pending = nil
-	s.mu.Unlock()
-	close(s.doneCh)
+	for {
+		s.mu.Lock()
+		w, epoch := s.w, s.epoch
+		reqCh, ansCh, extendCh := s.reqCh, s.ansCh, s.extendCh
+		s.mu.Unlock()
+		sol, labels, err, superseded := s.searchEpoch(w, reqCh, ansCh, extendCh)
+		if superseded {
+			continue
+		}
+		s.mu.Lock()
+		if s.epoch != epoch {
+			// Extended after the search finished but before this commit:
+			// the result covers a stale workload, so search again.
+			s.mu.Unlock()
+			continue
+		}
+		s.done = true
+		s.sol, s.labels, s.err = sol, labels, err
+		s.pending = nil
+		s.mu.Unlock()
+		close(s.doneCh)
+		return
+	}
 }
 
-func (s *Session) search() (sol Solution, labels []bool, err error) {
+// searchEpoch runs one search over the given epoch's workload and channels.
+// superseded reports that an Extend replaced the epoch mid-search; the
+// other results are then meaningless. The rng is recreated from Seed per
+// epoch, so each epoch's search is a deterministic replay given the label
+// log — the property restore and Extend both lean on.
+func (s *Session) searchEpoch(w *Workload, reqCh chan []int, ansCh, extendCh chan struct{}) (sol Solution, labels []bool, err error, superseded bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if r == errSessionAborted { //nolint:errorlint // sentinel identity
+			switch r { //nolint:errorlint // sentinel identity
+			case errSessionAborted:
 				sol, labels, err = Solution{}, nil, ErrSessionCanceled
-				return
+			case errSessionExtended:
+				superseded = true
+			default:
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
-	ad := &sessionOracle{s: s}
+	ad := &sessionOracle{s: s, reqCh: reqCh, ansCh: ansCh, extendCh: extendCh}
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	switch s.cfg.Method {
 	case MethodBase:
-		sol, err = core.BaseSearch(s.w, s.req, ad, s.cfg.Base)
+		sol, err = core.BaseSearch(w, s.req, ad, s.cfg.Base)
 	case MethodAllSampling:
 		sc := s.cfg.Sampling
 		sc.Rand = rng
-		sol, err = core.AllSamplingSearch(s.w, s.req, ad, sc)
+		sol, err = core.AllSamplingSearch(w, s.req, ad, sc)
 	case MethodPartialSampling:
 		sc := s.cfg.Sampling
 		sc.Rand = rng
-		sol, err = core.PartialSamplingSearch(s.w, s.req, ad, sc)
+		sol, err = core.PartialSamplingSearch(w, s.req, ad, sc)
 	case MethodHybrid:
 		hc := s.cfg.Hybrid
 		hc.Sampling.Rand = rng
-		sol, err = core.HybridSearch(s.w, s.req, ad, hc)
+		sol, err = core.HybridSearch(w, s.req, ad, hc)
 	case MethodBudgeted:
 		sc := s.cfg.Sampling
 		sc.Rand = rng
-		sol, err = core.BudgetedSearch(s.w, s.cfg.BudgetPairs, ad, sc)
+		sol, err = core.BudgetedSearch(w, s.cfg.BudgetPairs, ad, sc)
 	case MethodRisk:
 		rc := s.cfg.Risk
 		rc.Sampling.Rand = rng
 		rc.Progress = s.storeRiskProgress
-		sol, err = core.RiskSearch(s.w, s.req, ad, rc)
+		sol, err = core.RiskSearch(w, s.req, ad, rc)
 	}
 	if err == nil && s.cfg.Resolve {
-		labels = sol.Resolve(s.w, ad)
+		labels = sol.Resolve(w, ad)
 	}
-	return sol, labels, err
+	return sol, labels, err, false
 }
 
 // sessionOracle is the channel-backed oracle the search runs against. Known
 // answers are served from the log; unknown ids park the search goroutine
-// until the caller Answers them (or Cancel aborts the run).
-type sessionOracle struct{ s *Session }
+// until the caller Answers them (or Cancel aborts the run, or Extend
+// supersedes the epoch). The channels are captured at search start — a
+// search superseded mid-flight must never publish a batch on a newer
+// epoch's channels, or the set of asked ids would depend on Extend timing
+// and the new epoch's replay would stop being deterministic.
+type sessionOracle struct {
+	s        *Session
+	reqCh    chan []int
+	ansCh    chan struct{}
+	extendCh chan struct{}
+}
 
 func (a *sessionOracle) Label(id int) bool { return a.LabelAll([]int{id})[0] }
 
 func (a *sessionOracle) LabelAll(ids []int) []bool {
 	s := a.s
 	s.mu.Lock()
+	// A superseded search must not touch the cost ledger: the new epoch's
+	// replay re-asks deterministically, and stale asks would make Cost
+	// depend on where Extend happened to land.
+	if s.extendCh != a.extendCh {
+		s.mu.Unlock()
+		panic(errSessionExtended)
+	}
 	var unknown []int
 	seen := make(map[int]struct{}, len(ids))
 	for _, id := range ids {
@@ -260,14 +344,18 @@ func (a *sessionOracle) LabelAll(ids []int) []bool {
 	if len(unknown) > 0 {
 		sort.Ints(unknown)
 		select {
-		case s.reqCh <- unknown:
+		case a.reqCh <- unknown:
 		case <-s.abort:
 			panic(errSessionAborted)
+		case <-a.extendCh:
+			panic(errSessionExtended)
 		}
 		select {
-		case <-s.ansCh:
+		case <-a.ansCh:
 		case <-s.abort:
 			panic(errSessionAborted)
+		case <-a.extendCh:
+			panic(errSessionExtended)
 		}
 	}
 	s.mu.Lock()
@@ -293,6 +381,8 @@ func (s *Session) Next(ctx context.Context) (Batch, error) {
 			return Batch{IDs: b}, nil
 		}
 		done, err := s.done, s.err
+		epoch := s.epoch
+		reqCh, ansCh, extendCh := s.reqCh, s.ansCh, s.extendCh
 		s.mu.Unlock()
 		if done {
 			return Batch{}, err
@@ -302,20 +392,22 @@ func (s *Session) Next(ctx context.Context) (Batch, error) {
 		// humod's ?wait=0) deterministic instead of racing the ready reqCh
 		// against ctx.Done in one select.
 		select {
-		case ids := <-s.reqCh:
-			if b, ok := s.acceptBatch(ids); ok {
+		case ids := <-reqCh:
+			if b, ok := s.acceptBatch(ids, epoch, ansCh, extendCh); ok {
 				return b, nil
 			}
 			continue
 		default:
 		}
 		select {
-		case ids := <-s.reqCh:
-			if b, ok := s.acceptBatch(ids); ok {
+		case ids := <-reqCh:
+			if b, ok := s.acceptBatch(ids, epoch, ansCh, extendCh); ok {
 				return b, nil
 			}
 		case <-s.doneCh:
 			// Loop: re-read the terminal state under the lock.
+		case <-extendCh:
+			// The epoch was superseded; loop to pick up the new channels.
 		case <-ctx.Done():
 			return Batch{}, ctx.Err()
 		}
@@ -325,9 +417,15 @@ func (s *Session) Next(ctx context.Context) (Batch, error) {
 // acceptBatch turns a batch received from the search into the surfaced
 // pending set. Answers may have arrived through Answer (or a restore merge)
 // while the search was computing; only what is still unanswered surfaces,
-// and a fully-covered batch releases the search immediately (ok false).
-func (s *Session) acceptBatch(ids []int) (Batch, bool) {
+// and a fully-covered batch releases the search immediately (ok false). A
+// batch from a superseded epoch is dropped without touching pending — the
+// extended search will re-ask what still matters.
+func (s *Session) acceptBatch(ids []int, epoch int, ansCh, extendCh chan struct{}) (Batch, bool) {
 	s.mu.Lock()
+	if s.epoch != epoch {
+		s.mu.Unlock()
+		return Batch{}, false
+	}
 	var remaining []int
 	for _, id := range ids {
 		if _, ok := s.answered[id]; !ok {
@@ -337,17 +435,20 @@ func (s *Session) acceptBatch(ids []int) (Batch, bool) {
 	s.pending = remaining
 	s.mu.Unlock()
 	if len(remaining) == 0 {
-		s.release()
+		s.release(ansCh, extendCh)
 		return Batch{}, false
 	}
 	return Batch{IDs: append([]int(nil), remaining...)}, true
 }
 
 // release unparks the search goroutine after its batch is fully answered.
-func (s *Session) release() {
+// The channels are the batch's epoch's: a search already unwound by Extend
+// or Cancel is never waited on.
+func (s *Session) release(ansCh, extendCh chan struct{}) {
 	select {
-	case s.ansCh <- struct{}{}:
+	case ansCh <- struct{}{}:
 	case <-s.doneCh: // the run was aborted while we held the answers
+	case <-extendCh: // the epoch was superseded while we held the answers
 	}
 }
 
@@ -412,6 +513,7 @@ func (s *Session) AnswerApplied(labels map[int]bool) (applied map[int]bool, err 
 		s.answered[id] = v
 	}
 	released := false
+	var ansCh, extendCh chan struct{}
 	if len(s.pending) > 0 {
 		var remaining []int
 		for _, id := range s.pending {
@@ -421,12 +523,73 @@ func (s *Session) AnswerApplied(labels map[int]bool) (applied map[int]bool, err 
 		}
 		s.pending = remaining
 		released = len(remaining) == 0
+		// Capture the channels under the same lock that decided to release:
+		// pending always belongs to the current epoch (Extend clears it), so
+		// these are the channels the parked search is waiting on.
+		ansCh, extendCh = s.ansCh, s.extendCh
 	}
 	s.mu.Unlock()
 	if released {
-		s.release()
+		s.release(ansCh, extendCh)
 	}
 	return applied, nil
+}
+
+// Extend merges newPairs into the session's workload and starts a new
+// epoch: the running search is unwound at its next oracle interaction and
+// re-run over the extended workload. The answered-label log survives — the
+// replay races through every pair already asked, so only the strata the new
+// pairs actually land in cost additional human questions. Pair ids must not
+// collide with existing ones (IncrementalWorkload.Sync's deltas continue
+// the cumulative numbering and are safe by construction).
+//
+// An empty (or nil) newPairs is a no-op returning nil even on a terminated
+// session, mirroring Answer's empty-call semantics. Extending a session
+// that already terminated — including by Cancel — returns ErrSessionDone
+// with the label log intact; callers wanting to resolve the grown workload
+// start a fresh session seeded with Answered().
+func (s *Session) Extend(newPairs []Pair) error {
+	if len(newPairs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return ErrSessionDone
+	}
+	existing := make(map[int]struct{}, s.w.Len()+len(newPairs))
+	merged := make([]Pair, 0, s.w.Len()+len(newPairs))
+	for i := 0; i < s.w.Len(); i++ {
+		p := s.w.Pair(i)
+		existing[p.ID] = struct{}{}
+		merged = append(merged, p)
+	}
+	for _, p := range newPairs {
+		if _, dup := existing[p.ID]; dup {
+			s.mu.Unlock()
+			return fmt.Errorf("humo: Extend pair id %d already in the workload", p.ID)
+		}
+		existing[p.ID] = struct{}{}
+		merged = append(merged, p)
+	}
+	w, err := NewWorkload(merged, s.w.SubsetSize())
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	oldExtendCh := s.extendCh
+	s.w = w
+	s.epoch++
+	s.chain = append(s.chain, workloadFingerprint(w))
+	s.pending = nil
+	s.reqCh = make(chan []int)
+	s.ansCh = make(chan struct{})
+	s.extendCh = make(chan struct{})
+	s.mu.Unlock()
+	// Unpark everything still blocked on the superseded epoch's channels —
+	// the search unwinds into a restart, parked Next calls re-snapshot.
+	close(oldExtendCh)
+	return nil
 }
 
 // Run drives the session to termination with a Labeler: the batch loop of
@@ -559,17 +722,23 @@ type labelEntry struct {
 }
 
 type sessionCheckpoint struct {
-	Version       int          `json:"version"`
-	Method        Method       `json:"method"`
-	Seed          int64        `json:"seed"`
-	Alpha         float64      `json:"alpha"`
-	Beta          float64      `json:"beta"`
-	Theta         float64      `json:"theta"`
-	BudgetPairs   int          `json:"budget_pairs"`
-	ConfigHash    string       `json:"config_hash"`
-	WorkloadPairs int          `json:"workload_pairs"`
-	SubsetSize    int          `json:"subset_size"`
-	WorkloadHash  string       `json:"workload_hash"`
+	Version       int     `json:"version"`
+	Method        Method  `json:"method"`
+	Seed          int64   `json:"seed"`
+	Alpha         float64 `json:"alpha"`
+	Beta          float64 `json:"beta"`
+	Theta         float64 `json:"theta"`
+	BudgetPairs   int     `json:"budget_pairs"`
+	ConfigHash    string  `json:"config_hash"`
+	WorkloadPairs int     `json:"workload_pairs"`
+	SubsetSize    int     `json:"subset_size"`
+	WorkloadHash  string  `json:"workload_hash"`
+	// WorkloadChain is the per-epoch fingerprint chain of a session that
+	// was Extended: chain[0] is the initial workload, each later element an
+	// Extend, and the last element always equals WorkloadHash. Absent
+	// (omitempty) on never-extended sessions, so pre-chain checkpoints stay
+	// byte-identical and a legacy reader sees a valid single-epoch file.
+	WorkloadChain []string     `json:"workload_chain,omitempty"`
 	Labels        []labelEntry `json:"labels"`
 }
 
@@ -629,6 +798,14 @@ func (s *Session) Checkpoint(w io.Writer) error {
 	for id, v := range s.answered {
 		entries = append(entries, labelEntry{ID: id, Match: v})
 	}
+	// Workload and chain must be snapshotted under the same lock as the
+	// label log: an Extend between the two would pair epoch-N labels with an
+	// epoch-N+1 fingerprint and the checkpoint would never verify.
+	wl := s.w
+	var chain []string
+	if len(s.chain) > 1 {
+		chain = append([]string(nil), s.chain...)
+	}
 	s.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
 	enc := json.NewEncoder(w)
@@ -642,9 +819,10 @@ func (s *Session) Checkpoint(w io.Writer) error {
 		Theta:         s.req.Theta,
 		BudgetPairs:   s.cfg.BudgetPairs,
 		ConfigHash:    configFingerprint(s.cfg),
-		WorkloadPairs: s.w.Len(),
-		SubsetSize:    s.w.SubsetSize(),
-		WorkloadHash:  workloadFingerprint(s.w),
+		WorkloadPairs: wl.Len(),
+		SubsetSize:    wl.SubsetSize(),
+		WorkloadHash:  workloadFingerprint(wl),
+		WorkloadChain: chain,
 		Labels:        entries,
 	})
 }
@@ -693,6 +871,9 @@ func RestoreSessionDeltas(w *Workload, req Requirement, cfg SessionConfig, base 
 	if cp.WorkloadPairs != w.Len() || cp.SubsetSize != w.SubsetSize() || cp.WorkloadHash != workloadFingerprint(w) {
 		return nil, fmt.Errorf("%w: workload changed since the checkpoint was written", ErrCheckpointMismatch)
 	}
+	if len(cp.WorkloadChain) > 0 && cp.WorkloadChain[len(cp.WorkloadChain)-1] != cp.WorkloadHash {
+		return nil, fmt.Errorf("%w: checkpoint workload chain does not end at its workload hash", ErrCheckpointMismatch)
+	}
 	known := make(map[int]bool, len(cp.Labels)+len(cfg.Known))
 	for id, v := range cfg.Known {
 		known[id] = v
@@ -706,5 +887,66 @@ func RestoreSessionDeltas(w *Workload, req Requirement, cfg SessionConfig, base 
 		}
 	}
 	cfg.Known = known
-	return NewSession(w, req, cfg)
+	return newSession(w, req, cfg, cp.WorkloadChain)
+}
+
+// Workload returns the session's current-epoch workload: the initial one
+// until the first Extend, then the merged workload of the latest epoch.
+func (s *Session) Workload() *Workload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w
+}
+
+// Epoch returns how many Extends the session has absorbed (0 before the
+// first one). It equals len(WorkloadChain())-1.
+func (s *Session) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// WorkloadChain returns a copy of the per-epoch workload fingerprint chain:
+// element 0 fingerprints the workload the session started with, each later
+// element the workload after one Extend, and the last element the current
+// workload. The chain is monotone — Extend only appends — which is what
+// lets recovery locate a checkpoint's epoch inside a longer chain and
+// replay the remaining appends deterministically.
+func (s *Session) WorkloadChain() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.chain...)
+}
+
+// CheckpointInfo is the workload identity embedded in a checkpoint,
+// readable without the workload itself (ReadCheckpointInfo). Recovery uses
+// it to decide which epoch of an append history a checkpoint was taken at
+// before committing to rebuilding that workload.
+type CheckpointInfo struct {
+	WorkloadPairs int
+	SubsetSize    int
+	WorkloadHash  string
+	// WorkloadChain is nil for checkpoints of never-extended sessions (the
+	// single-epoch chain is then just [WorkloadHash]).
+	WorkloadChain []string
+}
+
+// ReadCheckpointInfo decodes only the workload-identity header of a
+// checkpoint stream. It validates the version but none of the search
+// configuration — pair it with RestoreSession/RestoreSessionDeltas for the
+// full verification.
+func ReadCheckpointInfo(r io.Reader) (CheckpointInfo, error) {
+	var cp sessionCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("humo: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return CheckpointInfo{}, fmt.Errorf("%w: checkpoint version %d, want %d", ErrCheckpointMismatch, cp.Version, checkpointVersion)
+	}
+	return CheckpointInfo{
+		WorkloadPairs: cp.WorkloadPairs,
+		SubsetSize:    cp.SubsetSize,
+		WorkloadHash:  cp.WorkloadHash,
+		WorkloadChain: cp.WorkloadChain,
+	}, nil
 }
