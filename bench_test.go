@@ -2,6 +2,7 @@ package humo_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"humo"
@@ -152,6 +153,37 @@ func BenchmarkRiskSchedule(b *testing.B) {
 		o := humo.NewSimulatedOracle(truth)
 		cfg := humo.RiskConfig{Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(int64(i)))}}
 		if _, err := humo.RiskAware(w, req, o, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrectSchedule is the CI-gated hot path of risk-corrected
+// verification: stratifying a 100k-pair machine label set, the per-stratum
+// error posteriors, the riskiest-first batch schedule with per-batch
+// re-estimation, and the stratified certificate rescans, run to
+// certification. scripts/bench_gate.sh fails a PR when its mean ns/op
+// regresses by more than 20% against the base commit.
+func BenchmarkCorrectSchedule(b *testing.B) {
+	w, truth := benchWorkload(b, 100000)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	// Synthetic classifier: ground truth with every 17th label flipped,
+	// scored by similarity — errors spread across the score range.
+	machine := make([]humo.CorrectLabel, w.Len())
+	for i := 0; i < w.Len(); i++ {
+		p := w.Pair(i)
+		match := truth[p.ID]
+		if p.ID%17 == 0 {
+			match = !match
+		}
+		machine[i] = humo.CorrectLabel{ID: p.ID, Match: match, Score: p.Sim}
+	}
+	sort.Slice(machine, func(i, j int) bool { return machine[i].ID < machine[j].ID })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := humo.NewSimulatedOracle(truth)
+		cfg := humo.CorrectConfig{Labels: machine, Rand: rand.New(rand.NewSource(int64(i)))}
+		if _, _, err := humo.Correct(w, req, o, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -25,6 +25,16 @@
 // from a real review — results never contain guessed labels — and the run
 // reports the human cost (distinct pairs reviewed) of the resolution.
 //
+// Risk-corrected machine labels: with -method correct, a machine classifier
+// labels every candidate pair up front (-classifier svm trains a linear SVM
+// on the answers already in -labels; fellegi fits an unsupervised
+// Fellegi-Sunter model to the similarity distribution; file loads a
+// pre-scored pair_id,label,score CSV via -classifier-file), and the human
+// effort goes into verifying the classifier's riskiest labels until the
+// corrected label set is certified to meet -alpha/-beta at confidence
+// -theta. -anytime caps the verification labels, like it does for -method
+// risk. Verified pairs are attributed source "human" in the results.
+//
 // Streaming mode: with -append, humo does not resolve anything locally.
 // Instead the -a/-b CSVs are uploaded to a running humod server
 // (POST /v1/workloads/{name}/records), which journals the rows, grows the
@@ -107,7 +117,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		alpha       = fs.Float64("alpha", 0.9, "required precision, in (0,1]")
 		beta        = fs.Float64("beta", 0.9, "required recall, in (0,1]")
 		theta       = fs.Float64("theta", 0.9, "confidence level, in (0,1)")
-		method      = fs.String("method", "hybrid", "optimizer: base, allsampling, sampling, hybrid, budgeted or risk")
+		method      = fs.String("method", "hybrid", "optimizer: base, allsampling, sampling, hybrid, budgeted, risk or correct")
 		budget      = fs.Int("budget", 0, "manual-inspection budget (pairs) for -method budgeted")
 		subsetSize  = fs.Int("subset", 0, "unit-subset size (0 = default 200)")
 		labelsIn    = fs.String("labels", "", "CSV of human answers collected so far (pair_id,label); rewritten with new answers in -interactive mode")
@@ -115,7 +125,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		outPath     = fs.String("out", "results.csv", "where to write the final resolution")
 		seed        = fs.Int64("seed", 1, "seed for all sampling decisions (keep fixed across review rounds)")
 		interactive = fs.Bool("interactive", false, "label pending pairs live on stdin instead of exiting for a file review round")
-		anytime     = fs.Int("anytime", 0, "-method risk: stop the risk schedule after at most this many labels (0 = run to convergence)")
+		anytime     = fs.Int("anytime", 0, "-method risk/correct: stop the label schedule after at most this many labels (0 = run to convergence)")
+		classifier  = fs.String("classifier", "", "-method correct: machine classifier — svm (linear SVM trained on the -labels answers), fellegi (unsupervised Fellegi-Sunter fit) or file (pre-scored labels CSV)")
+		classFile   = fs.String("classifier-file", "", "-classifier file: scored-label CSV (pair_id,label,score) to correct")
 		appendMode  = fs.Bool("append", false, "append the -a/-b records to a live humod workload (-server, -workload) instead of resolving locally")
 		serverURL   = fs.String("server", "", "with -append: humod base URL, e.g. http://127.0.0.1:8080")
 		workload    = fs.String("workload", "", "with -append: name of the server-built workload to append to")
@@ -160,8 +172,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if m == humo.MethodBudgeted && *budget == 0 {
 		return usageErr(stderr, errors.New("-method budgeted needs a positive -budget"))
 	}
-	if *anytime > 0 && m != humo.MethodRisk {
-		return usageErr(stderr, errors.New("-anytime applies to -method risk only"))
+	if *anytime > 0 && m != humo.MethodRisk && m != humo.MethodCorrect {
+		return usageErr(stderr, errors.New("-anytime applies to -method risk or correct only"))
+	}
+	switch *classifier {
+	case "", "svm", "fellegi", "file":
+	default:
+		return usageErr(stderr, fmt.Errorf("unknown -classifier %q (want svm, fellegi or file)", *classifier))
+	}
+	if m == humo.MethodCorrect && *classifier == "" {
+		return usageErr(stderr, errors.New("-method correct needs a -classifier (svm, fellegi or file)"))
+	}
+	if *classifier != "" && m != humo.MethodCorrect {
+		return usageErr(stderr, errors.New("-classifier applies to -method correct only"))
+	}
+	if *classifier == "file" && *classFile == "" {
+		return usageErr(stderr, errors.New("-classifier file needs a -classifier-file CSV"))
+	}
+	if *classFile != "" && *classifier != "file" {
+		return usageErr(stderr, errors.New("-classifier-file applies to -classifier file only"))
 	}
 
 	mode, err := humo.ParseBlockingMode(*blockMode)
@@ -250,7 +279,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Resolve:     true,
 		Known:       known,
 	}
-	cfg.Risk.BudgetPairs = *anytime
+	switch m {
+	case humo.MethodRisk:
+		cfg.Risk.BudgetPairs = *anytime
+	case humo.MethodCorrect:
+		cfg.Correct.BudgetPairs = *anytime
+		cfg.Correct.Labels, err = machineLabels(*classifier, *classFile, w, cands, known, fingerprint, *workers, *seed)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
 	sess, err := humo.NewSession(w, req, cfg)
 	if err != nil {
 		return fail(stderr, err)
@@ -510,10 +548,19 @@ func (e *cliEnv) writeResults() int {
 	labels := e.sess.Labels()
 	rows := make([]dataio.ResultRow, e.w.Len())
 	hStart, hEnd := humanRange(e.w, sol)
+	// Correct sessions have an empty DH by construction; there the human
+	// pairs are the ones the corrector actually verified.
+	var verified map[int]bool
+	if _, ok := e.sess.CorrectProgress(); ok {
+		verified = e.sess.Answered()
+	}
 	for i := 0; i < e.w.Len(); i++ {
 		id := e.w.Pair(i).ID
 		source := "machine"
 		if i >= hStart && i < hEnd {
+			source = "human"
+		}
+		if _, ok := verified[id]; ok {
 			source = "human"
 		}
 		rows[i] = dataio.ResultRow{
@@ -553,6 +600,14 @@ func (e *cliEnv) writeResults() int {
 		fmt.Fprintf(e.stdout, "risk schedule %s after %d batches (%d scheduled labels)\n",
 			state, p.Batches, p.Answered)
 	}
+	if p, ok := e.sess.CorrectProgress(); ok {
+		state := "certified"
+		if !p.Certified {
+			state = "stopped on the -anytime budget"
+		}
+		fmt.Fprintf(e.stdout, "correction %s after %d batches: precision >= %.4f, recall >= %.4f (%d of %d machine labels verified, %d declared matches)\n",
+			state, p.Batches, p.PrecisionLo, p.RecallLo, p.Verified, p.Verified+p.Remaining, p.DeclaredMatches)
+	}
 	return exitOK
 }
 
@@ -564,6 +619,90 @@ func humanRange(w *humo.Workload, sol humo.Solution) (int, int) {
 	start, _ := w.SubsetRange(sol.Lo)
 	_, end := w.SubsetRange(sol.Hi)
 	return start, end
+}
+
+// machineLabels builds the -classifier model and labels every workload pair
+// with it, producing the machine label set -method correct verifies. The CLI
+// aggregates per-attribute similarities at scoring time, so model features
+// are the single aggregated similarity; richer feature sets are available
+// through the library's Classifier contract.
+func machineLabels(kind, file string, w *humo.Workload, cands []humo.Candidate, known dataio.Labels, fingerprint string, workers int, seed int64) ([]humo.CorrectLabel, error) {
+	ids := make([]int, w.Len())
+	for i := range ids {
+		ids[i] = w.Pair(i).ID
+	}
+	feat := func(id int) ([]float64, error) {
+		if id < 0 || id >= len(cands) {
+			return nil, fmt.Errorf("pair %d outside the candidate set", id)
+		}
+		return []float64{cands[id].Sim}, nil
+	}
+	switch kind {
+	case "svm":
+		// Train on the human answers collected so far, in ascending-id order
+		// so the fit is identical across review rounds with the same labels.
+		kids := make([]int, 0, len(known))
+		for id := range known {
+			kids = append(kids, id)
+		}
+		sort.Ints(kids)
+		xs := make([][]float64, 0, len(kids))
+		ys := make([]bool, 0, len(kids))
+		pos := 0
+		for _, id := range kids {
+			x, err := feat(id)
+			if err != nil {
+				return nil, fmt.Errorf("-labels answer: %w", err)
+			}
+			xs = append(xs, x)
+			ys = append(ys, known[id])
+			if known[id] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(ys) {
+			return nil, fmt.Errorf("-classifier svm trains on the -labels answers and needs both classes: %d match / %d unmatch answers on file — collect a first round with another method, or use -classifier fellegi (unsupervised)", pos, len(ys)-pos)
+		}
+		model, err := humo.TrainSVM(xs, ys, humo.SVMConfig{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return humo.ClassifyAll(ids, humo.SVMClassifier{Model: model, Features: feat}, workers)
+	case "fellegi":
+		feats := make([][]float64, len(ids))
+		for i, id := range ids {
+			feats[i] = []float64{cands[id].Sim}
+		}
+		// A symmetric starting prior: with a single aggregated-similarity
+		// attribute the default low prior can dominate the (weak) one-
+		// attribute likelihood ratio and EM settles on labeling everything
+		// unmatch; seeding at 0.5 lets the similarity modes decide.
+		model, err := humo.FitFellegi(feats, humo.FellegiConfig{InitialPrior: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		return humo.ClassifyAll(ids, humo.FellegiClassifier{Model: model, Features: feat}, workers)
+	case "file":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		scored, guard, err := dataio.ReadScoredLabels(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if guard != "" && guard != fingerprint {
+			return nil, fmt.Errorf("classifier file %s was scored for a different candidate set (workload %s, now %s): regenerate the scores for the current -spec/-block/-threshold and tables", file, guard, fingerprint)
+		}
+		lm := make(humo.LabelMapClassifier, len(scored))
+		for id, l := range scored {
+			lm[id] = humo.CorrectLabel{ID: id, Match: l.Match, Score: l.Score}
+		}
+		return lm.Labeled(), nil
+	default:
+		return nil, fmt.Errorf("unknown -classifier %q", kind)
+	}
 }
 
 // readCandidates loads a pre-generated candidates CSV and validates its

@@ -597,6 +597,248 @@ func TestRunRiskMethod(t *testing.T) {
 	t.Fatalf("risk resolution did not converge; last output %q", lastOut)
 }
 
+// answerPending plays one review round: the pending queue is answered from
+// the fixture's truth rule and merged into the label file.
+func answerPending(t *testing.T, dir string) {
+	t.Helper()
+	ans := readPendingAnswers(t, filepath.Join(dir, "pending.csv"))
+	if len(ans) == 0 {
+		t.Fatal("exit 3 with an empty pending queue")
+	}
+	known := dataio.Labels{}
+	if f, err := os.Open(filepath.Join(dir, "labels.csv")); err == nil {
+		var err2 error
+		known, err2 = dataio.ReadLabels(f)
+		f.Close()
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+	}
+	for id, v := range ans {
+		known[id] = v
+	}
+	f, err := os.Create(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteLabels(f, known); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// driveToResolution re-runs the command round after round, answering every
+// pending queue from the truth rule, until the resolution lands. Returns the
+// final round's stdout.
+func driveToResolution(t *testing.T, dir string, args []string, rounds int) string {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		var out, errb bytes.Buffer
+		switch code := run(args, strings.NewReader(""), &out, &errb); code {
+		case exitOK:
+			return out.String()
+		case exitReview:
+			answerPending(t, dir)
+		default:
+			t.Fatalf("round %d: exit %d, stderr %q", round, code, errb.String())
+		}
+	}
+	t.Fatalf("resolution did not converge in %d rounds", rounds)
+	return ""
+}
+
+// TestRunCorrectFellegi resolves the fixture with -method correct and the
+// unsupervised Fellegi-Sunter classifier: review rounds verify the machine
+// labels until certified, the output carries the correction summary, and
+// every human-sourced result row is a verified answer the test actually gave.
+func TestRunCorrectFellegi(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+	args := baseArgs(dir, aPath, bPath, "-method", "correct", "-classifier", "fellegi")
+	out := driveToResolution(t, dir, args, 60)
+	if !strings.Contains(out, "correction certified") {
+		t.Errorf("final output lacks the correction summary: %q", out)
+	}
+
+	// Every answer on file, for checking result attribution.
+	f, err := os.Open(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	given, err := dataio.ReadLabels(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rows, err := csv.NewReader(rf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	humanRows, machineRows := 0, 0
+	for _, row := range rows[1:] { // pair_id,record_a,record_b,similarity,label,source
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[5] {
+		case "human":
+			humanRows++
+			want, ok := given[id]
+			if !ok {
+				t.Fatalf("human-sourced pair %d was never verified by the test", id)
+			}
+			if got := row[4] == "match"; got != want {
+				t.Fatalf("verified pair %d: output label %v, answered %v", id, got, want)
+			}
+		case "machine":
+			machineRows++
+		default:
+			t.Fatalf("pair %d: unknown source %q", id, row[5])
+		}
+	}
+	if humanRows == 0 {
+		t.Error("no verified (human-sourced) rows in the corrected resolution")
+	}
+	if machineRows == 0 {
+		t.Error("no machine-sourced rows: the correction verified everything, saving nothing")
+	}
+}
+
+// TestRunCorrectSVM bootstraps training answers with one -method base review
+// round, then resolves with -method correct and an SVM trained on them.
+func TestRunCorrectSVM(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+
+	// Without any labels on file, the SVM has nothing to train on.
+	correctArgs := baseArgs(dir, aPath, bPath, "-method", "correct", "-classifier", "svm")
+	var out, errb bytes.Buffer
+	if code := run(correctArgs, strings.NewReader(""), &out, &errb); code != exitError {
+		t.Fatalf("svm without training answers: exit %d, want %d; stderr %q", code, exitError, errb.String())
+	}
+	if !strings.Contains(errb.String(), "both classes") {
+		t.Errorf("untrainable-svm message unclear: %q", errb.String())
+	}
+
+	// Bootstrap: one base round collects answers of both classes.
+	out.Reset()
+	errb.Reset()
+	if code := run(baseArgs(dir, aPath, bPath), strings.NewReader(""), &out, &errb); code != exitReview {
+		t.Fatalf("bootstrap round: exit %d, stderr %q", code, errb.String())
+	}
+	answerPending(t, dir)
+
+	final := driveToResolution(t, dir, correctArgs, 60)
+	if !strings.Contains(final, "correction certified") {
+		t.Errorf("final output lacks the correction summary: %q", final)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCorrectClassifierFile resolves with pre-scored machine labels from
+// a -classifier-file CSV, and checks a file scored for a different candidate
+// set is refused via its embedded fingerprint guard.
+func TestRunCorrectClassifierFile(t *testing.T) {
+	dir := t.TempDir()
+	aPath, bPath := writeFixture(t, dir)
+
+	// Rebuild the CLI's exact workload to fingerprint the scored file and to
+	// know the record pairs behind each positional id.
+	ta := readTableT(t, aPath, "a")
+	tb := readTableT(t, bPath, "b")
+	g, err := humo.GenerateWorkload(context.Background(), ta, tb, humo.GenConfig{
+		Specs:      []humo.AttributeSpec{{Attribute: "name", Kind: humo.KindJaccard}},
+		Block:      humo.BlockCross,
+		Threshold:  0.15,
+		SubsetSize: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := make(dataio.ScoredLabels, len(g.Candidates))
+	for id, c := range g.Candidates {
+		match := ta.Records[c.A].Values[0] == tb.Records[c.B].Values[0]
+		if id%9 == 0 {
+			match = !match // a wrong machine label to be corrected
+		}
+		scored[id] = dataio.ScoredLabel{Match: match, Score: c.Sim}
+	}
+	writeScored := func(name, guard string) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataio.WriteScoredLabels(f, scored, guard); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	goodPath := writeScored("scored.csv", humo.WorkloadFingerprint(g.Workload))
+	badPath := writeScored("scored-foreign.csv", "deadbeefdeadbeef")
+
+	// The foreign-fingerprint file is refused before any session starts.
+	var out, errb bytes.Buffer
+	badArgs := baseArgs(dir, aPath, bPath, "-method", "correct", "-classifier", "file", "-classifier-file", badPath)
+	if code := run(badArgs, strings.NewReader(""), &out, &errb); code != exitError {
+		t.Fatalf("foreign scored file: exit %d, want %d; stderr %q", code, exitError, errb.String())
+	}
+	if !strings.Contains(errb.String(), "different candidate set") {
+		t.Errorf("guard message unclear: %q", errb.String())
+	}
+
+	args := baseArgs(dir, aPath, bPath, "-method", "correct", "-classifier", "file", "-classifier-file", goodPath)
+	final := driveToResolution(t, dir, args, 60)
+	if !strings.Contains(final, "correction certified") {
+		t.Errorf("final output lacks the correction summary: %q", final)
+	}
+}
+
+// TestRunCorrectValidation pins the -method correct usage errors.
+func TestRunCorrectValidation(t *testing.T) {
+	base := []string{"-a", "x.csv", "-b", "y.csv", "-spec", "name:jaccard"}
+	cases := []struct {
+		name  string
+		extra []string
+		want  string
+	}{
+		{"correct without classifier", []string{"-method", "correct"}, "-classifier"},
+		{"classifier elsewhere", []string{"-classifier", "svm"}, "-classifier"},
+		{"unknown classifier", []string{"-method", "correct", "-classifier", "bogus"}, "bogus"},
+		{"file classifier without file", []string{"-method", "correct", "-classifier", "file"}, "-classifier-file"},
+		{"classifier-file elsewhere", []string{"-method", "correct", "-classifier", "svm", "-classifier-file", "x.csv"}, "-classifier-file"},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		if code := run(append(append([]string(nil), base...), c.extra...), strings.NewReader(""), &out, &errb); code != exitUsage {
+			t.Errorf("%s: exit %d, want %d; stderr %q", c.name, code, exitUsage, errb.String())
+		} else if !strings.Contains(errb.String(), c.want) {
+			t.Errorf("%s: stderr %q does not mention %s", c.name, errb.String(), c.want)
+		}
+	}
+	// -anytime IS accepted with -method correct: the run proceeds past flag
+	// validation and fails only on the nonexistent input files.
+	var out, errb bytes.Buffer
+	code := run(append(append([]string(nil), base...), "-method", "correct", "-classifier", "fellegi", "-anytime", "25"),
+		strings.NewReader(""), &out, &errb)
+	if code != exitError {
+		t.Errorf("-anytime with -method correct: exit %d, want %d (runtime file error); stderr %q", code, exitError, errb.String())
+	}
+}
+
 // TestRunAppendMode drives -append against an in-process humod: a live
 // token workload is built server-side, then the CLI uploads two small CSVs
 // and the workload's candidate set must grow by the reported delta.

@@ -56,6 +56,30 @@
 // Checkpoint/RestoreSession therefore replay risk sessions bit-identically,
 // like every other method.
 //
+// # Risk-corrected machine labels (c-HUMO)
+//
+// Correct (Method "correct") inverts the regime of the searches above:
+// instead of finding a human zone inside an unlabeled workload, it starts
+// from a complete machine labeling — any Classifier implementation; SVM,
+// Fellegi and LabelMapClassifier adapt the built-in models and pre-scored
+// files, ClassifyAll fans a classifier over the workload deterministically —
+// and spends the human budget verifying the labels most likely to be wrong
+// (Chen et al. 2018, arXiv:1805.12502). The scored labels are stratified by
+// classifier confidence, a Beta posterior over the classifier's error rate
+// is maintained per stratum, and verification proceeds riskiest-first in
+// batches until the corrected label set provably meets the
+// precision/recall requirement — or CorrectConfig.BudgetPairs stops it
+// early with the bounds certified so far. Verified pairs carry their human
+// answer; everything else keeps its (possibly corrected-by-posterior)
+// machine label. Session surfaces the live certificate via
+// CorrectProgress, and humod serves it in the session status.
+//
+// The risk determinism contract holds unchanged: same labels + same seed +
+// same answers yield the same verification schedule at any worker count,
+// and Checkpoint/RestoreSession replay correct sessions bit-identically —
+// the checkpoint fingerprints the machine label set, so a restore against
+// a retrained classifier is refused rather than silently mixed.
+//
 // # Quick example
 //
 //	pairs := []humo.Pair{ /* id + machine metric per instance pair */ }

@@ -1,0 +1,152 @@
+// Correct review: let a machine classifier label the whole workload, then
+// spend the human budget verifying its riskiest labels — the "correcting
+// the machine" regime — and compare the labels consumed against the hybrid
+// search under the same quality requirement.
+//
+// An SVM is trained on a small labeled sample and labels every candidate
+// pair with a signed decision value. The correct-method session stratifies
+// those labels by confidence, maintains a Beta posterior over the
+// classifier's error rate per stratum, and surfaces the pairs whose
+// verification most tightens the certified precision/recall bounds. The
+// moment the corrected label set provably meets the requirement the session
+// stops — without ever resolving a human zone. Progress (the live
+// certificate) is polled via Session.CorrectProgress, the same snapshot
+// humod serves in its status endpoint.
+//
+//	go run ./examples/correctreview
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"humo"
+)
+
+func main() {
+	// The simulated DBLP-Scholar workload at a laptop-light scale: the
+	// regime where the reference classifier is decent (paper Table I), so
+	// verifying its labels is cheaper than searching for a human zone.
+	cfg := humo.DefaultDSConfig()
+	cfg.Entities = 600
+	cfg.Filler = 6000
+	ds, err := humo.DSLike(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, truth := humo.Split(ds.Pairs)
+	w, err := humo.NewWorkload(pairs, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	const seed = 7
+
+	// Reference: the one-shot hybrid search on the same workload and seed.
+	hOracle := humo.NewSimulatedOracle(truth)
+	hSol, err := humo.Hybrid(w, req, hOracle, humo.HybridConfig{
+		Sampling: humo.SamplingConfig{Rand: rand.New(rand.NewSource(seed))},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hSol.Resolve(w, hOracle)
+	hybridCost := hOracle.Cost()
+	fmt.Printf("hybrid:  %v, human cost %d pairs\n", hSol, hybridCost)
+
+	// Train the classifier on a class-balanced labeled sample and label the
+	// full workload with it.
+	trainIdx, _, err := humo.SVMTrainTestSplit(len(ds.Pairs), len(ds.Pairs)/5, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var posIdx, negIdx []int
+	for _, i := range trainIdx {
+		if ds.Pairs[i].Match {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(negIdx) > len(posIdx) {
+		negIdx = negIdx[:len(posIdx)]
+	}
+	var feats [][]float64
+	var labels []bool
+	for _, i := range append(posIdx, negIdx...) {
+		f, err := ds.Features(ds.Pairs[i].ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feats = append(feats, f)
+		labels = append(labels, ds.Pairs[i].Match)
+	}
+	model, err := humo.TrainSVM(feats, labels, humo.SVMConfig{Seed: seed, PositiveWeight: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]int, w.Len())
+	for i := range ids {
+		ids[i] = w.Pair(i).ID
+	}
+	sort.Ints(ids)
+	machine, err := humo.ClassifyAll(ids, humo.SVMClassifier{Model: model, Features: ds.Features}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrong := 0
+	for _, l := range machine {
+		if l.Match != truth[l.ID] {
+			wrong++
+		}
+	}
+	fmt.Printf("svm:     labeled all %d pairs, %d of them wrong\n", len(machine), wrong)
+
+	// The correct-method session verifies the machine labels riskiest-first.
+	// A review UI would label each surfaced batch; here ground truth answers.
+	s, err := humo.NewSession(w, req, humo.SessionConfig{
+		Method:  humo.MethodCorrect,
+		Seed:    seed,
+		Correct: humo.CorrectConfig{Labels: machine},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	batches := 0
+	for {
+		b, err := s.Next(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b.Empty() {
+			break
+		}
+		batches++
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			log.Fatal(err)
+		}
+		if p, ok := s.CorrectProgress(); ok && batches%5 == 0 {
+			fmt.Printf("  ... round %d: certified p>=%.4f r>=%.4f, %d labels still unverified\n",
+				p.Batches, p.PrecisionLo, p.RecallLo, p.Remaining)
+		}
+	}
+	if err := s.Err(); err != nil {
+		log.Fatal(err)
+	}
+	cost := s.Cost()
+	p, _ := s.CorrectProgress()
+	fmt.Printf("correct: %v, human cost %d pairs (certified p>=%.4f r>=%.4f after %d batches)\n",
+		s.Solution(), cost, p.PrecisionLo, p.RecallLo, p.Batches)
+
+	saved := hybridCost - cost
+	fmt.Printf("labels saved vs -method hybrid: %d of %d (%.1f%%), same quality requirement certified\n",
+		saved, hybridCost, 100*float64(saved)/float64(hybridCost))
+}

@@ -2,11 +2,14 @@ package humo
 
 import (
 	"humo/internal/core"
+	"humo/internal/correct"
 	"humo/internal/datagen"
+	"humo/internal/fellegi"
 	"humo/internal/metrics"
 	"humo/internal/oracle"
 	"humo/internal/parallel"
 	"humo/internal/risk"
+	"humo/internal/svm"
 )
 
 // Core workload model. See package core for full documentation of the
@@ -44,6 +47,45 @@ type (
 	// the currently certified DH bounds, the unanswered pairs inside them,
 	// and the early-stop state.
 	RiskProgress = core.RiskProgress
+
+	// CorrectConfig configures the risk-corrected verification search
+	// (MethodCorrect): the machine classifier's labels over the workload,
+	// the confidence-stratification knobs, the schedule configuration, the
+	// anytime label budget and an optional progress hook.
+	CorrectConfig = core.CorrectConfig
+	// CorrectProgress is a point-in-time snapshot of a running correction:
+	// the current precision/recall certificate, verified and remaining pair
+	// counts, and the budget state.
+	CorrectProgress = core.CorrectProgress
+	// CorrectLabel is one machine-classifier verdict: a pair id, its match
+	// label and a confidence score (any monotone match-propensity signal —
+	// the corrector normalizes the scale away).
+	CorrectLabel = correct.Labeled
+	// Classifier is the pluggable machine-matcher contract of the corrected
+	// search: anything producing a per-pair match label plus a confidence
+	// score. The package ships SVMClassifier, FellegiClassifier and
+	// LabelMapClassifier adapters.
+	Classifier = correct.Classifier
+	// SVMClassifier adapts a TrainSVM model as a Classifier: label by
+	// decision sign, score by decision value.
+	SVMClassifier = correct.SVM
+	// FellegiClassifier adapts a FitFellegi model as a Classifier: label by
+	// posterior >= 0.5, score by posterior probability.
+	FellegiClassifier = correct.Fellegi
+	// LabelMapClassifier adapts an externally supplied label set — e.g. a
+	// scored label file — as a Classifier.
+	LabelMapClassifier = correct.LabelMap
+
+	// SVMModel is a trained linear SVM (weights and bias).
+	SVMModel = svm.Model
+	// SVMConfig tunes TrainSVM (epochs, learning rate, regularization,
+	// class weighting, seed).
+	SVMConfig = svm.Config
+	// FellegiModel is a fitted Fellegi-Sunter match/unmatch model.
+	FellegiModel = fellegi.Model
+	// FellegiConfig tunes FitFellegi (similarity levels, EM iteration and
+	// tolerance bounds, initial match prior).
+	FellegiConfig = fellegi.Config
 )
 
 // DefaultSubsetSize is the unit-subset size used when NewWorkload receives 0
@@ -114,6 +156,50 @@ func Budgeted(w *Workload, budgetPairs int, o Oracle, cfg SamplingConfig) (Solut
 // once its DH is labeled).
 func RiskAware(w *Workload, req Requirement, o Oracle, cfg RiskConfig) (Solution, error) {
 	return core.RiskSearch(w, req, o, cfg)
+}
+
+// Correct runs the risk-corrected verification (the third HUMO refinement,
+// Chen et al. 2018, arXiv:1805.12502): instead of dividing the workload into
+// machine and human zones, a machine classifier labels every pair and human
+// effort goes where the classifier is most likely wrong — pairs are grouped
+// into confidence strata, per-stratum Beta posteriors track the observed
+// classifier error, and verification proceeds riskiest-first in small
+// batches, re-estimating after each, until the corrected label set provably
+// meets the precision/recall requirement (or cfg.BudgetPairs runs out). The
+// returned labels — human answers where verified, classifier labels
+// elsewhere — are the resolution; the Solution carries an empty DH and
+// exists for cost accounting (do not Resolve it). The schedule is
+// bit-identical across runs and worker counts.
+func Correct(w *Workload, req Requirement, o Oracle, cfg CorrectConfig) (Solution, []bool, error) {
+	return core.CorrectSearch(w, req, o, cfg)
+}
+
+// ClassifyAll runs a Classifier over every pair id, fanning the per-pair
+// classification over workers goroutines (<= 0 selects GOMAXPROCS; results
+// are bit-identical at any value). The returned labels feed
+// CorrectConfig.Labels.
+func ClassifyAll(ids []int, c Classifier, workers int) ([]CorrectLabel, error) {
+	return correct.Assign(ids, c, workers)
+}
+
+// TrainSVM trains a linear SVM on feature vectors and match labels with
+// deterministic subgradient descent (fixed cfg.Seed => bit-identical model).
+func TrainSVM(features [][]float64, labels []bool, cfg SVMConfig) (*SVMModel, error) {
+	return svm.Train(features, labels, cfg)
+}
+
+// SVMTrainTestSplit deterministically partitions n items into a training
+// set of trainSize indices and a test set of the rest: a fixed seed yields
+// the same split on every run.
+func SVMTrainTestSplit(n, trainSize int, seed int64) (train, test []int, err error) {
+	return svm.TrainTestSplit(n, trainSize, seed)
+}
+
+// FitFellegi fits a Fellegi-Sunter model to per-attribute similarity
+// vectors by unsupervised EM (deterministic initialization => bit-identical
+// model for fixed inputs).
+func FitFellegi(features [][]float64, cfg FellegiConfig) (*FellegiModel, error) {
+	return fellegi.Fit(features, cfg)
 }
 
 // Oracles.

@@ -1,0 +1,105 @@
+package correct
+
+import (
+	"fmt"
+	"sort"
+
+	"humo/internal/fellegi"
+	"humo/internal/parallel"
+	"humo/internal/svm"
+)
+
+// Classifier is the pluggable machine-matcher contract: any model that can
+// produce a match label and a confidence score per pair id plugs into the
+// corrector. The score must be monotone in match propensity; its scale is
+// irrelevant (the corrector min-max-normalizes over the labeled set).
+type Classifier interface {
+	Classify(id int) (match bool, score float64, err error)
+}
+
+// Assign runs the classifier over every id and returns the labeled set,
+// fanning the per-pair classification over internal/parallel. Output order
+// follows ids and is bit-identical at any workers value (<= 0 selects
+// GOMAXPROCS); the first failing id's error is reported.
+func Assign(ids []int, c Classifier, workers int) ([]Labeled, error) {
+	out := make([]Labeled, len(ids))
+	err := parallel.ForEach(workers, len(ids), func(i int) error {
+		match, score, err := c.Classify(ids[i])
+		if err != nil {
+			return fmt.Errorf("correct: classify pair %d: %w", ids[i], err)
+		}
+		out[i] = Labeled{ID: ids[i], Match: match, Score: score}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SVM adapts a trained linear SVM: the label is the sign of the decision
+// value and the score is the decision value itself (signed distance to the
+// separating plane — the classifier's native confidence).
+type SVM struct {
+	Model *svm.Model
+	// Features returns the feature vector of a pair id.
+	Features func(id int) ([]float64, error)
+}
+
+// Classify implements Classifier.
+func (c SVM) Classify(id int) (bool, float64, error) {
+	x, err := c.Features(id)
+	if err != nil {
+		return false, 0, err
+	}
+	d := c.Model.Decision(x)
+	return d >= 0, d, nil
+}
+
+// Fellegi adapts a fitted Fellegi-Sunter model: the label is posterior match
+// probability >= 0.5 and the score is the posterior probability.
+type Fellegi struct {
+	Model *fellegi.Model
+	// Features returns the per-attribute similarity vector of a pair id.
+	Features func(id int) ([]float64, error)
+}
+
+// Classify implements Classifier.
+func (c Fellegi) Classify(id int) (bool, float64, error) {
+	x, err := c.Features(id)
+	if err != nil {
+		return false, 0, err
+	}
+	p, err := c.Model.Probability(x)
+	if err != nil {
+		return false, 0, err
+	}
+	return p >= 0.5, p, nil
+}
+
+// LabelMap adapts an externally supplied label set — e.g. a scored
+// classifier-label file read via internal/dataio — as a Classifier. Ids
+// absent from the map fail Classify; use Labeled to extract the covered
+// subset directly when coverage is partial.
+type LabelMap map[int]Labeled
+
+// Classify implements Classifier.
+func (lm LabelMap) Classify(id int) (bool, float64, error) {
+	l, ok := lm[id]
+	if !ok {
+		return false, 0, fmt.Errorf("no label for pair %d", id)
+	}
+	return l.Match, l.Score, nil
+}
+
+// Labeled returns the map's labels as a slice sorted ascending by id, the
+// deterministic form New consumes.
+func (lm LabelMap) Labeled() []Labeled {
+	out := make([]Labeled, 0, len(lm))
+	for id, l := range lm {
+		l.ID = id
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

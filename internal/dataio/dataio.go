@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -236,6 +237,111 @@ func WriteLabels(w io.Writer, labels Labels) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ScoredLabel is one machine-classifier output: the predicted match/unmatch
+// label plus the classifier's real-valued confidence score (any scale,
+// monotone in match propensity — SVM decision values, Fellegi-Sunter weights,
+// posterior probabilities).
+type ScoredLabel struct {
+	Match bool
+	Score float64
+}
+
+// ScoredLabels maps candidate-pair ids to classifier labels. It is the
+// ingestion format for externally supplied matcher output
+// (`humo -classifier file`, humod's "correct" session spec).
+type ScoredLabels map[int]ScoredLabel
+
+// WriteScoredLabels writes a classifier label CSV of the form
+// `pair_id,label,score` (sorted by pair id) with the fingerprint of the
+// workload the labels were computed for folded into a leading
+// `# fingerprint: ...` comment — the same embedded-guard convention as
+// WritePairsFingerprinted, so one atomic write pins the labels to their
+// candidate set. Pass an empty fingerprint to omit the guard.
+func WriteScoredLabels(w io.Writer, labels ScoredLabels, fingerprint string) error {
+	if fingerprint != "" {
+		if err := writeMeta(w, "fingerprint", fingerprint); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair_id", "label", "score"}); err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(labels))
+	for id := range labels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := labels[id]
+		label := "unmatch"
+		if l.Match {
+			label = "match"
+		}
+		if err := cw.Write([]string{
+			strconv.Itoa(id),
+			label,
+			strconv.FormatFloat(l.Score, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadScoredLabels parses a classifier label CSV (`pair_id,label,score`,
+// header row required; labels in every ParseLabel form) plus the workload
+// fingerprint embedded by WriteScoredLabels — empty, not an error, for
+// unguarded files. Scores must be finite: a NaN confidence cannot be ranked.
+func ReadScoredLabels(r io.Reader) (ScoredLabels, string, error) {
+	br := bufio.NewReader(r)
+	meta, err := readMeta(br)
+	if err != nil {
+		return nil, "", err
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	header, err := cr.Read()
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if len(header) < 3 || header[0] != "pair_id" {
+		return nil, "", fmt.Errorf("%w: scored-label header needs pair_id,label,score (got %v)", ErrBadFormat, header)
+	}
+	out := ScoredLabels{}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		if len(row) < 3 {
+			return nil, "", fmt.Errorf("%w: row %d has %d fields, want >= 3", ErrBadFormat, i+2, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: row %d: pair id %q", ErrBadFormat, i+2, row[0])
+		}
+		if _, dup := out[id]; dup {
+			return nil, "", fmt.Errorf("%w: row %d: duplicate pair id %d", ErrBadFormat, i+2, id)
+		}
+		match, err := ParseLabel(row[1])
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: row %d: %v", ErrBadFormat, i+2, err)
+		}
+		score, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || math.IsNaN(score) || math.IsInf(score, 0) {
+			return nil, "", fmt.Errorf("%w: row %d: score %q", ErrBadFormat, i+2, row[2])
+		}
+		out[id] = ScoredLabel{Match: match, Score: score}
+	}
+	return out, meta["fingerprint"], nil
 }
 
 // WriteFileAtomic writes via a temp file in the same directory, fsyncs it,

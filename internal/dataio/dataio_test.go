@@ -234,3 +234,62 @@ func TestReadCandidatesErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestScoredLabelsRoundTrip(t *testing.T) {
+	labels := ScoredLabels{
+		3:  {Match: true, Score: 1.25},
+		1:  {Match: false, Score: -0.5},
+		10: {Match: true, Score: 0.0001220703125}, // exact binary fraction round-trips
+	}
+	var buf bytes.Buffer
+	if err := WriteScoredLabels(&buf, labels, "fp-abc"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# fingerprint: fp-abc\n") {
+		t.Fatalf("missing embedded fingerprint guard:\n%s", buf.String())
+	}
+	back, fp, err := ReadScoredLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "fp-abc" {
+		t.Fatalf("fingerprint %q, want fp-abc", fp)
+	}
+	if len(back) != len(labels) {
+		t.Fatalf("round trip size %d, want %d", len(back), len(labels))
+	}
+	for id, l := range labels {
+		if back[id] != l {
+			t.Errorf("label %d = %+v, want %+v", id, back[id], l)
+		}
+	}
+
+	// Unguarded files read back with an empty fingerprint, not an error.
+	buf.Reset()
+	if err := WriteScoredLabels(&buf, labels, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Fatalf("unguarded write emitted a comment:\n%s", buf.String())
+	}
+	if _, fp, err = ReadScoredLabels(&buf); err != nil || fp != "" {
+		t.Fatalf("unguarded read: fp=%q err=%v", fp, err)
+	}
+}
+
+func TestReadScoredLabelsErrors(t *testing.T) {
+	cases := []string{
+		"pair_id,label\n1,match\n",                    // missing score column
+		"pair_id,label,score\nxyz,match,1\n",          // bad id
+		"pair_id,label,score\n1,maybe,1\n",            // bad label
+		"pair_id,label,score\n1,match,NaN\n",          // non-finite score
+		"pair_id,label,score\n1,match,+Inf\n",         // non-finite score
+		"pair_id,label,score\n1,match,x\n",            // unparsable score
+		"pair_id,label,score\n1,match,1\n1,match,2\n", // duplicate id
+	}
+	for _, in := range cases {
+		if _, _, err := ReadScoredLabels(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("input %q should fail with ErrBadFormat, got %v", in, err)
+		}
+	}
+}

@@ -326,10 +326,16 @@ func (e *Env) avgRuns(b *workloadBundle, method string, req core.Requirement, ru
 	results, err := parallel.Map(e.Workers, runs, func(r int) (runResult, error) {
 		return runMethod(b, method, req, e.Seed+int64(r)*7919, e.Workers)
 	})
-	var out avgResult
 	if err != nil {
-		return out, err
+		return avgResult{}, err
 	}
+	return summarize(results, b, req), nil
+}
+
+// summarize accumulates repetition results into the averaged statistics, in
+// index order so the output is independent of how the runs were scheduled.
+func summarize(results []runResult, b *workloadBundle, req core.Requirement) avgResult {
+	var out avgResult
 	var elapsed time.Duration
 	success := 0
 	for _, res := range results {
@@ -341,13 +347,13 @@ func (e *Env) avgRuns(b *workloadBundle, method string, req core.Requirement, ru
 			success++
 		}
 	}
-	n := float64(runs)
+	n := float64(len(results))
 	out.costPct /= n
 	out.precision /= n
 	out.recall /= n
 	out.successPct = 100 * float64(success) / n
-	out.elapsedMean = time.Duration(int64(elapsed) / int64(runs))
-	return out, nil
+	out.elapsedMean = time.Duration(int64(elapsed) / int64(len(results)))
+	return out
 }
 
 // Runner executes one experiment and returns its result tables.

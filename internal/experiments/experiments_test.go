@@ -20,7 +20,7 @@ func TestIDsRegistered(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"ablation-window", "ablation-subset", "ablation-allsamp", "ablation-eps",
-		"ablation-human-error", "riskcost", "crowdcost",
+		"ablation-human-error", "riskcost", "crowdcost", "correctcost",
 	}
 	ids := IDs()
 	have := make(map[string]bool, len(ids))
@@ -189,6 +189,42 @@ func TestFig6Structure(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestCorrectCostStructure(t *testing.T) {
+	tables, err := Run(tinyEnv(), "correctcost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("correctcost rows = %d, want one per requirement level", len(tbl.Rows))
+	}
+	if len(tbl.Header) != 11 {
+		t.Fatalf("correctcost header = %v", tbl.Header)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row %v width != header", row)
+		}
+		// Cost columns are percentages of the workload.
+		for _, col := range []int{1, 2, 3, 6, 7, 8} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 || v > 100 {
+				t.Errorf("cost cell %s=%q out of (0,100]", tbl.Header[col], row[col])
+			}
+		}
+	}
+	// On DS the reference SVM is decent (Table I): the corrected regime must
+	// beat the hybrid search's human cost at the 0.90 requirement.
+	row := tbl.Rows[2]
+	saved, err := strconv.ParseFloat(row[4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved <= 0 {
+		t.Errorf("DS saved %% = %v at a=b=0.90, want positive (row %v)", saved, row)
 	}
 }
 

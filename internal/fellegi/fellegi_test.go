@@ -179,6 +179,157 @@ func TestProbabilityBoundsProperty(t *testing.T) {
 	}
 }
 
+// TestFitDeterministic pins EM's repeated-run equality: the fit touches no
+// randomness, so priors, iteration counts, level probabilities and posterior
+// probabilities must be bit-identical on every repetition.
+func TestFitDeterministic(t *testing.T) {
+	features, _ := synthetic(2000, 0.2, 9)
+	ref, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refM, refU, err := ref.LevelProbabilities(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 4; run++ {
+		m, err := Fit(features, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Prior() != ref.Prior() || m.Iterations() != ref.Iterations() {
+			t.Fatalf("run %d: prior/iters %v/%d, want %v/%d", run, m.Prior(), m.Iterations(), ref.Prior(), ref.Iterations())
+		}
+		mm, mu, err := m.LevelProbabilities(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range refM {
+			if mm[l] != refM[l] || mu[l] != refU[l] {
+				t.Fatalf("run %d: level %d probabilities diverged", run, l)
+			}
+		}
+		for _, f := range features[:50] {
+			pRef, err1 := ref.Probability(f)
+			p, err2 := m.Probability(f)
+			if err1 != nil || err2 != nil || p != pRef {
+				t.Fatalf("run %d: posterior diverged (%v vs %v)", run, p, pRef)
+			}
+		}
+	}
+}
+
+// TestFitOneAttribute fits the minimal single-attribute model — the shape
+// the CLI's -classifier fellegi uses over the aggregated similarity — and
+// checks it still separates a bimodal similarity distribution.
+func TestFitOneAttribute(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var features [][]float64
+	for i := 0; i < 3000; i++ {
+		if rng.Float64() < 0.25 {
+			features = append(features, []float64{clamp(1 - math.Abs(rng.NormFloat64())*0.1)})
+		} else {
+			features = append(features, []float64{clamp(math.Abs(rng.NormFloat64()) * 0.1)})
+		}
+	}
+	// With the default low InitialPrior the single attribute's likelihood
+	// ratio cannot overcome the prior odds, so the posterior stays below
+	// 0.5 everywhere — but the match weight (prior-free) must still carry
+	// the right sign on both modes.
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wHigh, err := m.Weight([]float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLow, err := m.Weight([]float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(wHigh > 0 && wLow < 0) {
+		t.Errorf("1-attribute weights: high=%v low=%v, want positive/negative", wHigh, wLow)
+	}
+	// Seeded symmetrically, EM recovers the mode proportions and the
+	// posterior separates too.
+	m, err = Fit(features, Config{InitialPrior: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHigh, err := m.Probability([]float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLow, err := m.Probability([]float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pHigh > 0.5 && pLow < 0.5) {
+		t.Errorf("1-attribute separation broken: p(0.95)=%v p(0.05)=%v", pHigh, pLow)
+	}
+}
+
+// TestFitDegenerateTraining: training sets where every pair lands in one
+// agreement level (all-match-looking, all-unmatch-looking, and the minimal
+// two-pair set) must still fit — Laplace smoothing keeps every probability
+// positive — and yield finite, bounded outputs.
+func TestFitDegenerateTraining(t *testing.T) {
+	cases := map[string][][]float64{
+		"all top level":    {{1}, {1}, {1}, {1}, {1}},
+		"all bottom level": {{0}, {0}, {0}, {0}, {0}},
+		"minimal two":      {{1}, {0}},
+	}
+	for name, features := range cases {
+		m, err := Fit(features, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p := m.Prior(); math.IsNaN(p) || p <= 0 || p >= 1 {
+			t.Errorf("%s: degenerate prior %v", name, p)
+		}
+		for _, v := range []float64{0, 0.5, 1} {
+			p, err := m.Probability([]float64{v})
+			if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+				t.Errorf("%s: Probability(%v) = %v, %v", name, v, p, err)
+			}
+			w, err := m.Weight([]float64{v})
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Errorf("%s: Weight(%v) = %v, %v", name, v, w, err)
+			}
+		}
+	}
+}
+
+// TestProbabilityWeightExtremes: similarities at and beyond the [0,1]
+// boundaries clamp through Level and produce finite posteriors and weights.
+func TestProbabilityWeightExtremes(t *testing.T) {
+	features, _ := synthetic(1500, 0.2, 11)
+	m, err := Fit(features, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-3, -0.001, 0, 1, 1.001, 42} {
+		f := []float64{v, v, v}
+		p, err := m.Probability(f)
+		if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+			t.Errorf("Probability(%v) = %v, %v", v, p, err)
+		}
+		w, err := m.Weight(f)
+		if err != nil || math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Errorf("Weight(%v) = %v, %v", v, w, err)
+		}
+	}
+	// The clamped extremes agree with the in-range boundaries they clamp to.
+	pLo, _ := m.Probability([]float64{-3, -3, -3})
+	pZero, _ := m.Probability([]float64{0, 0, 0})
+	pHi, _ := m.Probability([]float64{42, 42, 42})
+	pOne, _ := m.Probability([]float64{1, 1, 1})
+	if pLo != pZero || pHi != pOne {
+		t.Errorf("clamping broken: p(-3)=%v p(0)=%v p(42)=%v p(1)=%v", pLo, pZero, pHi, pOne)
+	}
+}
+
 func TestDimensionMismatch(t *testing.T) {
 	features, _ := synthetic(100, 0.3, 6)
 	m, err := Fit(features, Config{})

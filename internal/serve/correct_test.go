@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"humo"
+	"humo/internal/dataio"
+)
+
+// correctTestSpec builds a method "correct" spec over an inline workload: a
+// synthetic classifier (truth with every errEvery-th label flipped, scored
+// by similarity) written as a fingerprint-guarded scored-label CSV under
+// dataDir.
+func correctTestSpec(t *testing.T, dataDir string, pairs []SpecPair, truth map[int]bool, errEvery int) Spec {
+	t.Helper()
+	hp := make([]humo.Pair, len(pairs))
+	for i, p := range pairs {
+		hp[i] = humo.Pair{ID: p.ID, Sim: p.Sim}
+	}
+	w, err := humo.NewWorkload(hp, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := make(dataio.ScoredLabels, len(pairs))
+	for i, p := range pairs {
+		match := truth[p.ID]
+		if errEvery > 0 && i%errEvery == 0 {
+			match = !match
+		}
+		scored[p.ID] = dataio.ScoredLabel{Match: match, Score: p.Sim}
+	}
+	f, err := os.Create(filepath.Join(dataDir, "classifier.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteScoredLabels(f, scored, humo.WorkloadFingerprint(w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Method: "correct", Seed: 7,
+		Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+		SubsetSize: 100,
+		Pairs:      pairs,
+		Correct:    &CorrectSpec{LabelsFile: "classifier.csv"},
+	}
+}
+
+// TestCorrectSessionEndToEnd drives a method "correct" session through the
+// manager and checks the status carries the live correction certificate, the
+// terminal solution is the corrected one, and the run matches a local
+// one-shot twin bit for bit.
+func TestCorrectSessionEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	pairs, truth := testWorkload(t, 1500, 19)
+	spec := correctTestSpec(t, dir, pairs, truth, 11)
+
+	s, err := m.Create("correct", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s, truth)
+	<-s.Session().DoneChan()
+	if err := s.Session().Err(); err != nil {
+		t.Fatalf("session failed: %v", err)
+	}
+	st := s.Status()
+	if !st.Done || st.Solution == nil {
+		t.Fatalf("status %+v, want done with solution", st)
+	}
+	if st.Solution.Method != "CORRECT" || !st.Solution.Empty {
+		t.Fatalf("solution status %+v, want method CORRECT with an empty DH", st.Solution)
+	}
+	if st.Correct == nil {
+		t.Fatal("correct session status carries no correction progress")
+	}
+	if !st.Correct.Certified || st.Correct.PrecisionLo < spec.Alpha || st.Correct.RecallLo < spec.Beta {
+		t.Fatalf("correction status %+v, want certified at the requirement", st.Correct)
+	}
+	if st.Matches == nil {
+		t.Fatal("corrected session reports no matches count despite always carrying labels")
+	}
+	if st.Cost >= len(pairs) {
+		t.Fatalf("correction consumed %d labels on a %d-pair workload; nothing saved", st.Cost, len(pairs))
+	}
+
+	// The local one-shot twin (same spec, same labels file) must agree.
+	w, err := spec.workload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.sessionConfig()
+	if cfg.Correct.Labels, err = spec.Correct.labels(dir, w); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := humo.NewSession(w, spec.requirement(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Run(context.Background(), humo.OracleLabeler(humo.NewSimulatedOracle(truth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol := s.Session().Solution(); sol != want {
+		t.Fatalf("server solution %v, local twin %v", sol, want)
+	}
+	if got, wantL := s.Session().Labels(), sess.Labels(); !reflect.DeepEqual(got, wantL) {
+		t.Fatal("server corrected labels diverge from the local twin")
+	}
+}
+
+// TestCorrectSessionRecoversMidRun kills the manager mid-correction and
+// reopens the state directory: the recovered session must replay to the
+// identical corrected solution, labels and cost as an uninterrupted run.
+func TestCorrectSessionRecoversMidRun(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := testWorkload(t, 1500, 23)
+	spec := correctTestSpec(t, dir, pairs, truth, 11)
+	s, err := m.Create("correct-rec", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		b, err := s.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Empty() {
+			t.Fatal("correct session terminated before the kill point")
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{StateDir: dir, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	s2, err := m2.Get("correct-rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s2, truth)
+	<-s2.Session().DoneChan()
+	if err := s2.Session().Err(); err != nil {
+		t.Fatalf("recovered session failed: %v", err)
+	}
+
+	// The uninterrupted reference.
+	w, err := spec.workload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.sessionConfig()
+	if cfg.Correct.Labels, err = spec.Correct.labels(dir, w); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := humo.NewSession(w, spec.requirement(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(context.Background(), humo.OracleLabeler(humo.NewSimulatedOracle(truth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol := s2.Session().Solution(); sol != want {
+		t.Fatalf("recovered solution %v, want %v", sol, want)
+	}
+	if got, wantC := s2.Session().Cost(), ref.Cost(); got != wantC {
+		t.Fatalf("recovered cost %d, want %d", got, wantC)
+	}
+	if !reflect.DeepEqual(s2.Session().Labels(), ref.Labels()) {
+		t.Fatal("recovered corrected labels diverge from the uninterrupted run")
+	}
+}
+
+// TestCorrectSpecValidation pins the 400-class refusals of the correct
+// configuration: missing/misplaced correct specs, bad knobs, path escapes,
+// and a labels file fingerprinted for a different workload.
+func TestCorrectSpecValidation(t *testing.T) {
+	pairs, truth := testWorkload(t, 400, 29)
+	base := func() Spec {
+		return Spec{
+			Method: "correct", Seed: 1,
+			Alpha: 0.9, Beta: 0.9, Theta: 0.9,
+			Pairs:   pairs,
+			Correct: &CorrectSpec{LabelsFile: "classifier.csv"},
+		}
+	}
+	cases := map[string]func(*Spec){
+		"missing correct spec":   func(sp *Spec) { sp.Correct = nil },
+		"correct spec on hybrid": func(sp *Spec) { sp.Method = "hybrid" },
+		"empty labels file":      func(sp *Spec) { sp.Correct.LabelsFile = "" },
+		"absolute labels file":   func(sp *Spec) { sp.Correct.LabelsFile = "/etc/labels.csv" },
+		"escaping labels file":   func(sp *Spec) { sp.Correct.LabelsFile = "../labels.csv" },
+		"negative stratum size":  func(sp *Spec) { sp.Correct.StratumSize = -1 },
+		"negative batch size":    func(sp *Spec) { sp.Correct.BatchSize = -2 },
+		"tail prob out of range": func(sp *Spec) { sp.Correct.TailProb = 0.5 },
+		"anytime budget elsewhere": func(sp *Spec) {
+			sp.Method = "hybrid"
+			sp.Correct = nil
+			sp.AnytimeBudget = 10
+		},
+	}
+	for name, mutate := range cases {
+		sp := base()
+		mutate(&sp)
+		if err := sp.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: Validate = %v, want ErrBadSpec", name, err)
+		}
+	}
+	// An anytime budget IS valid for method correct.
+	sp := base()
+	sp.AnytimeBudget = 50
+	if err := sp.Validate(); err != nil {
+		t.Errorf("anytime budget on correct refused: %v", err)
+	}
+
+	// A labels file guarded with a foreign workload fingerprint is refused
+	// at session build, wrapped as a client error.
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	scored := make(dataio.ScoredLabels, len(pairs))
+	for _, p := range pairs {
+		scored[p.ID] = dataio.ScoredLabel{Match: truth[p.ID], Score: p.Sim}
+	}
+	f, err := os.Create(filepath.Join(dir, "classifier.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataio.WriteScoredLabels(f, scored, "deadbeefdeadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("guarded", base()); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("Create with mismatched labels fingerprint: %v, want ErrBadSpec", err)
+	}
+}

@@ -307,6 +307,21 @@ func (m *Manager) Create(id string, spec Spec) (*ManagedSession, error) {
 	return s, err
 }
 
+// sessionConfig materializes the spec's humo.SessionConfig against a built
+// workload, loading the "correct" method's classifier labels from the data
+// directory (the only config piece that lives outside the spec itself).
+func (m *Manager) sessionConfig(spec Spec, w *humo.Workload) (humo.SessionConfig, error) {
+	cfg := spec.sessionConfig()
+	if spec.Correct != nil {
+		labels, err := spec.Correct.labels(m.dataDir, w)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Correct.Labels = labels
+	}
+	return cfg, nil
+}
+
 // startSession materializes the workload, starts the humo.Session, and
 // persists spec + initial base checkpoint.
 func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
@@ -314,7 +329,11 @@ func (m *Manager) startSession(id string, spec Spec) (*ManagedSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess, err := humo.NewSession(w, spec.requirement(), spec.sessionConfig())
+	cfg, err := m.sessionConfig(spec, w)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := humo.NewSession(w, spec.requirement(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +424,11 @@ func (m *Manager) recoverSession(id string) (*ManagedSession, error) {
 		return nil, err
 	}
 	defer cp.Close()
-	sess, err := humo.RestoreSessionDeltas(w, spec.requirement(), spec.sessionConfig(), cp, deltas)
+	cfg, err := m.sessionConfig(spec, w)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := humo.RestoreSessionDeltas(w, spec.requirement(), cfg, cp, deltas)
 	if err != nil {
 		return nil, err
 	}
@@ -757,6 +780,22 @@ type RiskStatus struct {
 	BudgetExhausted bool `json:"budget_exhausted"`
 }
 
+// CorrectStatus is the JSON shape of a correct session's correction
+// progress: the current precision/recall certificate, how much of the
+// workload is verified, and the termination state. It is present (and
+// live-updating) while the session runs, so status polls can watch the
+// certificate tighten toward the requirement.
+type CorrectStatus struct {
+	PrecisionLo     float64 `json:"precision_lo"`
+	RecallLo        float64 `json:"recall_lo"`
+	DeclaredMatches int     `json:"declared_matches"`
+	Verified        int     `json:"verified"`
+	Remaining       int     `json:"remaining"`
+	Batches         int     `json:"batches"`
+	Certified       bool    `json:"certified"`
+	BudgetExhausted bool    `json:"budget_exhausted"`
+}
+
 // CrowdStatus is the JSON shape of a crowd session's work counters: the
 // task pages issued, the worker votes cast, the pairs answered for free by
 // transitive closure, the conflicts surfaced, and the extra votes requested
@@ -796,6 +835,10 @@ type Status struct {
 	// once the schedule completed its first re-estimation round.
 	Risk *RiskStatus `json:"risk,omitempty"`
 
+	// Correct is the correction progress of a method "correct" session,
+	// present once the correction completed its first verification round.
+	Correct *CorrectStatus `json:"correct,omitempty"`
+
 	// Crowd is the live work ledger of a Spec.Crowd session.
 	Crowd *CrowdStatus `json:"crowd,omitempty"`
 
@@ -833,6 +876,18 @@ func (s *ManagedSession) Status() Status {
 			Lo: p.Lo, Hi: p.Hi,
 			RemainingPairs:  p.Remaining,
 			AnsweredPairs:   p.Answered,
+			Batches:         p.Batches,
+			Certified:       p.Certified,
+			BudgetExhausted: p.BudgetExhausted,
+		}
+	}
+	if p, ok := s.sess.CorrectProgress(); ok {
+		st.Correct = &CorrectStatus{
+			PrecisionLo:     p.PrecisionLo,
+			RecallLo:        p.RecallLo,
+			DeclaredMatches: p.DeclaredMatches,
+			Verified:        p.Verified,
+			Remaining:       p.Remaining,
 			Batches:         p.Batches,
 			Certified:       p.Certified,
 			BudgetExhausted: p.BudgetExhausted,

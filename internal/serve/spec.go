@@ -44,9 +44,9 @@ type Spec struct {
 	// BudgetPairs is the manual-inspection budget of method "budgeted";
 	// alpha/beta/theta are ignored by that method.
 	BudgetPairs int `json:"budget_pairs,omitempty"`
-	// AnytimeBudget caps the labels the "risk" method's schedule may
-	// request before settling for its current certified division (0 = run
-	// the schedule to convergence). Only valid with method "risk".
+	// AnytimeBudget caps the labels the "risk" or "correct" method's
+	// schedule may request before settling for its current certified state
+	// (0 = run the schedule to convergence). Only valid with those methods.
 	AnytimeBudget int `json:"anytime_budget,omitempty"`
 	// Resolve carries the session through the final DH labeling.
 	Resolve bool `json:"resolve,omitempty"`
@@ -66,6 +66,71 @@ type Spec struct {
 	// the spec's ground truth. Clients watch progress through the usual
 	// status/labels endpoints.
 	Crowd *CrowdSpec `json:"crowd,omitempty"`
+
+	// Correct supplies the classifier configuration of method "correct"
+	// (required for that method, refused for every other).
+	Correct *CorrectSpec `json:"correct,omitempty"`
+}
+
+// CorrectSpec configures the risk-corrected verification of a method
+// "correct" session: where the machine classifier's labels come from and the
+// stratification/schedule knobs. LabelsFile names a `pair_id,label,score`
+// CSV (dataio.ReadScoredLabels) under the data directory; when the file
+// embeds a "# fingerprint:" guard it must match the session's workload, so
+// labels classified against a different candidate set are refused instead of
+// silently corrected.
+type CorrectSpec struct {
+	LabelsFile string `json:"labels_file"`
+	// StratumSize and SeedPerStratum shape the confidence strata (0 =
+	// package defaults; a negative SeedPerStratum disables seeding).
+	StratumSize    int `json:"stratum_size,omitempty"`
+	SeedPerStratum int `json:"seed_per_stratum,omitempty"`
+	// BatchSize is the verification-batch size of the schedule (0 = its
+	// default); TailProb is the CVaR-style tail-risk knob, in [0, 0.5).
+	BatchSize int     `json:"batch_size,omitempty"`
+	TailProb  float64 `json:"tail_prob,omitempty"`
+}
+
+// validate checks a correct spec the way Spec.Validate checks the rest:
+// every refusal a session build would produce surfaces here as ErrBadSpec
+// (400).
+func (cs *CorrectSpec) validate() error {
+	if cs.LabelsFile == "" {
+		return fmt.Errorf("%w: correct needs a labels_file", ErrBadSpec)
+	}
+	if filepath.IsAbs(cs.LabelsFile) || strings.Contains(cs.LabelsFile, "..") {
+		return fmt.Errorf("%w: labels_file must be a relative path inside the data directory", ErrBadSpec)
+	}
+	if cs.StratumSize < 0 || cs.BatchSize < 0 {
+		return fmt.Errorf("%w: stratum_size and batch_size must be >= 0", ErrBadSpec)
+	}
+	if cs.TailProb < 0 || cs.TailProb >= 0.5 {
+		return fmt.Errorf("%w: tail_prob must be in [0, 0.5)", ErrBadSpec)
+	}
+	return nil
+}
+
+// labels reads the spec's classifier labels relative to dataDir, refusing a
+// fingerprint-guarded file whose guard does not match the session workload.
+func (cs *CorrectSpec) labels(dataDir string, w *humo.Workload) ([]humo.CorrectLabel, error) {
+	f, err := os.Open(filepath.Join(dataDir, filepath.Clean(cs.LabelsFile)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening correct labels file: %v", ErrBadSpec, err)
+	}
+	defer f.Close()
+	scored, guard, err := dataio.ReadScoredLabels(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if fp := humo.WorkloadFingerprint(w); guard != "" && guard != fp {
+		return nil, fmt.Errorf("%w: labels_file %s was classified for a different candidate set (workload %s, now %s)",
+			ErrBadSpec, cs.LabelsFile, guard, fp)
+	}
+	out := make(humo.LabelMapClassifier, len(scored))
+	for id, l := range scored {
+		out[id] = humo.CorrectLabel{Match: l.Match, Score: l.Score}
+	}
+	return out.Labeled(), nil
 }
 
 // CrowdLabel is one ground-truth answer of an inline crowd truth set.
@@ -142,8 +207,19 @@ func (sp Spec) Validate() error {
 	if sp.Method == string(humo.MethodBudgeted) && sp.BudgetPairs == 0 {
 		return fmt.Errorf("%w: method budgeted needs a positive budget_pairs", ErrBadSpec)
 	}
-	if sp.AnytimeBudget > 0 && sp.Method != string(humo.MethodRisk) {
-		return fmt.Errorf("%w: anytime_budget applies to method risk only", ErrBadSpec)
+	if sp.AnytimeBudget > 0 && sp.Method != string(humo.MethodRisk) && sp.Method != string(humo.MethodCorrect) {
+		return fmt.Errorf("%w: anytime_budget applies to methods risk and correct only", ErrBadSpec)
+	}
+	if sp.Method == string(humo.MethodCorrect) && sp.Correct == nil {
+		return fmt.Errorf("%w: method correct needs a correct spec with a labels_file", ErrBadSpec)
+	}
+	if sp.Method != string(humo.MethodCorrect) && sp.Correct != nil {
+		return fmt.Errorf("%w: a correct spec applies to method correct only", ErrBadSpec)
+	}
+	if sp.Correct != nil {
+		if err := sp.Correct.validate(); err != nil {
+			return err
+		}
 	}
 	if sp.Crowd != nil {
 		if err := sp.Crowd.validate(); err != nil {
@@ -280,6 +356,13 @@ func (sp Spec) sessionConfig() humo.SessionConfig {
 	cfg.Hybrid.Sampling.PairsPerSubset = sp.PairsPerSubset
 	cfg.Risk.Sampling.PairsPerSubset = sp.PairsPerSubset
 	cfg.Risk.BudgetPairs = sp.AnytimeBudget
+	if sp.Correct != nil {
+		cfg.Correct.StratumSize = sp.Correct.StratumSize
+		cfg.Correct.SeedPerStratum = sp.Correct.SeedPerStratum
+		cfg.Correct.Schedule.BatchSize = sp.Correct.BatchSize
+		cfg.Correct.Schedule.TailProb = sp.Correct.TailProb
+		cfg.Correct.BudgetPairs = sp.AnytimeBudget
+	}
 	return cfg
 }
 

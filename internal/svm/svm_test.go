@@ -164,6 +164,108 @@ func TestDecisionFiniteProperty(t *testing.T) {
 	}
 }
 
+// TestTrainTestSplitRepeatedRuns pins the split's full determinism contract:
+// both halves are bit-identical on every repetition with one seed, and a
+// different seed actually produces a different permutation.
+func TestTrainTestSplitRepeatedRuns(t *testing.T) {
+	refTrain, refTest, err := TrainTestSplit(500, 120, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		train, test, err := TrainTestSplit(500, 120, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range refTrain {
+			if train[i] != refTrain[i] {
+				t.Fatalf("run %d: train side diverged at %d", run, i)
+			}
+		}
+		for i := range refTest {
+			if test[i] != refTest[i] {
+				t.Fatalf("run %d: test side diverged at %d", run, i)
+			}
+		}
+	}
+	other, _, err := TrainTestSplit(500, 120, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range refTrain {
+		if other[i] != refTrain[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 43 reproduced seed 42's training sample")
+	}
+}
+
+// TestFittingPipelineDeterministic replays the classifier-fitting protocol
+// the harness and CLI use (seeded split, class-balanced subsample in index
+// order, Pegasos fit) end to end, and requires bit-identical models and
+// decision values on every repetition — the property the correct method's
+// checkpoint fingerprint relies on when it refuses a retrained classifier.
+func TestFittingPipelineDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 600
+	feats := make([][]float64, n)
+	labels := make([]bool, n)
+	for i := range feats {
+		v := rng.Float64()
+		feats[i] = []float64{v}
+		labels[i] = v+0.1*rng.NormFloat64() >= 0.7
+	}
+	fit := func() *Model {
+		trainIdx, _, err := TrainTestSplit(n, n/4, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var posIdx, negIdx []int
+		for _, i := range trainIdx {
+			if labels[i] {
+				posIdx = append(posIdx, i)
+			} else {
+				negIdx = append(negIdx, i)
+			}
+		}
+		if len(negIdx) > len(posIdx) {
+			negIdx = negIdx[:len(posIdx)]
+		}
+		var fs [][]float64
+		var ls []bool
+		for _, i := range append(append([]int(nil), posIdx...), negIdx...) {
+			fs = append(fs, feats[i])
+			ls = append(ls, labels[i])
+		}
+		m, err := Train(fs, ls, Config{Seed: 17, PositiveWeight: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ref := fit()
+	for run := 0; run < 4; run++ {
+		m := fit()
+		if m.Bias != ref.Bias {
+			t.Fatalf("run %d: bias %v, want %v", run, m.Bias, ref.Bias)
+		}
+		for j := range ref.Weights {
+			if m.Weights[j] != ref.Weights[j] {
+				t.Fatalf("run %d: weight %d diverged", run, j)
+			}
+		}
+		for i := 0; i < n; i += 37 {
+			if m.Decision(feats[i]) != ref.Decision(feats[i]) {
+				t.Fatalf("run %d: decision diverged at example %d", run, i)
+			}
+		}
+	}
+}
+
 func TestTrainTestSplit(t *testing.T) {
 	train, test, err := TrainTestSplit(100, 30, 1)
 	if err != nil {

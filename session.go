@@ -19,7 +19,7 @@ import (
 // Method names a search a Session can drive.
 type Method string
 
-// The six searches of the package, by CLI name.
+// The seven searches of the package, by CLI name.
 const (
 	MethodBase            Method = "base"
 	MethodAllSampling     Method = "allsampling"
@@ -27,15 +27,16 @@ const (
 	MethodHybrid          Method = "hybrid"
 	MethodBudgeted        Method = "budgeted"
 	MethodRisk            Method = "risk"
+	MethodCorrect         Method = "correct"
 )
 
 // ParseMethod parses a method name as used by SessionConfig and the CLIs.
 func ParseMethod(s string) (Method, error) {
 	switch m := Method(s); m {
-	case MethodBase, MethodAllSampling, MethodPartialSampling, MethodHybrid, MethodBudgeted, MethodRisk:
+	case MethodBase, MethodAllSampling, MethodPartialSampling, MethodHybrid, MethodBudgeted, MethodRisk, MethodCorrect:
 		return m, nil
 	}
-	return "", fmt.Errorf("humo: unknown method %q (want base, allsampling, sampling, hybrid, budgeted or risk)", s)
+	return "", fmt.Errorf("humo: unknown method %q (want base, allsampling, sampling, hybrid, budgeted, risk or correct)", s)
 }
 
 // ErrSessionCanceled is the terminal error of a session stopped by Cancel.
@@ -68,6 +69,12 @@ type SessionConfig struct {
 	// randomness derives from Seed — and Risk.Progress must be nil: the
 	// session installs its own hook, read back via RiskProgress.
 	Risk RiskConfig
+	// Correct configures MethodCorrect: the classifier's labels to be
+	// risk-corrected plus the stratification and schedule knobs.
+	// Correct.Rand must be nil — session randomness derives from Seed — and
+	// Correct.Progress must be nil: the session installs its own hook, read
+	// back via CorrectProgress.
+	Correct CorrectConfig
 
 	// BudgetPairs is the manual-inspection budget of MethodBudgeted
 	// (ignored by the other methods, which take a Requirement instead).
@@ -142,7 +149,8 @@ type Session struct {
 	sol      Solution
 	labels   []bool
 	err      error
-	riskProg *RiskProgress // latest MethodRisk schedule snapshot
+	riskProg *RiskProgress    // latest MethodRisk schedule snapshot
+	corrProg *CorrectProgress // latest MethodCorrect correction snapshot
 
 	// The search/caller rendezvous channels are per-epoch: Extend replaces
 	// all three under mu and closes the superseded epoch's extendCh, which
@@ -180,11 +188,14 @@ func newSession(w *Workload, req Requirement, cfg SessionConfig, chain []string)
 			return nil, err
 		}
 	}
-	if cfg.Sampling.Rand != nil || cfg.Hybrid.Sampling.Rand != nil || cfg.Risk.Sampling.Rand != nil {
+	if cfg.Sampling.Rand != nil || cfg.Hybrid.Sampling.Rand != nil || cfg.Risk.Sampling.Rand != nil || cfg.Correct.Rand != nil {
 		return nil, errors.New("humo: session randomness is derived from SessionConfig.Seed; leave the Rand fields nil")
 	}
 	if cfg.Risk.Progress != nil {
 		return nil, errors.New("humo: Risk.Progress must be nil in sessions; read progress back via Session.RiskProgress")
+	}
+	if cfg.Correct.Progress != nil {
+		return nil, errors.New("humo: Correct.Progress must be nil in sessions; read progress back via Session.CorrectProgress")
 	}
 	if len(chain) == 0 {
 		chain = []string{workloadFingerprint(w)}
@@ -295,6 +306,16 @@ func (s *Session) searchEpoch(w *Workload, reqCh chan []int, ansCh, extendCh cha
 		rc.Sampling.Rand = rng
 		rc.Progress = s.storeRiskProgress
 		sol, err = core.RiskSearch(w, s.req, ad, rc)
+	case MethodCorrect:
+		cc := s.cfg.Correct
+		cc.Rand = rng
+		cc.Progress = s.storeCorrectProgress
+		// The corrected label set is the search's own product — every pair
+		// carries a final label when it certifies — so MethodCorrect always
+		// reports Labels and never runs the Resolve phase (the Solution's DH
+		// is empty and must not be Resolved).
+		sol, labels, err = core.CorrectSearch(w, s.req, ad, cc)
+		return sol, labels, err, false
 	}
 	if err == nil && s.cfg.Resolve {
 		labels = sol.Resolve(w, ad)
@@ -471,6 +492,27 @@ func (s *Session) RiskProgress() (p RiskProgress, ok bool) {
 		return RiskProgress{}, false
 	}
 	return *s.riskProg, true
+}
+
+// storeCorrectProgress is the Progress hook a MethodCorrect search reports
+// through; the latest snapshot is read back with CorrectProgress.
+func (s *Session) storeCorrectProgress(p CorrectProgress) {
+	s.mu.Lock()
+	s.corrProg = &p
+	s.mu.Unlock()
+}
+
+// CorrectProgress returns the latest correction snapshot of a MethodCorrect
+// session (certificate bounds, verified/remaining counts, budget state). ok
+// is false until the correction has completed its first verification round,
+// and always for the other methods.
+func (s *Session) CorrectProgress() (p CorrectProgress, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.corrProg == nil {
+		return CorrectProgress{}, false
+	}
+	return *s.corrProg, true
 }
 
 // Answer feeds human labels into the session's log. Partial answers are
@@ -763,6 +805,28 @@ func configFingerprint(cfg SessionConfig) string {
 		rc.Schedule.Workers = 0
 		rc.Progress = nil // a hook pointer must never enter the hash
 		fmt.Fprintf(h, "|%+v", rc)
+	}
+	if cfg.Method == MethodCorrect {
+		cc := cfg.Correct
+		cc.Schedule.Workers = 0
+		cc.Progress = nil // a hook pointer must never enter the hash
+		cc.Rand = nil     // nil by session invariant; belt and braces
+		labels := cc.Labels
+		cc.Labels = nil
+		fmt.Fprintf(h, "|%+v|%d", cc, len(labels))
+		// The classifier labels shape the whole correction schedule, so they
+		// enter the hash too — a restore over a retrained classifier must be
+		// refused like any other config change.
+		var buf [17]byte
+		for _, l := range labels {
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(l.ID))
+			binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(l.Score))
+			buf[16] = 0
+			if l.Match {
+				buf[16] = 1
+			}
+			h.Write(buf[:])
+		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

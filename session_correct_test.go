@@ -1,0 +1,336 @@
+package humo_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"humo"
+)
+
+// correctFixture builds the DS-like workload of the corrected-search tests
+// plus a 1-feature similarity SVM trained on a class-balanced labeled sample
+// — the svmReference protocol of the experiment harness — and the
+// classifier's labels over every workload pair.
+func correctFixture(t *testing.T) (*humo.Workload, map[int]bool, *humo.SVMModel, []humo.CorrectLabel) {
+	t.Helper()
+	cfg := humo.DefaultDSConfig()
+	cfg.Entities = 600
+	cfg.Filler = 6000
+	ds, err := humo.DSLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, truth := humo.Split(ds.Pairs)
+	w, err := humo.NewWorkload(pairs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIdx, _, err := humo.SVMTrainTestSplit(len(ds.Pairs), len(ds.Pairs)/5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posIdx, negIdx []int
+	for _, i := range trainIdx {
+		if ds.Pairs[i].Match {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(negIdx) > len(posIdx) {
+		negIdx = negIdx[:len(posIdx)]
+	}
+	balanced := append(append([]int(nil), posIdx...), negIdx...)
+	feats := make([][]float64, 0, len(balanced))
+	labels := make([]bool, 0, len(balanced))
+	for _, i := range balanced {
+		feats = append(feats, []float64{ds.Pairs[i].Sim})
+		labels = append(labels, ds.Pairs[i].Match)
+	}
+	// Strong regularization keeps the similarity-only SVM honest: a wide
+	// soft margin (the classifier's own uncertain zone) and a raw recall
+	// below the 0.9 guarantee, so the correction has something to prove.
+	model, err := humo.TrainSVM(feats, labels, humo.SVMConfig{Seed: 17, PositiveWeight: 1, Lambda: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(pairs))
+	for i, p := range pairs {
+		ids[i] = p.ID
+	}
+	sims := make(map[int]float64, len(pairs))
+	for _, p := range pairs {
+		sims[p.ID] = p.Sim
+	}
+	cls := humo.SVMClassifier{Model: model, Features: func(id int) ([]float64, error) {
+		return []float64{sims[id]}, nil
+	}}
+	labeled, err := humo.ClassifyAll(ids, cls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, truth, model, labeled
+}
+
+// TestSessionCorrectHeadline is the pinned headline of the corrected search:
+// on the DS-like bundle, MethodCorrect meets the same precision/recall
+// guarantee the hybrid search certifies, while labeling strictly fewer pairs
+// than a full human review of the classifier's uncertain zone — and the
+// schedule is bit-identical across runs and worker counts.
+func TestSessionCorrectHeadline(t *testing.T) {
+	w, truth, model, labeled := correctFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+
+	// The naive correction baseline: hand every pair inside the SVM's soft
+	// margin (|decision| < 1, the classifier's own uncertain zone) to the
+	// human workforce.
+	uncertain := 0
+	for _, l := range labeled {
+		if math.Abs(l.Score) < 1 {
+			uncertain++
+		}
+	}
+	if uncertain == 0 {
+		t.Fatal("fixture produced no uncertain zone; headline comparison is vacuous")
+	}
+
+	run := func(workers int) (humo.Solution, []bool, int, humo.CorrectProgress) {
+		cfg := humo.SessionConfig{Method: humo.MethodCorrect, Seed: 31}
+		cfg.Correct.Labels = labeled
+		cfg.Correct.Schedule.Workers = workers
+		s, err := humo.NewSession(w, req, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveFromTruth(t, s, truth)
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		p, ok := s.CorrectProgress()
+		if !ok {
+			t.Fatal("completed correct session reported no progress")
+		}
+		return s.Solution(), s.Labels(), s.Cost(), p
+	}
+	sol, lbls, cost, prog := run(1)
+
+	if sol.Method != "CORRECT" || !sol.Empty() {
+		t.Errorf("corrected solution %v, want method CORRECT with an empty DH", sol)
+	}
+	if !prog.Certified || prog.BudgetExhausted {
+		t.Errorf("final progress %+v, want certified without budget exhaustion", prog)
+	}
+	if prog.PrecisionLo < req.Alpha || prog.RecallLo < req.Beta {
+		t.Errorf("certificate (%.4f, %.4f) below the requirement (%v, %v)",
+			prog.PrecisionLo, prog.RecallLo, req.Alpha, req.Beta)
+	}
+	if cost >= uncertain {
+		t.Errorf("correction consumed %d labels, not fewer than the %d-pair uncertain zone", cost, uncertain)
+	}
+	if sol.SampledPairs != cost {
+		t.Errorf("solution accounts %d sampled pairs, session cost is %d", sol.SampledPairs, cost)
+	}
+
+	// The corrected labels must actually deliver the guaranteed quality
+	// (deterministic fixture, so this is a pinned outcome, not a flaky
+	// probabilistic assertion).
+	truthSlice := make([]bool, w.Len())
+	for i := range truthSlice {
+		truthSlice[i] = truth[w.Pair(i).ID]
+	}
+	q, err := humo.Evaluate(lbls, truthSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision < req.Alpha || q.Recall < req.Beta {
+		t.Errorf("corrected labels measure precision=%.4f recall=%.4f, below the certified (%v, %v)",
+			q.Precision, q.Recall, req.Alpha, req.Beta)
+	}
+
+	// The raw classifier must NOT meet the guarantee on its own, or the
+	// correction had nothing to prove.
+	raw := make([]bool, w.Len())
+	byID := make(map[int]bool, len(labeled))
+	for _, l := range labeled {
+		byID[l.ID] = l.Match
+	}
+	for i := range raw {
+		raw[i] = byID[w.Pair(i).ID]
+	}
+	rq, err := humo.Evaluate(raw, truthSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Precision >= req.Alpha && rq.Recall >= req.Beta {
+		t.Errorf("raw SVM already at precision=%.4f recall=%.4f; fixture exercises nothing", rq.Precision, rq.Recall)
+	}
+	t.Logf("corrected %d-pair workload with %d human labels (uncertain zone %d): svm p=%.4f r=%.4f -> certified p>=%.4f r>=%.4f (actual p=%.4f r=%.4f)",
+		w.Len(), cost, uncertain, rq.Precision, rq.Recall, prog.PrecisionLo, prog.RecallLo, q.Precision, q.Recall)
+
+	// Bit-identical across repeated runs and any worker count.
+	for _, workers := range []int{1, 4, 0} {
+		sol2, lbls2, cost2, prog2 := run(workers)
+		if sol2 != sol || cost2 != cost || prog2 != prog {
+			t.Errorf("workers=%d run diverged: sol %v cost %d prog %+v", workers, sol2, cost2, prog2)
+		}
+		if !reflect.DeepEqual(lbls2, lbls) {
+			t.Errorf("workers=%d corrected labels diverged", workers)
+		}
+	}
+	_ = model
+}
+
+// TestSessionCorrectOneShotParity pins session/one-shot equivalence for
+// MethodCorrect: the session must reproduce the direct Correct call's
+// solution, labels and human cost bit-identically given the same seed.
+func TestSessionCorrectOneShotParity(t *testing.T) {
+	w, truth, _, labeled := correctFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+
+	o := humo.NewSimulatedOracle(truth)
+	refSol, refLabels, err := humo.Correct(w, req, o, humo.CorrectConfig{
+		Labels: labeled,
+		Rand:   rand.New(rand.NewSource(31)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := humo.SessionConfig{Method: humo.MethodCorrect, Seed: 31}
+	cfg.Correct.Labels = labeled
+	s, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, s, truth)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solution(); got != refSol {
+		t.Errorf("session solution %v, want one-shot %v", got, refSol)
+	}
+	if !reflect.DeepEqual(s.Labels(), refLabels) {
+		t.Error("session corrected labels diverge from the one-shot search")
+	}
+	if got, want := s.Cost(), o.Cost(); got != want {
+		t.Errorf("session cost %d, want one-shot %d", got, want)
+	}
+}
+
+// TestSessionCorrectCheckpointRestore kills a mid-correction session after a
+// few batches and restores it from its checkpoint: the replay must land on
+// the uninterrupted run's solution, labels and cost, and restores with
+// changed correction knobs or retrained classifier labels must be refused.
+func TestSessionCorrectCheckpointRestore(t *testing.T) {
+	w, truth, _, labeled := correctFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodCorrect, Seed: 31}
+	cfg.Correct.Labels = labeled
+
+	ref, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, ref, truth)
+	if err := ref.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := humo.NewSession(w, req, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		b, err := s.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Empty() {
+			t.Fatal("correct session terminated before the checkpoint point")
+		}
+		ans := make(map[int]bool, len(b.IDs))
+		for _, id := range b.IDs {
+			ans[id] = truth[id]
+		}
+		if err := s.Answer(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cp bytes.Buffer
+	if err := s.Checkpoint(&cp); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+
+	// Changed stratification knobs: refused by the configuration fingerprint.
+	tuned := cfg
+	tuned.Correct.StratumSize = 17
+	if _, err := humo.RestoreSession(w, req, tuned, bytes.NewReader(cp.Bytes())); !errors.Is(err, humo.ErrCheckpointMismatch) {
+		t.Fatalf("restore with changed stratum size: %v, want ErrCheckpointMismatch", err)
+	}
+	// A retrained classifier (any label or score drift): also refused — the
+	// labels shape the whole schedule.
+	retrained := cfg
+	retrained.Correct.Labels = append([]humo.CorrectLabel(nil), labeled...)
+	retrained.Correct.Labels[0].Score += 0.25
+	if _, err := humo.RestoreSession(w, req, retrained, bytes.NewReader(cp.Bytes())); !errors.Is(err, humo.ErrCheckpointMismatch) {
+		t.Fatalf("restore with retrained classifier labels: %v, want ErrCheckpointMismatch", err)
+	}
+	// Workers-only changes replay fine.
+	workers := cfg
+	workers.Correct.Schedule.Workers = 8
+	restored, err := humo.RestoreSession(w, req, workers, bytes.NewReader(cp.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, restored, truth)
+	if err := restored.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Solution(), ref.Solution(); got != want {
+		t.Errorf("restored solution %v, want %v", got, want)
+	}
+	if got, want := restored.Cost(), ref.Cost(); got != want {
+		t.Errorf("restored cost %d, want %d", got, want)
+	}
+	if !reflect.DeepEqual(restored.Labels(), ref.Labels()) {
+		t.Error("restored corrected labels diverge from the uninterrupted run")
+	}
+}
+
+// TestSessionCorrectConfigValidation pins the session-level constraints on
+// the correction configuration: live Rand and Progress fields are refused,
+// and only correct sessions report correction progress.
+func TestSessionCorrectConfigValidation(t *testing.T) {
+	w, truth, _, _ := correctFixture(t)
+	req := humo.Requirement{Alpha: 0.9, Beta: 0.9, Theta: 0.9}
+	cfg := humo.SessionConfig{Method: humo.MethodCorrect, Seed: 1}
+	cfg.Correct.Rand = rand.New(rand.NewSource(1))
+	if _, err := humo.NewSession(w, req, cfg); err == nil {
+		t.Error("correct Rand should be refused")
+	}
+	cfg = humo.SessionConfig{Method: humo.MethodCorrect, Seed: 1}
+	cfg.Correct.Progress = func(humo.CorrectProgress) {}
+	if _, err := humo.NewSession(w, req, cfg); err == nil {
+		t.Error("correct Progress hook should be refused")
+	}
+	if _, err := humo.ParseMethod("correct"); err != nil {
+		t.Errorf("ParseMethod(correct): %v", err)
+	}
+
+	// A non-correct session never reports correction progress.
+	h, err := humo.NewSession(w, req, humo.SessionConfig{Method: humo.MethodHybrid, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFromTruth(t, h, truth)
+	if _, ok := h.CorrectProgress(); ok {
+		t.Error("hybrid session reported correction progress")
+	}
+}
